@@ -1,0 +1,38 @@
+//! Micro-benchmarks of the proximity kernels and of the objective /
+//! responsibility reference implementations — the innermost operations of the
+//! Interchange algorithm.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vas_core::{objective, responsibilities, GaussianKernel, Kernel};
+use vas_data::{GeolifeGenerator, Point};
+
+fn bench_kernel_eval(c: &mut Criterion) {
+    let kernel = GaussianKernel::new(0.02);
+    let a = Point::new(116.40, 39.90);
+    let b = Point::new(116.41, 39.91);
+    c.bench_function("kernel/gaussian_eval", |bencher| {
+        bencher.iter(|| black_box(kernel.eval(black_box(&a), black_box(&b))))
+    });
+    c.bench_function("kernel/gaussian_eval_dist2", |bencher| {
+        bencher.iter(|| black_box(kernel.eval_dist2(black_box(2.0e-4))))
+    });
+}
+
+fn bench_objective(c: &mut Criterion) {
+    let data = GeolifeGenerator::with_size(4_000, 1).generate();
+    let kernel = GaussianKernel::for_dataset(&data);
+    let mut group = c.benchmark_group("kernel/objective");
+    for &n in &[100usize, 400, 1_600] {
+        let points = &data.points[..n];
+        group.bench_with_input(BenchmarkId::new("pairwise_objective", n), &n, |b, _| {
+            b.iter(|| black_box(objective(&kernel, black_box(points))))
+        });
+        group.bench_with_input(BenchmarkId::new("responsibilities", n), &n, |b, _| {
+            b.iter(|| black_box(responsibilities(&kernel, black_box(points))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_eval, bench_objective);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! End-to-end sampler throughput: how long each method takes to build a
+//! sample of the same size over the same dataset, plus the density-embedding
+//! second pass.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vas_binned::{TilePyramid, TilePyramidConfig};
+use vas_core::{embed_density, VasConfig, VasSampler};
+use vas_data::GeolifeGenerator;
+use vas_sampling::{PoissonDiskSampler, Sampler, StratifiedSampler, UniformSampler};
+
+fn bench_samplers(c: &mut Criterion) {
+    let data = GeolifeGenerator::with_size(20_000, 4).generate();
+    let k = 500;
+    let mut group = c.benchmark_group("samplers/build_k500_n20k");
+    group.sample_size(10);
+
+    group.bench_function("uniform", |b| {
+        b.iter(|| black_box(UniformSampler::new(k, 1).sample_dataset(black_box(&data))))
+    });
+    group.bench_function("stratified", |b| {
+        b.iter(|| {
+            black_box(
+                StratifiedSampler::square(k, data.bounds(), 10, 1)
+                    .sample_dataset(black_box(&data)),
+            )
+        })
+    });
+    group.bench_function("vas_es_loc", |b| {
+        b.iter(|| {
+            black_box(
+                VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(black_box(&data)),
+            )
+        })
+    });
+    group.bench_function("poisson_disk", |b| {
+        b.iter(|| {
+            black_box(
+                PoissonDiskSampler::with_budget(k, data.bounds(), 1)
+                    .sample_dataset(black_box(&data)),
+            )
+        })
+    });
+    group.bench_function("binned_pyramid_l8", |b| {
+        b.iter(|| {
+            black_box(TilePyramid::build(
+                black_box(&data),
+                TilePyramidConfig { max_level: 8 },
+            ))
+        })
+    });
+    group.finish();
+
+    let sample = VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data);
+    c.bench_function("samplers/density_embedding_pass", |b| {
+        b.iter(|| black_box(embed_density(black_box(&sample), black_box(&data))))
+    });
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

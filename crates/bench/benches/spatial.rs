@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the spatial substrates: R-tree (the ES+Loc locality
+//! index) and k-d tree (the density-embedding nearest-neighbour index).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vas_data::GeolifeGenerator;
+use vas_spatial::{KdTree, RTree};
+
+fn bench_rtree(c: &mut Criterion) {
+    let data = GeolifeGenerator::with_size(20_000, 2).generate();
+    let mut group = c.benchmark_group("spatial/rtree");
+    for &n in &[1_000usize, 10_000] {
+        let points = &data.points[..n];
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(RTree::from_entries(
+                    points.iter().copied().enumerate(),
+                ))
+            })
+        });
+        let tree = RTree::from_entries(points.iter().copied().enumerate());
+        let query = data.points[n / 2];
+        let radius = data.bounds().diagonal() * 0.01;
+        group.bench_with_input(BenchmarkId::new("query_radius", n), &n, |b, _| {
+            b.iter(|| black_box(tree.query_radius(black_box(&query), radius)))
+        });
+        group.bench_with_input(BenchmarkId::new("nearest", n), &n, |b, _| {
+            b.iter(|| black_box(tree.nearest(black_box(&query))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    let data = GeolifeGenerator::with_size(20_000, 3).generate();
+    let mut group = c.benchmark_group("spatial/kdtree");
+    for &n in &[1_000usize, 10_000] {
+        let points = &data.points[..n];
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| black_box(KdTree::from_points(points)))
+        });
+        let tree = KdTree::from_points(points);
+        let query = data.points[data.len() - 1];
+        group.bench_with_input(BenchmarkId::new("nearest", n), &n, |b, _| {
+            b.iter(|| black_box(tree.nearest(black_box(&query))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtree, bench_kdtree);
+criterion_main!(benches);

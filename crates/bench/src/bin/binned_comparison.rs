@@ -1,0 +1,90 @@
+//! Extension experiment — VAS samples vs binned aggregation (Section VII).
+//!
+//! The paper's related-work section argues that pre-aggregation approaches
+//! (imMens, Nanocubes) answer overview queries instantly but pay for it in
+//! two ways: the bin size is fixed ahead of time (so deep zooms are
+//! low-resolution unless enormous pyramids are materialized) and the
+//! aggregates cannot reproduce point-level structure. This harness makes that
+//! trade-off concrete on the same dataset used by the other experiments:
+//!
+//! * storage footprint (non-empty cells vs sampled points),
+//! * bitmap similarity to the full-data rendering at overview zoom and at
+//!   deep zoom (where the pyramid's resolution cap bites), and
+//! * the effective resolution available at a deep-zoom viewport.
+
+use bench::{emit, fmt3, geolife, ReportTable};
+use vas_binned::{render_heatmap, TilePyramid, TilePyramidConfig};
+use vas_core::{VasConfig, VasSampler};
+use vas_data::{ZoomLevel, ZoomWorkload};
+use vas_eval::similarity::{density_correlation, ink_jaccard};
+use vas_sampling::Sampler;
+use vas_viz::{Color, Colormap, PlotStyle, ScatterRenderer, Viewport};
+
+fn main() {
+    let data = geolife(200_000);
+    let renderer = ScatterRenderer::new(PlotStyle::default());
+    let canvas_px = 256usize;
+
+    let overview = data.bounds().padded(data.bounds().diagonal() * 0.01);
+    let zoom = ZoomWorkload::new(21).regions(&data, ZoomLevel::Deep, 1)[0].viewport;
+    let full_overview =
+        renderer.render_points(&data.points, &Viewport::new(overview, canvas_px, canvas_px));
+    let full_zoom =
+        renderer.render_points(&data.points, &Viewport::new(zoom, canvas_px, canvas_px));
+
+    let mut table = ReportTable::new(
+        "Extension — VAS samples vs binned aggregation (storage and zoom fidelity)",
+        &[
+            "approach",
+            "storage (points or cells)",
+            "overview density corr.",
+            "deep-zoom ink Jaccard",
+            "deep-zoom cells/points visible",
+        ],
+    );
+
+    // --- Binned aggregation at two pyramid depths.
+    for max_level in [7u8, 9] {
+        let pyramid = TilePyramid::build(&data, TilePyramidConfig { max_level });
+        let over = render_heatmap(&pyramid, &overview, canvas_px, canvas_px, Colormap::Greys);
+        let zoomed = render_heatmap(&pyramid, &zoom, canvas_px, canvas_px, Colormap::Greys);
+        let visible = pyramid.query_for_render(&zoom, canvas_px).1.len();
+        table.push_row(vec![
+            format!("binned aggregation (max level {max_level})"),
+            pyramid.total_cells().to_string(),
+            fmt3(density_correlation(&full_overview, &over, 16)),
+            fmt3(ink_jaccard(&full_zoom, &zoomed)),
+            visible.to_string(),
+        ]);
+    }
+
+    // --- VAS samples of comparable storage cost.
+    for k in [10_000usize, 50_000] {
+        let sample = VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data);
+        let over =
+            renderer.render_points(&sample.points, &Viewport::new(overview, canvas_px, canvas_px));
+        let zoomed =
+            renderer.render_points(&sample.points, &Viewport::new(zoom, canvas_px, canvas_px));
+        let visible = sample.filter_region(&zoom).len();
+        table.push_row(vec![
+            format!("VAS sample (K = {k})"),
+            k.to_string(),
+            fmt3(density_correlation(&full_overview, &over, 16)),
+            fmt3(ink_jaccard(&full_zoom, &zoomed)),
+            visible.to_string(),
+        ]);
+        eprintln!("[binned_comparison] finished VAS K = {k}");
+    }
+
+    // Sanity anchor: the full data against itself.
+    table.push_row(vec![
+        "full data (reference)".into(),
+        data.len().to_string(),
+        fmt3(density_correlation(&full_overview, &full_overview, 16)),
+        fmt3(ink_jaccard(&full_zoom, &full_zoom)),
+        data.filter_region(&zoom).len().to_string(),
+    ]);
+    std::hint::black_box(full_overview.ink(Color::WHITE));
+
+    emit("binned_comparison", &[table]);
+}

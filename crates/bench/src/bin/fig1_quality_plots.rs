@@ -1,0 +1,97 @@
+//! Figure 1 / Figure 5 / Figure 6 — qualitative sample visualizations.
+//!
+//! Reproduces the paper's motivating images: overview and zoomed-in map plots
+//! of the GPS dataset sampled with stratified sampling (316×316 grid, the
+//! configuration used for Figure 1) and with VAS, plus the density-embedded
+//! VAS plot used as the density-estimation stimulus (Figure 6). The images
+//! are written as PPM files under `results/plots/`; the table printed to
+//! stdout summarizes the quantitative side of the same story — how many
+//! sampled points each method places inside the zoomed regions.
+
+use bench::{display_path, emit, fmt3, geolife, save_plot, ReportTable};
+use vas_core::{density::with_embedded_density, GaussianKernel, VasConfig, VasSampler};
+use vas_eval::{LossConfig, LossEstimator};
+use vas_sampling::{Sampler, StratifiedSampler, UniformSampler};
+use vas_data::{ZoomLevel, ZoomWorkload};
+use vas_viz::{PlotStyle, ScatterRenderer, Viewport};
+
+fn main() {
+    // Scaled from the paper's 2B-point OpenStreetMap / 24.4M-point Geolife
+    // data with a 100K sample: 300K points, 5K sample (same ~60:1 ratio
+    // between data and sample as Geolife:100K).
+    let data = geolife(300_000);
+    let k = 5_000;
+    let kernel = GaussianKernel::for_dataset(&data);
+    let estimator = LossEstimator::new(&data, &kernel, LossConfig::default());
+
+    let uniform = UniformSampler::new(k, 1).sample_dataset(&data);
+    let stratified = StratifiedSampler::square(k, data.bounds(), 316, 1).sample_dataset(&data);
+    let vas = VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data);
+    let vas_density = with_embedded_density(vas.clone(), &data);
+
+    let overview =
+        Viewport::new(data.bounds().padded(data.bounds().diagonal() * 0.01), 900, 900);
+    let zooms = ZoomWorkload::new(5).regions(&data, ZoomLevel::Deep, 3);
+    let map_renderer = ScatterRenderer::new(PlotStyle::map_plot());
+    let density_renderer = ScatterRenderer::new(PlotStyle::density_plot(6));
+
+    let mut table = ReportTable::new(
+        "Figure 1 — points available in zoomed views (and overall loss) per method",
+        &[
+            "method",
+            "log-loss-ratio",
+            "zoom#1 pts",
+            "zoom#2 pts",
+            "zoom#3 pts",
+            "overview image",
+            "zoom#1 image",
+        ],
+    );
+
+    for sample in [&uniform, &stratified, &vas] {
+        let over = map_renderer.render_points(&sample.points, &overview);
+        let over_path = save_plot(&over, &format!("fig1_{}_overview", sample.method));
+        let mut zoom_counts = Vec::new();
+        let mut first_zoom_path = String::new();
+        for (zi, z) in zooms.iter().enumerate() {
+            let visible = sample.filter_region(&z.viewport);
+            zoom_counts.push(visible.len());
+            let canvas =
+                map_renderer.render_points(&visible, &Viewport::new(z.viewport, 900, 900));
+            let p = save_plot(&canvas, &format!("fig1_{}_zoom{}", sample.method, zi + 1));
+            if zi == 0 {
+                first_zoom_path = display_path(&p);
+            }
+        }
+        table.push_row(vec![
+            sample.method.clone(),
+            fmt3(estimator.log_loss_ratio(&kernel, &sample.points)),
+            zoom_counts[0].to_string(),
+            zoom_counts[1].to_string(),
+            zoom_counts[2].to_string(),
+            display_path(&over_path),
+            first_zoom_path,
+        ]);
+    }
+
+    // Figure 6 stimulus: the density-embedded VAS sample at overview zoom.
+    let fig6 = density_renderer.render_sample(&vas_density, &overview);
+    let fig6_path = save_plot(&fig6, "fig6_vas_with_density_overview");
+
+    let mut extra = ReportTable::new(
+        "Figure 5/6 — user-study stimuli written to disk",
+        &["figure", "content", "image"],
+    );
+    extra.push_row(vec![
+        "Fig. 5".into(),
+        "regression stimuli = zoomed map plots above (stratified vs VAS)".into(),
+        "see fig1_* zoom images".into(),
+    ]);
+    extra.push_row(vec![
+        "Fig. 6".into(),
+        "density-estimation stimulus (VAS with density embedding, dot size ∝ √density)".into(),
+        display_path(&fig6_path),
+    ]);
+
+    emit("fig1_quality_plots", &[table, extra]);
+}

@@ -1,0 +1,76 @@
+//! Figure 2 / Figure 4 — "Existing systems are slow": visualization time as a
+//! function of the number of rendered tuples.
+//!
+//! The paper measures Tableau and MathGL on the Geolife and SPLOM datasets at
+//! 1M–500M tuples and finds (a) latency grows linearly with tuple count and
+//! (b) even 1M tuples already exceeds the 2-second interactive limit on the
+//! heavier stack. We cannot run Tableau, so this harness does two things:
+//!
+//! 1. measures the **actual** render time of this reproduction's rasterizer
+//!    over a sweep of tuple counts (demonstrating the linear growth on real
+//!    code), and
+//! 2. evaluates the calibrated Tableau-like / MathGL-like latency models at
+//!    the paper's tuple counts so the reported numbers can be compared
+//!    against Figure 2/4 directly.
+
+use bench::{emit, fmt_secs, geolife, splom, ReportTable};
+use std::time::{Duration, Instant};
+use vas_viz::{Color, LatencyModel, PlotStyle, ScatterRenderer, Viewport};
+
+fn main() {
+    let renderer = ScatterRenderer::new(PlotStyle::map_plot());
+
+    // --- Part 1: measured rasterizer time vs tuple count, per dataset.
+    let mut measured = ReportTable::new(
+        "Figure 2/4 (measured) — rasterizer visualization time vs rendered tuples",
+        &["dataset", "tuples", "viz time (s)"],
+    );
+    let sizes = [10_000usize, 100_000, 1_000_000, 5_000_000];
+    for (label, dataset) in [
+        ("geolife-sim", geolife(*sizes.last().unwrap())),
+        ("splom", splom(*sizes.last().unwrap())),
+    ] {
+        let viewport = Viewport::fit(&dataset.points, 1_000, 1_000);
+        for &n in &sizes {
+            let slice = &dataset.points[..n.min(dataset.len())];
+            let start = Instant::now();
+            let canvas = renderer.render_points(slice, &viewport);
+            let elapsed = start.elapsed();
+            std::hint::black_box(canvas.ink(Color::WHITE));
+            measured.push_row(vec![label.into(), n.to_string(), fmt_secs(elapsed)]);
+        }
+    }
+
+    // --- Part 2: model-extrapolated times at the paper's scales.
+    let mut modeled = ReportTable::new(
+        "Figure 2/4 (modeled) — Tableau-like and MathGL-like latency at paper scales",
+        &["tuples", "tableau-like (s)", "mathgl-like (s)", "interactive (<2s)?"],
+    );
+    let tableau = LatencyModel::tableau_like();
+    let mathgl = LatencyModel::mathgl_like();
+    for n in [1_000_000usize, 5_000_000, 10_000_000, 50_000_000, 500_000_000] {
+        let t = tableau.time_for(n);
+        let m = mathgl.time_for(n);
+        modeled.push_row(vec![
+            n.to_string(),
+            fmt_secs(t),
+            fmt_secs(m),
+            if m < Duration::from_secs(2) { "yes" } else { "no" }.into(),
+        ]);
+    }
+
+    // --- Part 3: what the same models say a VAS-sized sample costs.
+    let mut sampled = ReportTable::new(
+        "Figure 2/4 (implication) — time to visualize a VAS-sized sample instead",
+        &["sample size", "tableau-like (s)", "mathgl-like (s)"],
+    );
+    for k in [1_000usize, 10_000, 100_000] {
+        sampled.push_row(vec![
+            k.to_string(),
+            fmt_secs(tableau.time_for(k)),
+            fmt_secs(mathgl.time_for(k)),
+        ]);
+    }
+
+    emit("fig2_viz_time", &[measured, modeled, sampled]);
+}

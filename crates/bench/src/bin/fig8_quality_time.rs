@@ -1,0 +1,107 @@
+//! Figure 8 — visualization quality vs visualization production time.
+//!
+//! (a) *Error given time*: for a sweep of sample sizes (which the latency
+//!     model converts into visualization time), report the log-loss-ratio of
+//!     uniform sampling, stratified sampling and VAS.
+//! (b) *Time given error*: for a set of target quality levels, report the
+//!     time each method needs, i.e. the time corresponding to the smallest
+//!     sample size whose error is at or below the target.
+//!
+//! The paper's headline claim — VAS reaches the same quality with up to 400×
+//! fewer data points (and therefore correspondingly less visualization time)
+//! — shows up here as a large horizontal gap between the VAS curve and the
+//! baselines.
+
+use bench::{emit, fmt3, fmt_secs, geolife, ReportTable};
+use vas_core::{GaussianKernel, VasConfig, VasSampler};
+use vas_eval::{LossConfig, LossEstimator};
+use vas_sampling::{Sample, Sampler, StratifiedSampler, UniformSampler};
+use vas_viz::LatencyModel;
+
+const SIZES: [usize; 7] = [100, 300, 1_000, 3_000, 10_000, 30_000, 100_000];
+
+fn main() {
+    let data = geolife(300_000);
+    let kernel = GaussianKernel::for_dataset(&data);
+    let estimator = LossEstimator::new(&data, &kernel, LossConfig::default());
+    let latency = LatencyModel::mathgl_like();
+
+    // --- Build the (method, size) grid once.
+    let mut grid: Vec<(String, usize, f64)> = Vec::new(); // (method, size, error)
+    for &k in &SIZES {
+        let samples: Vec<Sample> = vec![
+            UniformSampler::new(k, 1).sample_dataset(&data),
+            StratifiedSampler::square(k, data.bounds(), 10, 1).sample_dataset(&data),
+            VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data),
+        ];
+        for s in samples {
+            let err = estimator.log_loss_ratio(&kernel, &s.points);
+            grid.push((s.method.clone(), k, err));
+        }
+        eprintln!("[fig8] finished K = {k}");
+    }
+
+    // --- (a) error given time.
+    let mut part_a = ReportTable::new(
+        "Figure 8(a) — error (log-loss-ratio) given visualization time",
+        &["sample size", "viz time (s)", "uniform", "stratified", "vas"],
+    );
+    for &k in &SIZES {
+        let err_of = |method: &str| {
+            grid.iter()
+                .find(|(m, size, _)| m == method && *size == k)
+                .map(|(_, _, e)| *e)
+                .unwrap_or(f64::NAN)
+        };
+        part_a.push_row(vec![
+            k.to_string(),
+            fmt_secs(latency.time_for(k)),
+            fmt3(err_of("uniform")),
+            fmt3(err_of("stratified")),
+            fmt3(err_of("vas")),
+        ]);
+    }
+
+    // --- (b) time given error: smallest sample size reaching each target.
+    let targets = [2.0f64, 1.5, 1.0, 0.75, 0.5];
+    let mut part_b = ReportTable::new(
+        "Figure 8(b) — visualization time (s) needed to reach a target error",
+        &[
+            "target error",
+            "uniform",
+            "stratified",
+            "vas",
+            "vas speed-up vs uniform",
+        ],
+    );
+    for &target in &targets {
+        let time_of = |method: &str| -> Option<(usize, f64)> {
+            SIZES
+                .iter()
+                .filter(|&&k| {
+                    grid.iter()
+                        .any(|(m, size, e)| m == method && *size == k && *e <= target)
+                })
+                .map(|&k| (k, latency.time_for(k).as_secs_f64()))
+                .next()
+        };
+        let cell = |method: &str| match time_of(method) {
+            Some((_, t)) => fmt_secs(std::time::Duration::from_secs_f64(t)),
+            None => "> max".into(),
+        };
+        let speedup = match (time_of("uniform"), time_of("vas")) {
+            (Some((ku, _)), Some((kv, _))) => format!("{:.0}x fewer points", ku as f64 / kv as f64),
+            (None, Some(_)) => "baseline never reaches target".into(),
+            _ => "-".into(),
+        };
+        part_b.push_row(vec![
+            fmt3(target),
+            cell("uniform"),
+            cell("stratified"),
+            cell("vas"),
+            speedup,
+        ]);
+    }
+
+    emit("fig8_quality_time", &[part_a, part_b]);
+}

@@ -1,0 +1,65 @@
+//! Figure 9 — processing time vs sample quality.
+//!
+//! The paper runs the Interchange algorithm on the Geolife dataset with
+//! sample sizes 100K and 1M and plots the optimization objective against
+//! processing time: quality improves quickly at first and then levels off,
+//! so useful samples are available long before full convergence.
+//!
+//! This harness records the same trace using the sampler's progress hooks,
+//! at sizes scaled to the harness dataset. Several passes over the data are
+//! made so the flattening of the curve is visible.
+
+use bench::{emit, fmt3, fmt_secs, geolife, ReportTable};
+use std::sync::{Arc, Mutex};
+use vas_core::{ProgressEvent, VasConfig, VasSampler};
+
+fn trace_for(k: usize, passes: usize, data: &vas_data::Dataset) -> Vec<ProgressEvent> {
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let sink = events.clone();
+    let mut sampler = VasSampler::from_dataset(
+        data,
+        VasConfig::new(k)
+            .with_passes(passes)
+            .with_progress_every((data.len() / 40).max(1) as u64),
+    );
+    sampler.set_progress_sink(Box::new(move |e| sink.lock().unwrap().push(e)));
+    let _ = sampler.build(data);
+    let trace = events.lock().unwrap().clone();
+    trace
+}
+
+fn main() {
+    // Scaled from the paper's 24.4M points / {100K, 1M} samples.
+    let data = geolife(400_000);
+    let configs = [(10_000usize, 3usize), (50_000, 2)];
+
+    let mut tables = Vec::new();
+    for (k, passes) in configs {
+        let events = trace_for(k, passes, &data);
+        let mut table = ReportTable::new(
+            format!("Figure 9 — objective vs processing time (sample size {k}, {passes} passes)"),
+            &["tuples processed", "elapsed (s)", "objective", "replacements"],
+        );
+        // Thin the trace to ~20 rows for readability; the JSON keeps them all.
+        let step = (events.len() / 20).max(1);
+        for e in events.iter().step_by(step) {
+            table.push_row(vec![
+                e.tuples_processed.to_string(),
+                fmt_secs(e.elapsed),
+                fmt3(e.objective),
+                e.replacements.to_string(),
+            ]);
+        }
+        if let (Some(first), Some(last)) = (events.first(), events.last()) {
+            eprintln!(
+                "[fig9] K = {k}: objective {} -> {} over {:?}",
+                fmt3(first.objective),
+                fmt3(last.objective),
+                last.elapsed
+            );
+        }
+        tables.push(table);
+    }
+
+    emit("fig9_convergence", &tables);
+}

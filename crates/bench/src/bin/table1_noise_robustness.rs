@@ -1,0 +1,59 @@
+//! Extension — robustness of the Table I rankings to participant noise.
+//!
+//! The paper's user study aggregates 40 Mechanical-Turk workers and filters
+//! out those failing trapdoor questions. This harness layers that protocol
+//! (spammers answering at random, occasional slips, trapdoor filtering — see
+//! `vas_user_sim::workers`) on top of the ideal perception-model answers for
+//! the regression task, and reports the method scores with and without noise.
+//! The point is not the absolute numbers but that the *ranking* of methods —
+//! the thing Table I is used to argue — survives realistic participant noise.
+
+use bench::{emit, fmt3, geolife, ReportTable};
+use vas_core::{VasConfig, VasSampler};
+use vas_sampling::{Sampler, StratifiedSampler, UniformSampler};
+use vas_user_sim::{RegressionTask, WorkerPopulation};
+
+fn main() {
+    let data = geolife(300_000);
+    let task = RegressionTask::generate(&data, 18, 42);
+    let population = WorkerPopulation::paper_default(2_024);
+
+    let mut table = ReportTable::new(
+        "Extension — regression success: ideal perception model vs 40-worker noisy population",
+        &[
+            "sample size",
+            "method",
+            "ideal success",
+            "noisy population success",
+            "workers retained",
+        ],
+    );
+
+    for &k in &[1_000usize, 10_000] {
+        let samples = vec![
+            UniformSampler::new(k, 1).sample_dataset(&data),
+            StratifiedSampler::square(k, data.bounds(), 10, 1).sample_dataset(&data),
+            VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data),
+        ];
+        for s in &samples {
+            let ideal_answers: Vec<bool> = task
+                .questions()
+                .iter()
+                .map(|q| task.answer(q, &s.points))
+                .collect();
+            let ideal = ideal_answers.iter().filter(|&&a| a).count() as f64
+                / ideal_answers.len() as f64;
+            let noisy = population.run(&ideal_answers);
+            table.push_row(vec![
+                k.to_string(),
+                s.method.clone(),
+                fmt3(ideal),
+                fmt3(noisy.success_ratio),
+                noisy.retained_workers.to_string(),
+            ]);
+        }
+        eprintln!("[noise_robustness] finished K = {k}");
+    }
+
+    emit("table1_noise_robustness", &[table]);
+}

@@ -1,0 +1,158 @@
+//! Table I — simulated user study: regression, density estimation and
+//! clustering success per sampling method and sample size.
+//!
+//! The paper runs 40 Mechanical-Turk workers per task; this harness runs the
+//! perception-model users of `vas-user-sim` over the same experimental grid:
+//!
+//! * Table I(a) regression: uniform / stratified / VAS, 4 sample sizes.
+//! * Table I(b) density estimation: + VAS with density embedding.
+//! * Table I(c) clustering: 4 Gaussian datasets (1–2 clusters each),
+//!   4 methods, 4 sample sizes.
+//!
+//! Sizes are scaled to the harness dataset (300K points instead of 24.4M),
+//! keeping the qualitative sweep from "tiny sample" to "sample big enough
+//! that every method looks fine".
+//!
+//! Usage: `table1_user_study [regression|density|clustering|all]`
+
+use bench::{emit, fmt3, geolife, ReportTable};
+use vas_core::{density::with_embedded_density, VasConfig, VasSampler};
+use vas_data::{Dataset, GaussianMixtureGenerator};
+use vas_sampling::{Sample, Sampler, StratifiedSampler, UniformSampler};
+use vas_user_sim::{ClusteringTask, DensityTask, RegressionTask};
+
+const SIZES: [usize; 4] = [100, 1_000, 10_000, 50_000];
+
+fn build_samples(data: &Dataset, k: usize, with_density: bool) -> Vec<Sample> {
+    let uniform = UniformSampler::new(k, 1).sample_dataset(data);
+    let stratified = StratifiedSampler::square(k, data.bounds(), 10, 1).sample_dataset(data);
+    let vas = VasSampler::from_dataset(data, VasConfig::new(k)).sample_dataset(data);
+    let mut out = vec![uniform, stratified, vas.clone()];
+    if with_density {
+        let mut vd = with_embedded_density(vas, data);
+        vd.method = "vas+density".into();
+        out.push(vd);
+    }
+    out
+}
+
+fn regression(data: &Dataset) -> ReportTable {
+    let task = RegressionTask::generate(data, 18, 42);
+    let mut table = ReportTable::new(
+        "Table I(a) — regression task success ratio",
+        &["sample size", "uniform", "stratified", "vas"],
+    );
+    let mut sums = [0.0; 3];
+    for &k in &SIZES {
+        let samples = build_samples(data, k, false);
+        let scores: Vec<f64> = samples
+            .iter()
+            .map(|s| task.success_ratio(&s.points))
+            .collect();
+        for (i, v) in scores.iter().enumerate() {
+            sums[i] += v;
+        }
+        table.push_row(
+            std::iter::once(k.to_string())
+                .chain(scores.iter().map(|v| fmt3(*v)))
+                .collect(),
+        );
+        eprintln!("[regression] finished K = {k}");
+    }
+    table.push_row(
+        std::iter::once("average".to_string())
+            .chain(sums.iter().map(|v| fmt3(v / SIZES.len() as f64)))
+            .collect(),
+    );
+    table
+}
+
+fn density(data: &Dataset) -> ReportTable {
+    let task = DensityTask::generate(data, 10, 43);
+    let mut table = ReportTable::new(
+        "Table I(b) — density-estimation task success ratio",
+        &["sample size", "uniform", "stratified", "vas", "vas+density"],
+    );
+    let mut sums = [0.0; 4];
+    for &k in &SIZES {
+        let samples = build_samples(data, k, true);
+        let scores: Vec<f64> = samples.iter().map(|s| task.success_ratio(s)).collect();
+        for (i, v) in scores.iter().enumerate() {
+            sums[i] += v;
+        }
+        table.push_row(
+            std::iter::once(k.to_string())
+                .chain(scores.iter().map(|v| fmt3(*v)))
+                .collect(),
+        );
+        eprintln!("[density] finished K = {k}");
+    }
+    table.push_row(
+        std::iter::once("average".to_string())
+            .chain(sums.iter().map(|v| fmt3(v / SIZES.len() as f64)))
+            .collect(),
+    );
+    table
+}
+
+fn clustering() -> ReportTable {
+    // Four synthetic datasets: two with a single Gaussian, two with a pair,
+    // as in the paper.
+    let mixtures: Vec<(Dataset, usize)> = (0..4)
+        .map(|variant| {
+            let gen = GaussianMixtureGenerator::paper_clustering_dataset(variant, 40_000, 13);
+            (gen.generate(), gen.n_clusters())
+        })
+        .collect();
+
+    let mut table = ReportTable::new(
+        "Table I(c) — clustering task success ratio (averaged over 4 datasets)",
+        &["sample size", "uniform", "stratified", "vas", "vas+density"],
+    );
+    let mut sums = [0.0; 4];
+    for &k in &SIZES {
+        let mut scores = [0.0; 4];
+        for (dataset, truth) in &mixtures {
+            let task = ClusteringTask::new(dataset, *truth);
+            let samples = build_samples(dataset, k, true);
+            for (i, s) in samples.iter().enumerate() {
+                scores[i] += task.success_ratio(s) / mixtures.len() as f64;
+            }
+        }
+        for (i, v) in scores.iter().enumerate() {
+            sums[i] += v;
+        }
+        table.push_row(
+            std::iter::once(k.to_string())
+                .chain(scores.iter().map(|v| fmt3(*v)))
+                .collect(),
+        );
+        eprintln!("[clustering] finished K = {k}");
+    }
+    table.push_row(
+        std::iter::once("average".to_string())
+            .chain(sums.iter().map(|v| fmt3(v / SIZES.len() as f64)))
+            .collect(),
+    );
+    table
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let data = geolife(300_000);
+    let mut tables = Vec::new();
+    if which == "regression" || which == "all" {
+        tables.push(regression(&data));
+    }
+    if which == "density" || which == "all" {
+        tables.push(density(&data));
+    }
+    if which == "clustering" || which == "all" {
+        tables.push(clustering());
+    }
+    assert!(
+        !tables.is_empty(),
+        "usage: table1_user_study [regression|density|clustering|all]"
+    );
+    emit("table1_user_study", &tables);
+}

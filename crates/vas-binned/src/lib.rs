@@ -1,0 +1,30 @@
+//! # vas-binned
+//!
+//! A binned-aggregation baseline in the style of imMens / Nanocubes, built to
+//! contrast VAS against the *pre-aggregation* family of visualization
+//! accelerators that the paper discusses in its related-work section
+//! (Section VII).
+//!
+//! Binned aggregation divides the data domain into a pyramid of tiles: level
+//! `l` is a `2^l × 2^l` grid over the dataset extent, and each cell stores the
+//! tuple count (and the sum of the value column, so average-value heatmaps can
+//! be rendered). Queries pick the deepest pre-built level that still matches
+//! the viewport's pixel resolution and return the intersecting cells.
+//!
+//! The approach is extremely fast at the zoom levels it was built for, but —
+//! as the paper points out — "the exact bins are chosen ahead of time, and
+//! certain operations — such as zooming — entail either choosing a very small
+//! bin size (and thus worse performance) or living with low-resolution
+//! results". The [`pyramid::TilePyramid`] type makes that trade-off
+//! measurable: its storage grows with the maximum level while its effective
+//! resolution under deep zoom is capped, which is exactly the comparison the
+//! `binned_comparison` harness binary runs against VAS samples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pyramid;
+pub mod render;
+
+pub use pyramid::{TileCell, TilePyramid, TilePyramidConfig};
+pub use render::render_heatmap;

@@ -1,0 +1,112 @@
+//! Heatmap rendering of pre-aggregated tiles.
+
+use crate::pyramid::TilePyramid;
+use vas_data::BoundingBox;
+use vas_viz::{Canvas, Color, Colormap, Viewport};
+
+/// Renders the pyramid's answer for `region` as a count heatmap.
+///
+/// The cell level is chosen automatically from the canvas resolution; each
+/// returned cell is filled with a color proportional to `log(1 + count)`,
+/// which is the conventional encoding for heavily skewed count data.
+pub fn render_heatmap(
+    pyramid: &TilePyramid,
+    region: &BoundingBox,
+    width: usize,
+    height: usize,
+    colormap: Colormap,
+) -> Canvas {
+    let viewport = Viewport::new(*region, width, height);
+    let mut canvas = Canvas::white(width, height);
+    let (_, cells) = pyramid.query_for_render(region, width.max(height));
+    if cells.is_empty() {
+        return canvas;
+    }
+    let max_count = cells.iter().map(|(_, c)| c.count).max().unwrap_or(1).max(1);
+    let scale = (1.0 + max_count as f64).ln();
+
+    for (bb, cell) in cells {
+        let intensity = (1.0 + cell.count as f64).ln() / scale;
+        let color = colormap.map(intensity);
+        fill_rect(&mut canvas, &viewport, &bb, color);
+    }
+    canvas
+}
+
+/// Fills the pixel footprint of a data-space rectangle.
+fn fill_rect(canvas: &mut Canvas, viewport: &Viewport, rect: &BoundingBox, color: Color) {
+    let clipped = rect.intersection(&viewport.region());
+    if clipped.is_empty() {
+        return;
+    }
+    let (x0, y1) = viewport.to_pixel(&vas_data::Point::new(clipped.min_x, clipped.min_y));
+    let (x1, y0) = viewport.to_pixel(&vas_data::Point::new(clipped.max_x, clipped.max_y));
+    for y in y0.min(y1)..=y0.max(y1) {
+        for x in x0.min(x1)..=x0.max(x1) {
+            canvas.set(x, y, color);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pyramid::TilePyramidConfig;
+    use vas_data::GeolifeGenerator;
+
+    #[test]
+    fn heatmap_covers_the_data_extent() {
+        let d = GeolifeGenerator::with_size(10_000, 13).generate();
+        let p = TilePyramid::build(&d, TilePyramidConfig { max_level: 7 });
+        let canvas = render_heatmap(&p, &p.bounds(), 256, 256, Colormap::Heat);
+        // A non-trivial share of the canvas is inked (the data covers a
+        // sizeable part of its own bounding box at coarse levels).
+        let ink = canvas.ink(Color::WHITE);
+        assert!(ink > 256 * 256 / 50, "only {ink} inked pixels");
+    }
+
+    #[test]
+    fn zoomed_heatmap_of_empty_region_is_blank() {
+        let d = GeolifeGenerator::with_size(5_000, 14).generate();
+        let p = TilePyramid::build(&d, TilePyramidConfig { max_level: 7 });
+        // A region far outside the data is never inked.
+        let outside = BoundingBox::new(
+            p.bounds().max_x + 1.0,
+            p.bounds().max_y + 1.0,
+            p.bounds().max_x + 2.0,
+            p.bounds().max_y + 2.0,
+        );
+        let canvas = render_heatmap(&p, &outside, 64, 64, Colormap::Heat);
+        assert_eq!(canvas.ink(Color::WHITE), 0);
+    }
+
+    #[test]
+    fn denser_cells_are_more_intense() {
+        // Build a dataset with a hot corner and check pixel intensity there
+        // exceeds intensity in a cold area.
+        let mut points = Vec::new();
+        for i in 0..9_000 {
+            let t = i as f64 * 1e-4;
+            points.push(vas_data::Point::new(0.1 + t.sin() * 0.05, 0.1 + t.cos() * 0.05));
+        }
+        for i in 0..500 {
+            points.push(vas_data::Point::new(0.9, 0.1 + i as f64 * 1e-4));
+        }
+        let d = vas_data::Dataset::from_points("corner", points);
+        let p = TilePyramid::build(&d, TilePyramidConfig { max_level: 5 });
+        let canvas = render_heatmap(&p, &p.bounds(), 128, 128, Colormap::Greys);
+        // Greys maps higher intensity to darker pixels (lower luminance): the
+        // darkest pixel of the left half (dense blob) must be darker than the
+        // darkest pixel of the right half (sparse line).
+        let darkest_in = |x0: usize, x1: usize| {
+            let mut min = f64::INFINITY;
+            for y in 0..canvas.height() {
+                for x in x0..x1 {
+                    min = min.min(canvas.get(x, y).luminance());
+                }
+            }
+            min
+        };
+        assert!(darkest_in(0, 64) < darkest_in(64, 128));
+    }
+}

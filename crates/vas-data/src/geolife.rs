@@ -1,0 +1,365 @@
+//! Synthetic stand-in for the Geolife GPS dataset.
+//!
+//! The original evaluation uses the Geolife collection: 24.4M
+//! (latitude, longitude, altitude) triples recorded by GPS loggers carried by
+//! people living in and around Beijing. The raw data cannot be shipped with
+//! this reproduction, so [`GeolifeGenerator`] synthesizes trajectories with
+//! the statistical properties the VAS experiments actually depend on:
+//!
+//! * **Heavy spatial skew** — most points concentrate in a handful of urban
+//!   "hotspots" (the paper's motivation for why uniform sampling starves
+//!   sparse regions).
+//! * **Trajectory structure** — points come from random-walk trips, so local
+//!   neighbourhoods look like road segments rather than i.i.d. noise.
+//! * **Occasional long-distance trips** — sparse filaments connecting
+//!   hotspots, which are precisely the features a zoomed-in view reveals and
+//!   that VAS preserves better than uniform/stratified sampling (Figure 1).
+//! * **An altitude attribute** correlated with location, used by the
+//!   regression user task ("what is the altitude at X?").
+//!
+//! Coordinates are produced in a longitude/latitude-like range around
+//! (116.4, 39.9), i.e. Beijing, purely for cosmetic fidelity; the algorithms
+//! are unit-agnostic.
+
+use crate::dataset::{Dataset, DatasetKind};
+use crate::point::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A population centre around which trajectories concentrate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Hotspot {
+    /// Longitude-like coordinate of the centre.
+    pub x: f64,
+    /// Latitude-like coordinate of the centre.
+    pub y: f64,
+    /// Standard deviation of trip start positions around the centre.
+    pub spread: f64,
+    /// Relative probability that a trip starts at this hotspot.
+    pub weight: f64,
+    /// Base altitude (metres) of the area.
+    pub base_altitude: f64,
+}
+
+/// Configuration for the synthetic Geolife generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeolifeConfig {
+    /// Total number of points to generate (the paper's `N`).
+    pub n_points: usize,
+    /// RNG seed; identical seeds yield identical datasets.
+    pub seed: u64,
+    /// Mean number of points per trip (trip lengths are geometric-ish).
+    pub mean_trip_len: usize,
+    /// Random-walk step standard deviation, in coordinate units.
+    pub step_sigma: f64,
+    /// Probability that a trip is a long-distance excursion towards another
+    /// hotspot instead of a local wander.
+    pub long_trip_prob: f64,
+    /// GPS measurement noise added to every emitted point.
+    pub gps_noise: f64,
+    /// Amplitude (metres) of the synthetic terrain undulation that modulates
+    /// altitude with location.
+    pub terrain_amplitude: f64,
+    /// Population centres. Defaults to a Beijing-like constellation.
+    pub hotspots: Vec<Hotspot>,
+}
+
+impl Default for GeolifeConfig {
+    fn default() -> Self {
+        Self {
+            n_points: 100_000,
+            seed: 42,
+            mean_trip_len: 200,
+            step_sigma: 0.0015,
+            long_trip_prob: 0.08,
+            gps_noise: 0.0002,
+            terrain_amplitude: 120.0,
+            hotspots: default_hotspots(),
+        }
+    }
+}
+
+impl GeolifeConfig {
+    /// Convenience constructor: `n_points` points with the given seed and
+    /// default Beijing-like hotspots.
+    pub fn new(n_points: usize, seed: u64) -> Self {
+        Self {
+            n_points,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// A Beijing-like constellation: one dominant urban core, a few satellite
+/// towns, and two far-away destinations that create sparse filaments.
+fn default_hotspots() -> Vec<Hotspot> {
+    vec![
+        Hotspot {
+            x: 116.40,
+            y: 39.90,
+            spread: 0.06,
+            weight: 0.55,
+            base_altitude: 45.0,
+        },
+        Hotspot {
+            x: 116.60,
+            y: 40.07,
+            spread: 0.03,
+            weight: 0.15,
+            base_altitude: 35.0,
+        },
+        Hotspot {
+            x: 116.18,
+            y: 39.75,
+            spread: 0.03,
+            weight: 0.12,
+            base_altitude: 55.0,
+        },
+        Hotspot {
+            x: 115.95,
+            y: 40.45,
+            spread: 0.025,
+            weight: 0.08,
+            base_altitude: 480.0,
+        },
+        Hotspot {
+            x: 117.20,
+            y: 39.12,
+            spread: 0.05,
+            weight: 0.07,
+            base_altitude: 5.0,
+        },
+        Hotspot {
+            x: 115.48,
+            y: 38.87,
+            spread: 0.02,
+            weight: 0.03,
+            base_altitude: 20.0,
+        },
+    ]
+}
+
+/// Deterministic synthetic GPS trajectory generator.
+#[derive(Debug, Clone)]
+pub struct GeolifeGenerator {
+    config: GeolifeConfig,
+}
+
+impl GeolifeGenerator {
+    /// Creates a generator from an explicit configuration.
+    pub fn new(config: GeolifeConfig) -> Self {
+        assert!(
+            !config.hotspots.is_empty(),
+            "GeolifeConfig requires at least one hotspot"
+        );
+        Self { config }
+    }
+
+    /// Creates a generator with default hotspots.
+    pub fn with_size(n_points: usize, seed: u64) -> Self {
+        Self::new(GeolifeConfig::new(n_points, seed))
+    }
+
+    /// Access to the configuration.
+    pub fn config(&self) -> &GeolifeConfig {
+        &self.config
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut points = Vec::with_capacity(cfg.n_points);
+
+        let step = Normal::new(0.0, cfg.step_sigma).expect("valid sigma");
+        let noise = Normal::new(0.0, cfg.gps_noise).expect("valid sigma");
+
+        let total_weight: f64 = cfg.hotspots.iter().map(|h| h.weight).sum();
+
+        while points.len() < cfg.n_points {
+            let start_idx = self.pick_hotspot(&mut rng, total_weight);
+            let start = cfg.hotspots[start_idx];
+
+            // Trip length: geometric-ish around the configured mean.
+            let trip_len = 1 + rng.gen_range(cfg.mean_trip_len / 2..=cfg.mean_trip_len * 3 / 2);
+
+            let mut x = start.x + step.sample(&mut rng) * (start.spread / cfg.step_sigma);
+            let mut y = start.y + step.sample(&mut rng) * (start.spread / cfg.step_sigma);
+
+            // Long trips head towards another hotspot; local trips wander.
+            let destination = if rng.gen_bool(cfg.long_trip_prob) {
+                let mut dest = self.pick_hotspot(&mut rng, total_weight);
+                if dest == start_idx {
+                    dest = (dest + 1) % cfg.hotspots.len();
+                }
+                Some(cfg.hotspots[dest])
+            } else {
+                None
+            };
+
+            // A persistent per-trip heading makes local trips look like road
+            // segments rather than Brownian blobs.
+            let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+
+            for step_idx in 0..trip_len {
+                if points.len() >= cfg.n_points {
+                    break;
+                }
+                match destination {
+                    Some(dest) => {
+                        // Move a fixed fraction of the remaining way plus noise.
+                        let frac = 1.0 / (trip_len - step_idx) as f64;
+                        x += (dest.x - x) * frac + step.sample(&mut rng) * 0.3;
+                        y += (dest.y - y) * frac + step.sample(&mut rng) * 0.3;
+                    }
+                    None => {
+                        // Slowly-turning correlated random walk.
+                        heading += rng.gen_range(-0.35..0.35);
+                        let len = cfg.step_sigma * (1.0 + rng.gen_range(0.0..1.0));
+                        x += heading.cos() * len;
+                        y += heading.sin() * len;
+                    }
+                }
+                let px = x + noise.sample(&mut rng);
+                let py = y + noise.sample(&mut rng);
+                let altitude = self.altitude_at(px, py, &mut rng);
+                points.push(Point::with_value(px, py, altitude));
+            }
+        }
+
+        Dataset::new(
+            format!("geolife-sim-{}", cfg.n_points),
+            DatasetKind::GeolifeSim,
+            points,
+        )
+    }
+
+    /// Samples a hotspot index proportionally to weight.
+    fn pick_hotspot(&self, rng: &mut StdRng, total_weight: f64) -> usize {
+        let mut target = rng.gen_range(0.0..total_weight);
+        for (i, h) in self.config.hotspots.iter().enumerate() {
+            if target < h.weight {
+                return i;
+            }
+            target -= h.weight;
+        }
+        self.config.hotspots.len() - 1
+    }
+
+    /// Synthetic terrain model: the altitude of the nearest hotspot plus a
+    /// smooth sinusoidal undulation and small measurement noise. This gives
+    /// the regression task a ground truth that varies with location but is
+    /// locally smooth, like real terrain.
+    fn altitude_at(&self, x: f64, y: f64, rng: &mut StdRng) -> f64 {
+        let cfg = &self.config;
+        // Inverse-distance-weighted blend of hotspot base altitudes.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for h in &cfg.hotspots {
+            let d2 = (x - h.x).powi(2) + (y - h.y).powi(2);
+            let w = 1.0 / (d2 + 1e-4);
+            num += w * h.base_altitude;
+            den += w;
+        }
+        let base = num / den;
+        let undulation = cfg.terrain_amplitude
+            * ((x * 23.0).sin() * (y * 31.0).cos() * 0.5 + (x * 7.0 + y * 11.0).sin() * 0.5);
+        base + undulation + rng.gen_range(-2.0..2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::BoundingBox;
+
+    #[test]
+    fn generates_requested_count() {
+        let d = GeolifeGenerator::with_size(5_000, 1).generate();
+        assert_eq!(d.len(), 5_000);
+        assert_eq!(d.kind, DatasetKind::GeolifeSim);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = GeolifeGenerator::with_size(2_000, 7).generate();
+        let b = GeolifeGenerator::with_size(2_000, 7).generate();
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GeolifeGenerator::with_size(1_000, 1).generate();
+        let b = GeolifeGenerator::with_size(1_000, 2).generate();
+        assert_ne!(a.points, b.points);
+    }
+
+    #[test]
+    fn points_are_finite_and_near_beijing() {
+        let d = GeolifeGenerator::with_size(10_000, 3).generate();
+        assert!(d.points.iter().all(|p| p.is_finite()));
+        let bounds = d.bounds();
+        // Everything should stay within a loose box around the hotspots.
+        let plausible = BoundingBox::new(110.0, 34.0, 122.0, 45.0);
+        assert!(
+            plausible.contains_box(&bounds),
+            "unexpected extent {bounds:?}"
+        );
+    }
+
+    #[test]
+    fn spatially_skewed_towards_main_hotspot() {
+        let d = GeolifeGenerator::with_size(20_000, 5).generate();
+        let core = BoundingBox::new(116.40 - 0.2, 39.90 - 0.2, 116.40 + 0.2, 39.90 + 0.2);
+        let in_core = d.points.iter().filter(|p| core.contains(p)).count();
+        let core_fraction = in_core as f64 / d.len() as f64;
+        let bounds = d.bounds();
+        let area_fraction = core.area() / bounds.area();
+        // The urban core holds far more than its fair (area-proportional) share.
+        assert!(
+            core_fraction > 5.0 * area_fraction,
+            "core fraction {core_fraction:.3} vs area fraction {area_fraction:.3}"
+        );
+    }
+
+    #[test]
+    fn altitude_is_location_dependent_but_locally_smooth() {
+        let gen = GeolifeGenerator::with_size(1_000, 11);
+        let d = gen.generate();
+        // Points within a tiny neighbourhood should have similar altitude.
+        let p0 = d.points[0];
+        let nearby: Vec<&Point> = d
+            .points
+            .iter()
+            .filter(|p| p.dist(&p0) < 0.002 && p.dist(&p0) > 0.0)
+            .collect();
+        if !nearby.is_empty() {
+            let max_dev = nearby
+                .iter()
+                .map(|p| (p.value - p0.value).abs())
+                .fold(0.0_f64, f64::max);
+            assert!(max_dev < 60.0, "altitude not locally smooth: {max_dev}");
+        }
+        // But across the whole extent there is substantial variation.
+        let min = d.points.iter().map(|p| p.value).fold(f64::INFINITY, f64::min);
+        let max = d
+            .points
+            .iter()
+            .map(|p| p.value)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 50.0, "altitude range too small: {}", max - min);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hotspot")]
+    fn rejects_empty_hotspots() {
+        let cfg = GeolifeConfig {
+            hotspots: vec![],
+            ..GeolifeConfig::default()
+        };
+        let _ = GeolifeGenerator::new(cfg);
+    }
+}

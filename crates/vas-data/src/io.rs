@@ -1,0 +1,125 @@
+//! Minimal CSV import/export for datasets.
+//!
+//! The harness persists generated datasets and selected samples so that
+//! experiments can be re-run without re-generating data, and so outputs can be
+//! inspected with external tools. The format is a plain three-column CSV
+//! (`x,y,value`) with an optional header; no external CSV crate is required.
+
+use crate::dataset::{Dataset, DatasetKind};
+use crate::point::Point;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a dataset as `x,y,value` CSV with a header row.
+pub fn write_csv(dataset: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "x,y,value")?;
+    for p in &dataset.points {
+        writeln!(w, "{},{},{}", p.x, p.y, p.value)?;
+    }
+    w.flush()
+}
+
+/// Reads a dataset from `x,y[,value]` CSV. A header row is detected and
+/// skipped automatically; malformed rows produce an error naming the line.
+pub fn read_csv(path: impl AsRef<Path>, name: impl Into<String>) -> io::Result<Dataset> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut points = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match parse_line(trimmed) {
+            Some(p) => points.push(p),
+            None if lineno == 0 => continue, // header
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed CSV row at line {}: {trimmed:?}", lineno + 1),
+                ))
+            }
+        }
+    }
+    Ok(Dataset::new(name, DatasetKind::External, points))
+}
+
+/// Parses one `x,y[,value]` row; `None` if any field is not a number.
+fn parse_line(line: &str) -> Option<Point> {
+    let mut fields = line.split(',').map(str::trim);
+    let x: f64 = fields.next()?.parse().ok()?;
+    let y: f64 = fields.next()?.parse().ok()?;
+    let value: f64 = match fields.next() {
+        Some(v) if !v.is_empty() => v.parse().ok()?,
+        _ => 0.0,
+    };
+    Some(Point::with_value(x, y, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("vas-data-io-{}-{}", std::process::id(), name));
+        dir
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = Dataset::from_points(
+            "rt",
+            vec![
+                Point::with_value(1.5, -2.25, 3.0),
+                Point::with_value(0.0, 0.0, 0.0),
+                Point::with_value(-7.125, 9.5, -1.5),
+            ],
+        );
+        let path = temp_path("roundtrip.csv");
+        write_csv(&d, &path).unwrap();
+        let back = read_csv(&path, "rt").unwrap();
+        assert_eq!(back.points, d.points);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn reads_headerless_and_two_column_rows() {
+        let path = temp_path("noheader.csv");
+        {
+            let mut f = File::create(&path).unwrap();
+            writeln!(f, "1.0,2.0").unwrap();
+            writeln!(f, "3.0,4.0,5.0").unwrap();
+            writeln!(f).unwrap();
+        }
+        let d = read_csv(&path, "nh").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.points[0], Point::new(1.0, 2.0));
+        assert_eq!(d.points[1], Point::with_value(3.0, 4.0, 5.0));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_rows_after_header() {
+        let path = temp_path("bad.csv");
+        {
+            let mut f = File::create(&path).unwrap();
+            writeln!(f, "x,y,value").unwrap();
+            writeln!(f, "1.0,2.0,3.0").unwrap();
+            writeln!(f, "oops,not,numbers").unwrap();
+        }
+        let err = read_csv(&path, "bad").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 3"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(read_csv("/nonexistent/definitely/not/here.csv", "x").is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # vas-data
+//!
+//! Dataset substrate for the Visualization-Aware Sampling (VAS) reproduction.
+//!
+//! The original paper evaluates VAS on two datasets:
+//!
+//! * **Geolife** — 24.4M GPS (latitude, longitude, altitude) triples recorded
+//!   around Beijing. The raw dataset is not redistributable, so this crate
+//!   provides [`geolife::GeolifeGenerator`], a synthetic trajectory generator
+//!   that reproduces the *spatial skew* that matters to the experiments:
+//!   dense urban cores, road-like trajectories, and sparse long-distance
+//!   trips with an altitude field.
+//! * **SPLOM** — a synthetic dataset of five Gaussian-derived columns used in
+//!   previous visualization work; [`splom::SplomGenerator`] builds the same
+//!   family of distributions.
+//!
+//! In addition the crate provides Gaussian-mixture datasets used for the
+//! clustering user study ([`gaussian`]), zoom-region workload generation
+//! ([`workload`]) and simple CSV import/export ([`io`]).
+//!
+//! All generators are deterministic given a `u64` seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod gaussian;
+pub mod geolife;
+pub mod io;
+pub mod point;
+pub mod splom;
+pub mod workload;
+
+pub use dataset::{Dataset, DatasetKind};
+pub use gaussian::{GaussianCluster, GaussianMixtureGenerator};
+pub use geolife::{GeolifeConfig, GeolifeGenerator};
+pub use point::{BoundingBox, Point};
+pub use splom::{SplomConfig, SplomGenerator};
+pub use workload::{ZoomLevel, ZoomRegion, ZoomWorkload};

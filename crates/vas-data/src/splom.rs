@@ -1,0 +1,254 @@
+//! SPLOM-style synthetic data.
+//!
+//! The paper's second dataset, "SPLOM", is a synthetic table of five columns
+//! drawn from Gaussian distributions, originally used by the imMens and
+//! Profiler visualization projects. A scatter-plot matrix (SPLOM) views every
+//! pair of columns as a scatter plot; the VAS experiments visualize one such
+//! pair at a time.
+//!
+//! [`SplomGenerator`] reproduces the same construction: five correlated
+//! columns built from Gaussian draws with per-column scaling and pairwise
+//! correlation, then exposes any column pair as a [`Dataset`] of 2-D points.
+
+use crate::dataset::{Dataset, DatasetKind};
+use crate::point::Point;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Number of columns in the SPLOM table (matches the paper).
+pub const SPLOM_COLUMNS: usize = 5;
+
+/// Configuration for the SPLOM generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplomConfig {
+    /// Number of rows to generate.
+    pub n_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Per-column standard deviations.
+    pub sigmas: [f64; SPLOM_COLUMNS],
+    /// Per-column means.
+    pub means: [f64; SPLOM_COLUMNS],
+    /// Correlation factor in `[0, 1)` mixing a shared latent factor into every
+    /// column, which produces the elongated Gaussian clouds seen in the
+    /// original SPLOM plots.
+    pub correlation: f64,
+}
+
+impl Default for SplomConfig {
+    fn default() -> Self {
+        Self {
+            n_rows: 100_000,
+            seed: 7,
+            sigmas: [1.0, 2.0, 0.5, 1.5, 3.0],
+            means: [0.0, 5.0, -2.0, 10.0, 0.0],
+            correlation: 0.6,
+        }
+    }
+}
+
+impl SplomConfig {
+    /// Convenience constructor for an `n_rows`-row table with default shape.
+    pub fn new(n_rows: usize, seed: u64) -> Self {
+        Self {
+            n_rows,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generator producing the five-column SPLOM table.
+#[derive(Debug, Clone)]
+pub struct SplomGenerator {
+    config: SplomConfig,
+}
+
+/// The materialized five-column table.
+#[derive(Debug, Clone)]
+pub struct SplomTable {
+    /// Column-major storage: `columns[c][row]`.
+    pub columns: Vec<Vec<f64>>,
+}
+
+impl SplomTable {
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Projects a pair of columns into a 2-D dataset. The third SPLOM column
+    /// is attached as the point value so map-plot style color encoding has
+    /// something to show.
+    ///
+    /// # Panics
+    /// Panics if `cx` or `cy` is out of range or if `cx == cy`.
+    pub fn project(&self, cx: usize, cy: usize) -> Dataset {
+        assert!(cx < SPLOM_COLUMNS && cy < SPLOM_COLUMNS, "column out of range");
+        assert_ne!(cx, cy, "projection requires two distinct columns");
+        let value_col = (0..SPLOM_COLUMNS).find(|&c| c != cx && c != cy).unwrap();
+        let points = (0..self.n_rows())
+            .map(|r| {
+                Point::with_value(
+                    self.columns[cx][r],
+                    self.columns[cy][r],
+                    self.columns[value_col][r],
+                )
+            })
+            .collect();
+        Dataset::new(
+            format!("splom-{}x{}", cx, cy),
+            DatasetKind::Splom,
+            points,
+        )
+    }
+}
+
+impl SplomGenerator {
+    /// Creates a generator from an explicit configuration.
+    pub fn new(config: SplomConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.correlation),
+            "correlation must be in [0, 1)"
+        );
+        Self { config }
+    }
+
+    /// Creates a generator with default column shapes.
+    pub fn with_size(n_rows: usize, seed: u64) -> Self {
+        Self::new(SplomConfig::new(n_rows, seed))
+    }
+
+    /// Access to the configuration.
+    pub fn config(&self) -> &SplomConfig {
+        &self.config
+    }
+
+    /// Generates the full five-column table.
+    pub fn generate_table(&self) -> SplomTable {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let std_normal = Normal::new(0.0, 1.0).expect("valid normal");
+
+        let mut columns: Vec<Vec<f64>> = (0..SPLOM_COLUMNS)
+            .map(|_| Vec::with_capacity(cfg.n_rows))
+            .collect();
+
+        let rho = cfg.correlation;
+        let independent_scale = (1.0 - rho * rho).sqrt();
+
+        for _ in 0..cfg.n_rows {
+            // Shared latent factor injects correlation between columns.
+            let latent = std_normal.sample(&mut rng);
+            for (c, column) in columns.iter_mut().enumerate() {
+                let own = std_normal.sample(&mut rng);
+                let z = rho * latent + independent_scale * own;
+                column.push(cfg.means[c] + cfg.sigmas[c] * z);
+            }
+        }
+        SplomTable { columns }
+    }
+
+    /// Generates the table and immediately projects the conventional (0, 1)
+    /// column pair used by the paper's scatter-plot experiments.
+    pub fn generate(&self) -> Dataset {
+        self.generate_table().project(0, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    fn std_dev(v: &[f64]) -> f64 {
+        let m = mean(v);
+        (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+    }
+
+    fn pearson(a: &[f64], b: &[f64]) -> f64 {
+        let ma = mean(a);
+        let mb = mean(b);
+        let cov: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - ma) * (y - mb))
+            .sum::<f64>()
+            / a.len() as f64;
+        cov / (std_dev(a) * std_dev(b))
+    }
+
+    #[test]
+    fn generates_five_columns_with_requested_rows() {
+        let t = SplomGenerator::with_size(10_000, 1).generate_table();
+        assert_eq!(t.columns.len(), SPLOM_COLUMNS);
+        assert_eq!(t.n_rows(), 10_000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SplomGenerator::with_size(5_000, 9).generate();
+        let b = SplomGenerator::with_size(5_000, 9).generate();
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn column_moments_match_config() {
+        let cfg = SplomConfig::new(50_000, 3);
+        let t = SplomGenerator::new(cfg.clone()).generate_table();
+        for c in 0..SPLOM_COLUMNS {
+            let m = mean(&t.columns[c]);
+            let s = std_dev(&t.columns[c]);
+            assert!(
+                (m - cfg.means[c]).abs() < 0.1 * cfg.sigmas[c].max(1.0),
+                "column {c}: mean {m} vs {}",
+                cfg.means[c]
+            );
+            assert!(
+                (s - cfg.sigmas[c]).abs() < 0.1 * cfg.sigmas[c],
+                "column {c}: sigma {s} vs {}",
+                cfg.sigmas[c]
+            );
+        }
+    }
+
+    #[test]
+    fn columns_are_positively_correlated() {
+        let t = SplomGenerator::with_size(50_000, 5).generate_table();
+        let r = pearson(&t.columns[0], &t.columns[1]);
+        // correlation = 0.6 injected via shared latent factor → r ≈ 0.36
+        assert!(r > 0.2, "expected positive correlation, got {r}");
+    }
+
+    #[test]
+    fn projection_attaches_third_column_as_value() {
+        let t = SplomGenerator::with_size(100, 2).generate_table();
+        let d = t.project(0, 1);
+        assert_eq!(d.kind, DatasetKind::Splom);
+        assert_eq!(d.len(), 100);
+        // value column is column 2 (first column that is neither 0 nor 1)
+        assert_eq!(d.points[10].value, t.columns[2][10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct columns")]
+    fn projection_rejects_identical_columns() {
+        let t = SplomGenerator::with_size(10, 2).generate_table();
+        let _ = t.project(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation")]
+    fn rejects_invalid_correlation() {
+        let cfg = SplomConfig {
+            correlation: 1.5,
+            ..SplomConfig::default()
+        };
+        let _ = SplomGenerator::new(cfg);
+    }
+}

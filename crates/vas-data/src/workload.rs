@@ -1,0 +1,199 @@
+//! Zoom workloads: the sequences of viewport requests a visualization tool
+//! issues while a user explores a scatter/map plot.
+//!
+//! The user study (Section VI-B) evaluates each sampling method at several
+//! randomly chosen zoomed-in regions. [`ZoomWorkload`] generates those regions
+//! deterministically: a set of viewports at a given zoom level whose placement
+//! is biased towards where the data actually is, so zoomed views are not
+//! mostly empty (mirroring how the paper picked regions containing data).
+
+use crate::dataset::Dataset;
+use crate::point::{BoundingBox, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How far a viewport zooms into the full dataset extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ZoomLevel {
+    /// The full extent (1× zoom).
+    Overview,
+    /// Each viewport covers 1/4 of the extent per axis (4× zoom).
+    Medium,
+    /// Each viewport covers 1/10 of the extent per axis (10× zoom).
+    Deep,
+    /// Custom zoom: the viewport covers `1/factor` of the extent per axis.
+    Custom(u32),
+}
+
+impl ZoomLevel {
+    /// The linear shrink factor of the viewport relative to the full extent.
+    pub fn factor(&self) -> f64 {
+        match self {
+            ZoomLevel::Overview => 1.0,
+            ZoomLevel::Medium => 4.0,
+            ZoomLevel::Deep => 10.0,
+            ZoomLevel::Custom(f) => (*f).max(1) as f64,
+        }
+    }
+}
+
+/// A single viewport request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoomRegion {
+    /// Viewport rectangle in data coordinates.
+    pub viewport: BoundingBox,
+    /// Zoom level that produced this viewport.
+    pub level: ZoomLevel,
+    /// The anchor point the viewport was centred on.
+    pub anchor: Point,
+}
+
+/// Deterministic generator of zoom regions anchored on data points.
+#[derive(Debug, Clone)]
+pub struct ZoomWorkload {
+    seed: u64,
+}
+
+impl ZoomWorkload {
+    /// Creates a workload generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Generates `count` zoom regions at `level`, each centred on a randomly
+    /// chosen data point (so regions are guaranteed to contain data), clamped
+    /// to the dataset extent.
+    ///
+    /// Returns an empty vector for an empty dataset.
+    pub fn regions(&self, dataset: &Dataset, level: ZoomLevel, count: usize) -> Vec<ZoomRegion> {
+        if dataset.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let bounds = dataset.bounds();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed_2004_u64);
+        let width = bounds.width() / level.factor();
+        let height = bounds.height() / level.factor();
+
+        (0..count)
+            .map(|_| {
+                let anchor = dataset.points[rng.gen_range(0..dataset.len())];
+                let viewport = clamp_viewport(&bounds, &anchor, width, height);
+                ZoomRegion {
+                    viewport,
+                    level,
+                    anchor,
+                }
+            })
+            .collect()
+    }
+
+    /// A standard exploration session: one overview plus `zoomed` deep-zoom
+    /// regions — the shape of the workloads used for Table I and Figure 1.
+    pub fn session(&self, dataset: &Dataset, zoomed: usize) -> Vec<ZoomRegion> {
+        if dataset.is_empty() {
+            return Vec::new();
+        }
+        let bounds = dataset.bounds();
+        let mut out = vec![ZoomRegion {
+            viewport: bounds,
+            level: ZoomLevel::Overview,
+            anchor: bounds.center(),
+        }];
+        out.extend(self.regions(dataset, ZoomLevel::Deep, zoomed));
+        out
+    }
+}
+
+/// Centres a `width` × `height` viewport on `anchor`, sliding it as needed so
+/// it stays inside `bounds`.
+fn clamp_viewport(bounds: &BoundingBox, anchor: &Point, width: f64, height: f64) -> BoundingBox {
+    let mut min_x = anchor.x - width / 2.0;
+    let mut min_y = anchor.y - height / 2.0;
+    min_x = min_x.max(bounds.min_x).min(bounds.max_x - width);
+    min_y = min_y.max(bounds.min_y).min(bounds.max_y - height);
+    // If the viewport is larger than the extent, fall back to the extent.
+    if width >= bounds.width() || height >= bounds.height() {
+        return *bounds;
+    }
+    BoundingBox::new(min_x, min_y, min_x + width, min_y + height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geolife::GeolifeGenerator;
+
+    fn dataset() -> Dataset {
+        GeolifeGenerator::with_size(5_000, 3).generate()
+    }
+
+    #[test]
+    fn zoom_factors() {
+        assert_eq!(ZoomLevel::Overview.factor(), 1.0);
+        assert_eq!(ZoomLevel::Medium.factor(), 4.0);
+        assert_eq!(ZoomLevel::Deep.factor(), 10.0);
+        assert_eq!(ZoomLevel::Custom(25).factor(), 25.0);
+        assert_eq!(ZoomLevel::Custom(0).factor(), 1.0);
+    }
+
+    #[test]
+    fn regions_are_inside_bounds_and_contain_anchor() {
+        let d = dataset();
+        let bounds = d.bounds();
+        let regions = ZoomWorkload::new(1).regions(&d, ZoomLevel::Deep, 8);
+        assert_eq!(regions.len(), 8);
+        for r in &regions {
+            assert!(bounds.contains_box(&r.viewport), "viewport escapes bounds");
+            assert!(r.viewport.contains(&r.anchor) || r.viewport.width() < bounds.width());
+            // Viewport should be roughly 1/10 of the extent per axis.
+            assert!((r.viewport.width() - bounds.width() / 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn regions_contain_data() {
+        let d = dataset();
+        let regions = ZoomWorkload::new(2).regions(&d, ZoomLevel::Deep, 6);
+        for r in &regions {
+            assert!(
+                !d.filter_region(&r.viewport).is_empty(),
+                "zoom region unexpectedly empty"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = dataset();
+        let a = ZoomWorkload::new(9).regions(&d, ZoomLevel::Medium, 5);
+        let b = ZoomWorkload::new(9).regions(&d, ZoomLevel::Medium, 5);
+        assert_eq!(a, b);
+        let c = ZoomWorkload::new(10).regions(&d, ZoomLevel::Medium, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn session_starts_with_overview() {
+        let d = dataset();
+        let s = ZoomWorkload::new(4).session(&d, 6);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0].level, ZoomLevel::Overview);
+        assert_eq!(s[0].viewport, d.bounds());
+        assert!(s[1..].iter().all(|r| r.level == ZoomLevel::Deep));
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_regions() {
+        let d = Dataset::from_points("empty", vec![]);
+        assert!(ZoomWorkload::new(0).regions(&d, ZoomLevel::Deep, 3).is_empty());
+        assert!(ZoomWorkload::new(0).session(&d, 3).is_empty());
+    }
+
+    #[test]
+    fn overview_regions_cover_full_extent() {
+        let d = dataset();
+        let r = ZoomWorkload::new(5).regions(&d, ZoomLevel::Overview, 1);
+        assert_eq!(r[0].viewport, d.bounds());
+    }
+}

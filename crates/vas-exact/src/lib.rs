@@ -1,0 +1,22 @@
+//! # vas-exact
+//!
+//! Exact solvers for the VAS optimization problem, used to reproduce
+//! Table II of the paper ("Loss and runtime comparison" of the exact MIP
+//! solution against the approximate Interchange algorithm).
+//!
+//! The paper converts VAS into a Mixed Integer Program and solves it with
+//! GLPK; solving N = 80, K = 10 takes ~49 minutes, which is the point of the
+//! table — exact solutions are hopeless beyond toy sizes. Here the exact
+//! optimum is found with a **branch-and-bound** search over subsets (plus a
+//! plain exhaustive enumerator for very small instances used to validate the
+//! branch-and-bound). Both return the true optimum of
+//! `min_{|S|=K} Σ_{i<j} κ̃(s_i, s_j)`; only their running time differs from a
+//! MIP solver, which does not affect the quality columns of Table II and only
+//! strengthens its conclusion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod solver;
+
+pub use solver::{ExactSolution, ExactSolver};

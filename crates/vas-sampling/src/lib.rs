@@ -1,0 +1,39 @@
+//! # vas-sampling
+//!
+//! Baseline sampling methods and the common [`Sampler`] abstraction.
+//!
+//! The paper compares VAS against the two standard data-reduction methods
+//! used by approximate query processing systems:
+//!
+//! * **Uniform random sampling** — single-pass reservoir sampling
+//!   ([`UniformSampler`]), which tends to draw most of its points from dense
+//!   areas.
+//! * **Stratified sampling** — the domain is divided into non-overlapping
+//!   grid bins and the per-bin allocations are made "as balanced as
+//!   possible" ([`StratifiedSampler`]), exactly as described in
+//!   Section VI-B of the paper.
+//!
+//! A third, purely geometric baseline — Poisson-disk / blue-noise rejection
+//! ([`PoissonDiskSampler`]) — is provided to show why a fixed exclusion
+//! radius is not a substitute for the VAS objective on skewed data.
+//!
+//! All baselines, and the VAS sampler implemented in `vas-core`, implement
+//! the same single-pass [`Sampler`] trait so the experiment harness can treat
+//! them interchangeably. The output of every sampler is a [`Sample`], which
+//! optionally carries the per-point density counters added by the density
+//! embedding extension.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod poisson;
+pub mod sample;
+pub mod stratified;
+pub mod traits;
+pub mod uniform;
+
+pub use poisson::PoissonDiskSampler;
+pub use sample::Sample;
+pub use stratified::StratifiedSampler;
+pub use traits::Sampler;
+pub use uniform::UniformSampler;

@@ -1,0 +1,152 @@
+//! The [`Sample`] type: the output of every sampling method.
+
+use vas_data::{BoundingBox, Point};
+
+/// A sample `S ⊆ D` selected by some sampling method.
+///
+/// Besides the selected points, a sample records which method produced it and
+/// — when the density embedding extension of Section V has been applied — a
+/// per-point counter giving the number of original tuples whose nearest
+/// sampled point it is. Renderers use those counters to scale dot sizes or
+/// add jitter so that density information survives sampling.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The selected points, in selection order.
+    pub points: Vec<Point>,
+    /// Density counters parallel to `points`; `None` until the density
+    /// embedding pass has been run.
+    pub densities: Option<Vec<u64>>,
+    /// Name of the method that produced the sample (e.g. `"uniform"`).
+    pub method: String,
+    /// The sample-size budget the method was asked for (the paper's `K`).
+    /// The actual `points.len()` can be smaller when the dataset itself is
+    /// smaller than the budget.
+    pub target_size: usize,
+}
+
+impl Sample {
+    /// Creates a sample without density information.
+    pub fn new(method: impl Into<String>, target_size: usize, points: Vec<Point>) -> Self {
+        Self {
+            points,
+            densities: None,
+            method: method.into(),
+            target_size,
+        }
+    }
+
+    /// Number of selected points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points were selected.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Spatial extent of the sample.
+    pub fn bounds(&self) -> BoundingBox {
+        BoundingBox::from_points(&self.points)
+    }
+
+    /// Attaches density counters produced by the density embedding pass.
+    ///
+    /// # Panics
+    /// Panics if `densities.len() != self.len()`.
+    pub fn with_densities(mut self, densities: Vec<u64>) -> Self {
+        assert_eq!(
+            densities.len(),
+            self.points.len(),
+            "density counters must be parallel to the sample points"
+        );
+        self.densities = Some(densities);
+        self
+    }
+
+    /// `true` once density counters are attached.
+    pub fn has_densities(&self) -> bool {
+        self.densities.is_some()
+    }
+
+    /// The density counter for point `i`, defaulting to 1 when the embedding
+    /// pass has not been run (each sampled point at least represents itself).
+    pub fn density(&self, i: usize) -> u64 {
+        self.densities.as_ref().map_or(1, |d| d[i])
+    }
+
+    /// Sum of all density counters. After a density-embedding pass over a
+    /// dataset of `N` points this equals `N`.
+    pub fn total_density(&self) -> u64 {
+        match &self.densities {
+            Some(d) => d.iter().sum(),
+            None => self.points.len() as u64,
+        }
+    }
+
+    /// Points of the sample falling inside `region` (used when rendering a
+    /// zoomed viewport).
+    pub fn filter_region(&self, region: &BoundingBox) -> Vec<Point> {
+        self.points
+            .iter()
+            .filter(|p| region.contains(p))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Sample {
+        Sample::new(
+            "test",
+            3,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.method, "test");
+        assert_eq!(s.target_size, 3);
+        assert_eq!(s.bounds(), BoundingBox::new(0.0, 0.0, 1.0, 2.0));
+    }
+
+    #[test]
+    fn densities_default_to_one() {
+        let s = sample();
+        assert!(!s.has_densities());
+        assert_eq!(s.density(0), 1);
+        assert_eq!(s.total_density(), 3);
+    }
+
+    #[test]
+    fn with_densities_attaches_counters() {
+        let s = sample().with_densities(vec![10, 20, 30]);
+        assert!(s.has_densities());
+        assert_eq!(s.density(1), 20);
+        assert_eq!(s.total_density(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_densities_rejected() {
+        let _ = sample().with_densities(vec![1, 2]);
+    }
+
+    #[test]
+    fn filter_region() {
+        let s = sample();
+        let region = BoundingBox::new(-0.5, -0.5, 0.5, 0.5);
+        assert_eq!(s.filter_region(&region), vec![Point::new(0.0, 0.0)]);
+    }
+}

@@ -1,0 +1,80 @@
+//! The [`Sampler`] trait shared by all sampling methods.
+//!
+//! Every method in the reproduction — uniform reservoir sampling, stratified
+//! sampling and VAS itself — builds its sample in a **single sequential pass**
+//! over the data, mirroring the offline sample-construction model of
+//! Section II-B: the sample is built once, stored, and then queried many
+//! times by the visualization tool.
+
+use crate::sample::Sample;
+use vas_data::{Dataset, Point};
+
+/// A single-pass sampling method with a fixed size budget `K`.
+pub trait Sampler {
+    /// Short method name used in experiment output (e.g. `"uniform"`,
+    /// `"stratified"`, `"vas"`).
+    fn name(&self) -> &str;
+
+    /// The sample-size budget `K` the sampler was configured with.
+    fn target_size(&self) -> usize;
+
+    /// Feeds one data point to the sampler.
+    fn observe(&mut self, point: Point);
+
+    /// Finishes the pass and extracts the selected sample, resetting the
+    /// sampler to its initial (empty) state.
+    fn finalize(&mut self) -> Sample;
+
+    /// Convenience driver: observes every point of `dataset` in storage order
+    /// and finalizes.
+    fn sample_dataset(&mut self, dataset: &Dataset) -> Sample {
+        for p in dataset.iter() {
+            self.observe(*p);
+        }
+        self.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial sampler keeping the first K points, used to exercise the
+    /// trait's default driver.
+    struct FirstK {
+        k: usize,
+        buf: Vec<Point>,
+    }
+
+    impl Sampler for FirstK {
+        fn name(&self) -> &str {
+            "first-k"
+        }
+        fn target_size(&self) -> usize {
+            self.k
+        }
+        fn observe(&mut self, point: Point) {
+            if self.buf.len() < self.k {
+                self.buf.push(point);
+            }
+        }
+        fn finalize(&mut self) -> Sample {
+            Sample::new("first-k", self.k, std::mem::take(&mut self.buf))
+        }
+    }
+
+    #[test]
+    fn sample_dataset_drives_observe_and_finalize() {
+        let dataset = Dataset::from_points(
+            "d",
+            (0..10).map(|i| Point::new(i as f64, 0.0)).collect(),
+        );
+        let mut sampler = FirstK { k: 3, buf: vec![] };
+        let s = sampler.sample_dataset(&dataset);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.points[2], Point::new(2.0, 0.0));
+        // finalize resets: a second run starts fresh.
+        let s2 = sampler.sample_dataset(&dataset);
+        assert_eq!(s2.len(), 3);
+    }
+}

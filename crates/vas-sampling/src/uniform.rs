@@ -1,0 +1,165 @@
+//! Uniform random sampling via the single-pass reservoir method.
+//!
+//! This is the paper's first baseline ("we implemented the single-pass
+//! reservoir method for simple random sampling", Section VI-B). Every tuple
+//! of the stream ends up in the sample with equal probability `K / N`, which
+//! means dense regions dominate the sample — the weakness VAS is designed to
+//! avoid.
+
+use crate::sample::Sample;
+use crate::traits::Sampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vas_data::Point;
+
+/// Algorithm-R reservoir sampler with a fixed budget `K`.
+#[derive(Debug, Clone)]
+pub struct UniformSampler {
+    k: usize,
+    seed: u64,
+    rng: StdRng,
+    reservoir: Vec<Point>,
+    seen: u64,
+}
+
+impl UniformSampler {
+    /// Creates a sampler that keeps `k` points, seeded deterministically.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self {
+            k,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            reservoir: Vec::with_capacity(k.min(1 << 20)),
+            seen: 0,
+        }
+    }
+
+    /// Number of points observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl Sampler for UniformSampler {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+
+    fn target_size(&self) -> usize {
+        self.k
+    }
+
+    fn observe(&mut self, point: Point) {
+        self.seen += 1;
+        if self.k == 0 {
+            return;
+        }
+        if self.reservoir.len() < self.k {
+            self.reservoir.push(point);
+        } else {
+            // Classic Algorithm R: replace a random slot with probability K/seen.
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < self.k {
+                self.reservoir[j as usize] = point;
+            }
+        }
+    }
+
+    fn finalize(&mut self) -> Sample {
+        let points = std::mem::take(&mut self.reservoir);
+        let sample = Sample::new("uniform", self.k, points);
+        // Reset so the sampler can be reused for another pass.
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.seen = 0;
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vas_data::Dataset;
+
+    fn line_dataset(n: usize) -> Dataset {
+        Dataset::from_points("line", (0..n).map(|i| Point::new(i as f64, 0.0)).collect())
+    }
+
+    #[test]
+    fn keeps_everything_when_budget_exceeds_data() {
+        let d = line_dataset(50);
+        let s = UniformSampler::new(100, 0).sample_dataset(&d);
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.method, "uniform");
+        assert_eq!(s.target_size, 100);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let d = line_dataset(10_000);
+        let s = UniformSampler::new(100, 1).sample_dataset(&d);
+        assert_eq!(s.len(), 100);
+        // All selected points come from the dataset.
+        assert!(s.points.iter().all(|p| p.y == 0.0 && p.x < 10_000.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = line_dataset(5_000);
+        let a = UniformSampler::new(64, 7).sample_dataset(&d);
+        let b = UniformSampler::new(64, 7).sample_dataset(&d);
+        assert_eq!(a.points, b.points);
+        let c = UniformSampler::new(64, 8).sample_dataset(&d);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn zero_budget_yields_empty_sample() {
+        let d = line_dataset(100);
+        let s = UniformSampler::new(0, 0).sample_dataset(&d);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn no_duplicate_selections_from_distinct_stream() {
+        let d = line_dataset(2_000);
+        let s = UniformSampler::new(200, 3).sample_dataset(&d);
+        let mut xs: Vec<i64> = s.points.iter().map(|p| p.x as i64).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        assert_eq!(xs.len(), 200, "reservoir must not duplicate stream items");
+    }
+
+    #[test]
+    fn selection_is_approximately_uniform() {
+        // Run many trials over a small stream and check each item's inclusion
+        // frequency is close to K/N.
+        let n = 50usize;
+        let k = 10usize;
+        let trials = 2_000usize;
+        let d = line_dataset(n);
+        let mut counts = vec![0usize; n];
+        for t in 0..trials {
+            let s = UniformSampler::new(k, t as u64).sample_dataset(&d);
+            for p in &s.points {
+                counts[p.x as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * k as f64 / n as f64; // 400
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.25,
+                "item {i} selected {c} times, expected ≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn finalize_resets_state() {
+        let d = line_dataset(1_000);
+        let mut sampler = UniformSampler::new(10, 5);
+        let a = sampler.sample_dataset(&d);
+        assert_eq!(sampler.seen(), 0);
+        let b = sampler.sample_dataset(&d);
+        assert_eq!(a.points, b.points, "reuse after finalize must be identical");
+    }
+}

@@ -1,0 +1,29 @@
+//! # vas-spatial
+//!
+//! Spatial index substrates used throughout the VAS reproduction.
+//!
+//! The paper relies on two classical spatial data structures:
+//!
+//! * an **R-tree** used to exploit the *locality* of the proximity kernel in
+//!   the `ES+Loc` variant of the Interchange algorithm (Section IV-B,
+//!   "Speed-Up using the Locality of Proximity function"), and
+//! * a **k-d tree** used for the nearest-neighbour pass of the density
+//!   embedding extension (Section V).
+//!
+//! We also provide a **uniform grid** index, which backs stratified sampling
+//! (the paper's strongest baseline) and the rendering-perception models.
+//!
+//! All structures are dynamic or cheaply rebuildable, hold `(id, Point)`
+//! entries where `id` is an opaque `usize` chosen by the caller, and contain
+//! no `unsafe` code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod kdtree;
+pub mod rtree;
+
+pub use grid::UniformGrid;
+pub use kdtree::KdTree;
+pub use rtree::RTree;

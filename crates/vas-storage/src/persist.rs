@@ -1,0 +1,221 @@
+//! Persistence of sample catalogs.
+//!
+//! The paper treats VAS samples as an *offline index*: built once, stored in
+//! the database and queried many times (Section II-B/D). This module gives
+//! the catalog a durable form so the expensive construction step does not
+//! have to be repeated across process restarts: each catalog is written as a
+//! small JSON manifest plus one compact binary file of little-endian `f64`
+//! triples (x, y, value) — and optional `u64` density counters — per sample.
+
+use crate::catalog::SampleCatalog;
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use vas_data::Point;
+use vas_sampling::Sample;
+
+/// Manifest entry describing one persisted sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ManifestEntry {
+    method: String,
+    target_size: usize,
+    len: usize,
+    has_densities: bool,
+    file: String,
+}
+
+/// Manifest describing a persisted catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Manifest {
+    version: u32,
+    samples: Vec<ManifestEntry>,
+}
+
+const MANIFEST_VERSION: u32 = 1;
+const MANIFEST_FILE: &str = "catalog.json";
+
+/// Writes a catalog into `dir` (created if needed). Any previous catalog in
+/// the same directory is overwritten.
+pub fn save_catalog(catalog: &SampleCatalog, dir: impl AsRef<Path>) -> io::Result<()> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let mut manifest = Manifest {
+        version: MANIFEST_VERSION,
+        samples: Vec::new(),
+    };
+    for (i, sample) in catalog.samples().iter().enumerate() {
+        let file = format!("sample_{i:03}_{}.bin", sample.len());
+        write_sample(sample, &dir.join(&file))?;
+        manifest.samples.push(ManifestEntry {
+            method: sample.method.clone(),
+            target_size: sample.target_size,
+            len: sample.len(),
+            has_densities: sample.has_densities(),
+            file,
+        });
+    }
+    let json = serde_json::to_string_pretty(&manifest)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(dir.join(MANIFEST_FILE), json)
+}
+
+/// Loads a catalog previously written by [`save_catalog`].
+pub fn load_catalog(dir: impl AsRef<Path>) -> io::Result<SampleCatalog> {
+    let dir = dir.as_ref();
+    let manifest: Manifest = serde_json::from_str(&fs::read_to_string(dir.join(MANIFEST_FILE))?)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if manifest.version != MANIFEST_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported catalog version {}", manifest.version),
+        ));
+    }
+    let mut catalog = SampleCatalog::new();
+    for entry in &manifest.samples {
+        let sample = read_sample(&dir.join(&entry.file), entry)?;
+        catalog.insert(sample);
+    }
+    Ok(catalog)
+}
+
+/// Path of the manifest inside a catalog directory (exposed for tooling).
+pub fn manifest_path(dir: impl AsRef<Path>) -> PathBuf {
+    dir.as_ref().join(MANIFEST_FILE)
+}
+
+fn write_sample(sample: &Sample, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for p in &sample.points {
+        w.write_all(&p.x.to_le_bytes())?;
+        w.write_all(&p.y.to_le_bytes())?;
+        w.write_all(&p.value.to_le_bytes())?;
+    }
+    if let Some(densities) = &sample.densities {
+        for d in densities {
+            w.write_all(&d.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+fn read_sample(path: &Path, entry: &ManifestEntry) -> io::Result<Sample> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut points = Vec::with_capacity(entry.len);
+    let mut buf = [0u8; 8];
+    for _ in 0..entry.len {
+        let mut coords = [0.0f64; 3];
+        for c in &mut coords {
+            r.read_exact(&mut buf)?;
+            *c = f64::from_le_bytes(buf);
+        }
+        points.push(Point::with_value(coords[0], coords[1], coords[2]));
+    }
+    let mut sample = Sample::new(entry.method.clone(), entry.target_size, points);
+    if entry.has_densities {
+        let mut densities = Vec::with_capacity(entry.len);
+        for _ in 0..entry.len {
+            r.read_exact(&mut buf)?;
+            densities.push(u64::from_le_bytes(buf));
+        }
+        sample = sample.with_densities(densities);
+    }
+    // Trailing garbage means the file does not match the manifest.
+    if r.read(&mut buf)? != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("sample file {} is larger than its manifest entry", path.display()),
+        ));
+    }
+    Ok(sample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vas_data::GeolifeGenerator;
+    use vas_sampling::{Sampler, UniformSampler};
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vas-persist-{}-{name}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn catalog_with_densities() -> SampleCatalog {
+        let d = GeolifeGenerator::with_size(3_000, 71).generate();
+        let mut catalog = SampleCatalog::new();
+        for k in [50usize, 200] {
+            let sample = UniformSampler::new(k, 1).sample_dataset(&d);
+            let counts = vas_core::embed_density(&sample, &d);
+            catalog.insert(sample.with_densities(counts));
+        }
+        catalog.insert(UniformSampler::new(500, 2).sample_dataset(&d));
+        catalog
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let dir = temp_dir("roundtrip");
+        let catalog = catalog_with_densities();
+        save_catalog(&catalog, &dir).unwrap();
+        assert!(manifest_path(&dir).exists());
+
+        let loaded = load_catalog(&dir).unwrap();
+        assert_eq!(loaded.sizes(), catalog.sizes());
+        for (a, b) in loaded.samples().iter().zip(catalog.samples()) {
+            assert_eq!(a.points, b.points);
+            assert_eq!(a.densities, b.densities);
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.target_size, b.target_size);
+        }
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn save_overwrites_previous_catalog() {
+        let dir = temp_dir("overwrite");
+        let catalog = catalog_with_densities();
+        save_catalog(&catalog, &dir).unwrap();
+        // Save a smaller catalog on top and reload: only the new contents remain.
+        let d = GeolifeGenerator::with_size(500, 3).generate();
+        let mut small = SampleCatalog::new();
+        small.insert(UniformSampler::new(10, 1).sample_dataset(&d));
+        save_catalog(&small, &dir).unwrap();
+        let loaded = load_catalog(&dir).unwrap();
+        assert_eq!(loaded.sizes(), vec![10]);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_an_error() {
+        assert!(load_catalog("/definitely/not/a/real/catalog/dir").is_err());
+    }
+
+    #[test]
+    fn corrupted_manifest_is_an_error() {
+        let dir = temp_dir("corrupt");
+        fs::write(manifest_path(&dir), "not json at all").unwrap();
+        let err = load_catalog(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn truncated_sample_file_is_an_error() {
+        let dir = temp_dir("truncated");
+        let catalog = catalog_with_densities();
+        save_catalog(&catalog, &dir).unwrap();
+        // Truncate the first sample file.
+        let manifest: Manifest =
+            serde_json::from_str(&fs::read_to_string(manifest_path(&dir)).unwrap()).unwrap();
+        let victim = dir.join(&manifest.samples[0].file);
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_catalog(&dir).is_err());
+        fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,289 @@
+//! The density-estimation task (Table I(b) of the paper).
+//!
+//! Study setup: users see a zoomed-in plot with four marked locations and
+//! must identify both the **densest** and the **sparsest** of the four.
+//!
+//! Simulated user: it looks only at the rendered bitmap and compares the
+//! amount of ink in a small window around each marker, answering with the
+//! inkiest window as "densest" and the least inky as "sparsest". This
+//! directly reproduces why plain VAS does poorly on this task (its dots are
+//! deliberately equalized across space) while "VAS with density embedding"
+//! does well (dot sizes restore the density signal), and why uniform sampling
+//! struggles with the *sparsest* question (sparse areas have no dots at all).
+
+use crate::perception::ink_around;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vas_data::{BoundingBox, Dataset, Point, ZoomLevel, ZoomWorkload};
+use vas_sampling::Sample;
+use vas_viz::{Color, PlotStyle, ScatterRenderer, SizeEncoding, Viewport};
+
+/// One density-estimation question.
+#[derive(Debug, Clone)]
+pub struct DensityQuestion {
+    /// The zoomed viewport shown to the user.
+    pub region: BoundingBox,
+    /// The four marked locations.
+    pub markers: [Point; 4],
+    /// Index (0..4) of the marker with the highest true local density.
+    pub densest: usize,
+    /// Index (0..4) of the marker with the lowest true local density.
+    pub sparsest: usize,
+}
+
+/// The density-estimation task.
+#[derive(Debug, Clone)]
+pub struct DensityTask {
+    questions: Vec<DensityQuestion>,
+    canvas_size: usize,
+    marker_window_px: usize,
+}
+
+impl DensityTask {
+    /// Generates `n_questions` questions from medium-zoom regions of the
+    /// dataset (the paper uses five zoomed areas). Marker locations are the
+    /// four quadrant centres of the region, jittered, and the ground truth is
+    /// the count of *original* data points within a fixed radius of each
+    /// marker. Questions whose four counts do not have a unique maximum and
+    /// minimum are perturbed until they do.
+    pub fn generate(dataset: &Dataset, n_questions: usize, seed: u64) -> Self {
+        assert!(!dataset.is_empty(), "density task requires data");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x44454e53);
+        let workload = ZoomWorkload::new(seed ^ 0x44454e54);
+        let regions = workload.regions(dataset, ZoomLevel::Medium, n_questions);
+
+        let mut questions = Vec::with_capacity(regions.len());
+        for r in regions {
+            let region = r.viewport;
+            let radius = region.diagonal() * 0.08;
+            // Try a few marker placements until the ground truth is unambiguous.
+            let mut chosen: Option<DensityQuestion> = None;
+            for _attempt in 0..20 {
+                let markers = quadrant_markers(&region, &mut rng);
+                let counts: Vec<usize> = markers
+                    .iter()
+                    .map(|m| {
+                        dataset
+                            .points
+                            .iter()
+                            .filter(|p| p.dist(m) <= radius)
+                            .count()
+                    })
+                    .collect();
+                let densest = argmax(&counts);
+                let sparsest = argmin(&counts);
+                let unique_max = counts.iter().filter(|&&c| c == counts[densest]).count() == 1;
+                let unique_min = counts.iter().filter(|&&c| c == counts[sparsest]).count() == 1;
+                if densest != sparsest && unique_max && unique_min {
+                    chosen = Some(DensityQuestion {
+                        region,
+                        markers,
+                        densest,
+                        sparsest,
+                    });
+                    break;
+                }
+            }
+            if let Some(q) = chosen {
+                questions.push(q);
+            }
+        }
+
+        Self {
+            questions,
+            canvas_size: 400,
+            marker_window_px: 28,
+        }
+    }
+
+    /// The generated questions (some regions may have been skipped if no
+    /// unambiguous marker placement was found).
+    pub fn questions(&self) -> &[DensityQuestion] {
+        &self.questions
+    }
+
+    /// Answers one question from a rendered plot of the sample. Returns a
+    /// score in {0, 0.5, 1}: half a point for each of the densest/sparsest
+    /// sub-questions answered correctly.
+    pub fn answer(&self, question: &DensityQuestion, sample: &Sample) -> f64 {
+        let viewport = Viewport::new(question.region, self.canvas_size, self.canvas_size);
+        let style = if sample.has_densities() {
+            PlotStyle {
+                radius: 1,
+                size: SizeEncoding::ByDensity { max_radius: 6 },
+                ..PlotStyle::default()
+            }
+        } else {
+            PlotStyle::default()
+        };
+        let canvas = ScatterRenderer::new(style).render_sample(sample, &viewport);
+
+        let inks: Vec<f64> = question
+            .markers
+            .iter()
+            .map(|m| ink_around(&canvas, &viewport, m, self.marker_window_px, Color::WHITE))
+            .collect();
+        let densest_guess = argmax_f(&inks);
+        let sparsest_guess = argmin_f(&inks);
+        let mut score = 0.0;
+        if densest_guess == question.densest {
+            score += 0.5;
+        }
+        if sparsest_guess == question.sparsest {
+            score += 0.5;
+        }
+        score
+    }
+
+    /// Mean score over all questions — one cell of Table I(b).
+    pub fn success_ratio(&self, sample: &Sample) -> f64 {
+        if self.questions.is_empty() {
+            return 0.0;
+        }
+        self.questions
+            .iter()
+            .map(|q| self.answer(q, sample))
+            .sum::<f64>()
+            / self.questions.len() as f64
+    }
+}
+
+/// Markers at the four quadrant centres of `region`, each jittered by up to
+/// 10% of the quadrant size.
+fn quadrant_markers(region: &BoundingBox, rng: &mut StdRng) -> [Point; 4] {
+    let w = region.width();
+    let h = region.height();
+    let mut markers = [Point::new(0.0, 0.0); 4];
+    for (i, (fx, fy)) in [(0.25, 0.25), (0.75, 0.25), (0.25, 0.75), (0.75, 0.75)]
+        .iter()
+        .enumerate()
+    {
+        markers[i] = Point::new(
+            region.min_x + fx * w + rng.gen_range(-0.1..0.1) * w * 0.5,
+            region.min_y + fy * h + rng.gen_range(-0.1..0.1) * h * 0.5,
+        );
+    }
+    markers
+}
+
+fn argmax(values: &[usize]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &v)| v)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn argmin(values: &[usize]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &v)| v)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn argmax_f(values: &[f64]) -> usize {
+    let mut idx = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[idx] {
+            idx = i;
+        }
+    }
+    idx
+}
+
+fn argmin_f(values: &[f64]) -> usize {
+    let mut idx = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v < values[idx] {
+            idx = i;
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vas_core::{density::with_embedded_density, VasConfig, VasSampler};
+    use vas_data::GeolifeGenerator;
+    use vas_sampling::{Sampler, UniformSampler};
+
+    fn dataset() -> Dataset {
+        GeolifeGenerator::with_size(12_000, 51).generate()
+    }
+
+    #[test]
+    fn generates_unambiguous_questions() {
+        let d = dataset();
+        let task = DensityTask::generate(&d, 5, 1);
+        assert!(!task.questions().is_empty());
+        for q in task.questions() {
+            assert_ne!(q.densest, q.sparsest);
+            for m in &q.markers {
+                assert!(q.region.padded(q.region.diagonal() * 0.1).contains(m));
+            }
+        }
+    }
+
+    #[test]
+    fn full_dataset_as_sample_answers_well() {
+        let d = dataset();
+        let task = DensityTask::generate(&d, 6, 2);
+        let full = Sample::new("full", d.len(), d.points.clone());
+        let score = task.success_ratio(&full);
+        assert!(score >= 0.7, "full data should score highly, got {score}");
+    }
+
+    #[test]
+    fn density_embedding_improves_vas_on_this_task() {
+        // Table I(b): plain VAS is weak here, VAS + density embedding is strong.
+        let d = dataset();
+        let task = DensityTask::generate(&d, 8, 3);
+        let k = 800;
+        let plain = VasSampler::from_dataset(&d, VasConfig::new(k)).sample_dataset(&d);
+        let with_density = with_embedded_density(plain.clone(), &d);
+        let plain_score = task.success_ratio(&plain);
+        let density_score = task.success_ratio(&with_density);
+        assert!(
+            density_score >= plain_score,
+            "density embedding ({density_score}) must not be worse than plain VAS ({plain_score})"
+        );
+        assert!(density_score > 0.4, "density-embedded score {density_score}");
+    }
+
+    #[test]
+    fn empty_sample_scores_poorly() {
+        let d = dataset();
+        let task = DensityTask::generate(&d, 5, 4);
+        let empty = Sample::new("empty", 0, vec![]);
+        // With no ink anywhere the argmax/argmin guesses are arbitrary (index
+        // 0), so the expected score is low but not necessarily zero.
+        assert!(task.success_ratio(&empty) <= 0.5);
+    }
+
+    #[test]
+    fn uniform_sample_beats_empty_and_loses_to_full() {
+        let d = dataset();
+        let task = DensityTask::generate(&d, 8, 5);
+        let uni = UniformSampler::new(2_000, 1).sample_dataset(&d);
+        let full = Sample::new("full", d.len(), d.points.clone());
+        let s_uni = task.success_ratio(&uni);
+        let s_full = task.success_ratio(&full);
+        assert!(s_full >= s_uni);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let d = dataset();
+        let a = DensityTask::generate(&d, 4, 9);
+        let b = DensityTask::generate(&d, 4, 9);
+        assert_eq!(a.questions().len(), b.questions().len());
+        for (qa, qb) in a.questions().iter().zip(b.questions()) {
+            assert_eq!(qa.markers.map(|m| (m.x, m.y)), qb.markers.map(|m| (m.x, m.y)));
+            assert_eq!(qa.densest, qb.densest);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # vas-user-sim
+//!
+//! Simulated users for the paper's user study (Section VI-B, Table I and
+//! Figure 7).
+//!
+//! The original study pays 40 Mechanical-Turk workers per task to answer
+//! questions about rendered plots. This reproduction replaces the workers
+//! with *perception-model users*: deterministic (seeded) agents that answer
+//! the same three kinds of questions while only being allowed to consult
+//! **what a viewer could actually see** — the points visible in the rendered
+//! viewport, the amount of ink in a region of the bitmap, or the connected
+//! blobs of the bitmap. Because the agents see the rendering rather than the
+//! raw data, their success depends on sample fidelity in the same way human
+//! success does, which is the property the study measures.
+//!
+//! * [`regression`] — "what is the altitude at the location marked ‘X’?"
+//!   (four-way multiple choice, Table I(a)).
+//! * [`density`] — "which of the four marked areas is densest / sparsest?"
+//!   (Table I(b)).
+//! * [`clustering`] — "how many clusters does the plot show?" (Table I(c)).
+//!
+//! Each module exposes a `*Task` type that generates questions from the
+//! original dataset and an `answer(...)` routine for a simulated user, plus a
+//! `success_ratio` driver used by the Table I harness. The [`workers`] module
+//! additionally models a *population* of imperfect participants (spammers,
+//! slips, trapdoor filtering) on top of the ideal perception-model answers,
+//! reproducing the study's quality-control protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustering;
+pub mod density;
+pub mod perception;
+pub mod regression;
+pub mod workers;
+
+pub use clustering::ClusteringTask;
+pub use density::DensityTask;
+pub use perception::{count_ink_clusters, visible_points, PerceptionConfig};
+pub use regression::RegressionTask;
+pub use workers::{PopulationOutcome, WorkerConfig, WorkerPopulation};

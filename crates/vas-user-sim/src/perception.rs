@@ -1,0 +1,218 @@
+//! The perception model: what a viewer can extract from a rendered plot.
+//!
+//! Simulated users never consult the raw sample directly for density or
+//! cluster questions; they look at the bitmap the renderer produced, exactly
+//! like a human study participant. This module provides the two perceptual
+//! primitives the tasks need:
+//!
+//! * the set of sample points that are actually **visible** in a viewport
+//!   (used by the regression task, where a viewer reads values off visible
+//!   dots), and
+//! * a **blob analysis** of the rendered bitmap: how much ink a region holds
+//!   and how many spatially-separate ink clusters the image shows (used by
+//!   the density-estimation and clustering tasks).
+
+use vas_data::Point;
+use vas_viz::{Canvas, Color, Viewport};
+
+/// Tunable constants of the perception model.
+#[derive(Debug, Clone, Copy)]
+pub struct PerceptionConfig {
+    /// Background color of the rendered plots.
+    pub background: Color,
+    /// Side length (in coarse cells) of the grid used for blob analysis; the
+    /// canvas is divided into `grid_side × grid_side` cells.
+    pub grid_side: usize,
+    /// A coarse cell counts as "occupied" when at least this fraction of its
+    /// pixels is inked (absolute floor).
+    pub occupancy_threshold: f64,
+    /// A cell additionally needs at least this fraction of the *inkiest*
+    /// cell's ink to count as occupied. This mimics how a viewer dismisses
+    /// faint scatter between two salient masses as background rather than as
+    /// a bridge connecting them; only regions whose ink is comparable to the
+    /// most salient mass register as cluster material.
+    pub relative_threshold: f64,
+    /// Connected components smaller than this many occupied cells are treated
+    /// as noise and not counted as clusters.
+    pub min_cluster_cells: usize,
+}
+
+impl Default for PerceptionConfig {
+    fn default() -> Self {
+        Self {
+            background: Color::WHITE,
+            grid_side: 24,
+            occupancy_threshold: 0.005,
+            relative_threshold: 0.4,
+            min_cluster_cells: 5,
+        }
+    }
+}
+
+/// The sample points a viewer can see in `viewport` (i.e. the rendered dots).
+pub fn visible_points(points: &[Point], viewport: &Viewport) -> Vec<Point> {
+    points
+        .iter()
+        .filter(|p| viewport.contains(p))
+        .copied()
+        .collect()
+}
+
+/// Fraction of inked pixels inside the axis-aligned pixel rectangle around a
+/// data-space location. `radius_px` is half the side of the square window.
+pub fn ink_around(
+    canvas: &Canvas,
+    viewport: &Viewport,
+    location: &Point,
+    radius_px: usize,
+    background: Color,
+) -> f64 {
+    let (cx, cy) = viewport.to_pixel(location);
+    let x0 = (cx - radius_px as isize).max(0) as usize;
+    let y0 = (cy - radius_px as isize).max(0) as usize;
+    let x1 = (cx + radius_px as isize).max(0) as usize + 1;
+    let y1 = (cy + radius_px as isize).max(0) as usize + 1;
+    canvas.ink_fraction_in_rect(background, x0, y0, x1, y1)
+}
+
+/// Counts the spatially-separate ink clusters of a rendered plot.
+///
+/// The canvas is reduced to a coarse occupancy grid; 8-connected components
+/// of occupied cells larger than the noise threshold are counted. This is a
+/// deliberately crude stand-in for human gestalt grouping, but it reacts to
+/// rendered plots the same way the study's questions do: well-separated point
+/// masses count as distinct clusters, scattered speckle does not merge into
+/// one.
+pub fn count_ink_clusters(canvas: &Canvas, config: &PerceptionConfig) -> usize {
+    let side = config.grid_side.max(1);
+    let mut fractions = vec![0.0f64; side * side];
+    for row in 0..side {
+        for col in 0..side {
+            let x0 = col * canvas.width() / side;
+            let x1 = ((col + 1) * canvas.width() / side).max(x0 + 1);
+            let y0 = row * canvas.height() / side;
+            let y1 = ((row + 1) * canvas.height() / side).max(y0 + 1);
+            fractions[row * side + col] =
+                canvas.ink_fraction_in_rect(config.background, x0, y0, x1, y1);
+        }
+    }
+    let max_frac = fractions.iter().copied().fold(0.0f64, f64::max);
+    let threshold = config
+        .occupancy_threshold
+        .max(config.relative_threshold * max_frac);
+    let occupied: Vec<bool> = fractions.iter().map(|&f| f > 0.0 && f >= threshold).collect();
+
+    // 8-connected components over occupied cells.
+    let mut visited = vec![false; side * side];
+    let mut clusters = 0usize;
+    for start in 0..side * side {
+        if !occupied[start] || visited[start] {
+            continue;
+        }
+        // Flood fill.
+        let mut stack = vec![start];
+        visited[start] = true;
+        let mut size = 0usize;
+        while let Some(cell) = stack.pop() {
+            size += 1;
+            let (r, c) = (cell / side, cell % side);
+            for dr in -1i64..=1 {
+                for dc in -1i64..=1 {
+                    if dr == 0 && dc == 0 {
+                        continue;
+                    }
+                    let nr = r as i64 + dr;
+                    let nc = c as i64 + dc;
+                    if nr < 0 || nc < 0 || nr >= side as i64 || nc >= side as i64 {
+                        continue;
+                    }
+                    let idx = nr as usize * side + nc as usize;
+                    if occupied[idx] && !visited[idx] {
+                        visited[idx] = true;
+                        stack.push(idx);
+                    }
+                }
+            }
+        }
+        if size >= config.min_cluster_cells {
+            clusters += 1;
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vas_data::BoundingBox;
+    use vas_viz::{PlotStyle, ScatterRenderer};
+
+    fn viewport() -> Viewport {
+        Viewport::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 240, 240)
+    }
+
+    fn render(points: &[Point]) -> Canvas {
+        ScatterRenderer::new(PlotStyle::default()).render_points(points, &viewport())
+    }
+
+    #[test]
+    fn visible_points_filters_by_viewport() {
+        let pts = vec![Point::new(5.0, 5.0), Point::new(50.0, 50.0)];
+        let vis = visible_points(&pts, &viewport());
+        assert_eq!(vis.len(), 1);
+        assert_eq!(vis[0], pts[0]);
+    }
+
+    #[test]
+    fn ink_around_sees_nearby_dots_only() {
+        let canvas = render(&[Point::new(2.0, 2.0)]);
+        let v = viewport();
+        let near = ink_around(&canvas, &v, &Point::new(2.0, 2.0), 6, Color::WHITE);
+        let far = ink_around(&canvas, &v, &Point::new(8.0, 8.0), 6, Color::WHITE);
+        assert!(near > 0.0);
+        assert_eq!(far, 0.0);
+    }
+
+    #[test]
+    fn two_separated_blobs_count_as_two_clusters() {
+        let mut points = Vec::new();
+        for i in 0..200 {
+            let a = i as f64 * 0.031;
+            points.push(Point::new(2.0 + a.sin() * 0.8, 2.0 + a.cos() * 0.8));
+            points.push(Point::new(8.0 + a.cos() * 0.8, 8.0 + a.sin() * 0.8));
+        }
+        let canvas = render(&points);
+        let n = count_ink_clusters(&canvas, &PerceptionConfig::default());
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn one_blob_counts_as_one_cluster() {
+        let mut points = Vec::new();
+        for i in 0..400 {
+            let a = i as f64 * 0.017;
+            points.push(Point::new(
+                5.0 + a.sin() * 1.5 * (a * 0.37).cos(),
+                5.0 + a.cos() * 1.5 * (a * 0.53).sin(),
+            ));
+        }
+        let canvas = render(&points);
+        let n = count_ink_clusters(&canvas, &PerceptionConfig::default());
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn empty_canvas_has_no_clusters() {
+        let canvas = render(&[]);
+        assert_eq!(count_ink_clusters(&canvas, &PerceptionConfig::default()), 0);
+    }
+
+    #[test]
+    fn speckle_below_noise_threshold_is_ignored() {
+        // A single isolated dot occupies at most a handful of cells (it may
+        // straddle a cell boundary) and is treated as noise by the default
+        // min_cluster_cells threshold.
+        let canvas = render(&[Point::new(5.0, 5.0)]);
+        assert_eq!(count_ink_clusters(&canvas, &PerceptionConfig::default()), 0);
+    }
+}

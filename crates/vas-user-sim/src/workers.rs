@@ -1,0 +1,238 @@
+//! A population model of imperfect study participants.
+//!
+//! The Mechanical-Turk study behind Table I does not report the answer of a
+//! single ideal viewer: it aggregates 40 workers of varying diligence and
+//! filters out those who fail "trapdoor" questions. This module layers that
+//! protocol on top of the deterministic perception-model users: a
+//! [`WorkerPopulation`] draws per-worker reliability levels, corrupts a
+//! fraction of the ideal answers accordingly, drops workers that fail the
+//! trapdoor check, and reports the averaged success ratio. It lets the
+//! harness (and downstream users) study how robust the method ranking is to
+//! participant noise — the rankings of Table I survive substantial noise
+//! because the underlying gaps are large.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the simulated worker population.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Number of workers recruited per question package (the paper uses 40).
+    pub workers: usize,
+    /// Fraction of workers that are "spammers" answering randomly.
+    pub spammer_fraction: f64,
+    /// Probability that a diligent worker still slips on any given question.
+    pub slip_probability: f64,
+    /// Number of answer options a random guess chooses from (the regression
+    /// task offers 4: correct, two decoys, "not sure").
+    pub options_per_question: usize,
+    /// Number of trapdoor questions each worker must answer; spammers are
+    /// expected to fail them and be filtered out, as in the paper.
+    pub trapdoor_questions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 40,
+            spammer_fraction: 0.15,
+            slip_probability: 0.05,
+            options_per_question: 4,
+            trapdoor_questions: 2,
+            seed: 97,
+        }
+    }
+}
+
+/// Aggregated outcome of running one question package through the population.
+#[derive(Debug, Clone, Copy)]
+pub struct PopulationOutcome {
+    /// Success ratio averaged over the retained (non-filtered) workers.
+    pub success_ratio: f64,
+    /// Number of workers retained after trapdoor filtering.
+    pub retained_workers: usize,
+    /// Number of workers filtered out.
+    pub filtered_workers: usize,
+}
+
+/// A population of imperfect workers wrapping an ideal per-question outcome.
+#[derive(Debug, Clone)]
+pub struct WorkerPopulation {
+    config: WorkerConfig,
+}
+
+impl WorkerPopulation {
+    /// Creates a population with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is degenerate (no workers, probabilities
+    /// outside `[0, 1]`, fewer than two answer options).
+    pub fn new(config: WorkerConfig) -> Self {
+        assert!(config.workers > 0, "population needs at least one worker");
+        assert!(
+            (0.0..=1.0).contains(&config.spammer_fraction),
+            "spammer fraction must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.slip_probability),
+            "slip probability must be a probability"
+        );
+        assert!(
+            config.options_per_question >= 2,
+            "questions need at least two options"
+        );
+        Self { config }
+    }
+
+    /// Default 40-worker population.
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(WorkerConfig {
+            seed,
+            ..WorkerConfig::default()
+        })
+    }
+
+    /// Runs a package of questions through the population.
+    ///
+    /// `ideal_answers[q]` is whether a perfectly diligent viewer answers
+    /// question `q` correctly (i.e. the output of the perception-model user).
+    /// Each simulated worker answers every question: spammers guess uniformly
+    /// at random; diligent workers reproduce the ideal answer except for
+    /// occasional slips. Workers who fail any trapdoor question are dropped
+    /// before averaging, mirroring the paper's quality control.
+    pub fn run(&self, ideal_answers: &[bool]) -> PopulationOutcome {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let guess_success = 1.0 / cfg.options_per_question as f64;
+
+        let mut retained = 0usize;
+        let mut filtered = 0usize;
+        let mut success_sum = 0.0;
+
+        for _ in 0..cfg.workers {
+            let is_spammer = rng.gen_bool(cfg.spammer_fraction);
+
+            // Trapdoor questions are easy: a diligent worker passes unless it
+            // slips; a spammer passes only by lucky guessing.
+            let passes_trapdoors = (0..cfg.trapdoor_questions).all(|_| {
+                if is_spammer {
+                    rng.gen_bool(guess_success)
+                } else {
+                    !rng.gen_bool(cfg.slip_probability)
+                }
+            });
+            if !passes_trapdoors {
+                filtered += 1;
+                continue;
+            }
+
+            let mut correct = 0usize;
+            for &ideal in ideal_answers {
+                let answer = if is_spammer {
+                    rng.gen_bool(guess_success)
+                } else if rng.gen_bool(cfg.slip_probability) {
+                    // A slip turns a correct answer wrong and occasionally
+                    // stumbles into the right answer by chance.
+                    if ideal {
+                        false
+                    } else {
+                        rng.gen_bool(guess_success)
+                    }
+                } else {
+                    ideal
+                };
+                if answer {
+                    correct += 1;
+                }
+            }
+            retained += 1;
+            if !ideal_answers.is_empty() {
+                success_sum += correct as f64 / ideal_answers.len() as f64;
+            }
+        }
+
+        PopulationOutcome {
+            success_ratio: if retained == 0 {
+                0.0
+            } else {
+                success_sum / retained as f64
+            },
+            retained_workers: retained,
+            filtered_workers: filtered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_true(n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+
+    #[test]
+    fn perfect_ideal_answers_stay_high_after_noise() {
+        let pop = WorkerPopulation::paper_default(1);
+        let outcome = pop.run(&all_true(20));
+        assert!(outcome.success_ratio > 0.85);
+        assert!(outcome.retained_workers > 20);
+        assert_eq!(outcome.retained_workers + outcome.filtered_workers, 40);
+    }
+
+    #[test]
+    fn hopeless_questions_stay_low() {
+        let pop = WorkerPopulation::paper_default(2);
+        let outcome = pop.run(&[false; 20]);
+        assert!(outcome.success_ratio < 0.2);
+    }
+
+    #[test]
+    fn ranking_is_preserved_under_noise() {
+        // If the ideal users give method A a big lead over method B, the noisy
+        // population must preserve the ordering — the property Table I relies on.
+        let pop = WorkerPopulation::paper_default(3);
+        let method_a: Vec<bool> = (0..20).map(|i| i % 10 != 0).collect(); // 90%
+        let method_b: Vec<bool> = (0..20).map(|i| i % 3 == 0).collect(); // ~33%
+        let a = pop.run(&method_a).success_ratio;
+        let b = pop.run(&method_b).success_ratio;
+        assert!(a > b + 0.2, "ordering lost: {a} vs {b}");
+    }
+
+    #[test]
+    fn trapdoor_filtering_removes_spammers() {
+        let pop = WorkerPopulation::new(WorkerConfig {
+            spammer_fraction: 1.0,
+            ..WorkerConfig::default()
+        });
+        let outcome = pop.run(&all_true(10));
+        // With 4 options and 2 trapdoors, only ~1/16 of spammers slip through.
+        assert!(outcome.filtered_workers >= 30);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let answers: Vec<bool> = (0..15).map(|i| i % 2 == 0).collect();
+        let a = WorkerPopulation::paper_default(9).run(&answers);
+        let b = WorkerPopulation::paper_default(9).run(&answers);
+        assert_eq!(a.success_ratio, b.success_ratio);
+        assert_eq!(a.retained_workers, b.retained_workers);
+    }
+
+    #[test]
+    fn empty_package_is_harmless() {
+        let outcome = WorkerPopulation::paper_default(4).run(&[]);
+        assert_eq!(outcome.success_ratio, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_empty_population() {
+        let _ = WorkerPopulation::new(WorkerConfig {
+            workers: 0,
+            ..WorkerConfig::default()
+        });
+    }
+}

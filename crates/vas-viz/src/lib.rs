@@ -1,0 +1,42 @@
+//! # vas-viz
+//!
+//! A software scatter/map-plot renderer and the latency model used by the
+//! experiment harness.
+//!
+//! The paper measures visualization latency with Tableau and MathGL
+//! (Figures 2 and 4) and renders its user-study stimuli with a conventional
+//! plotting stack. Neither is available to this reproduction, so this crate
+//! implements the substitute: a deterministic rasterizer that turns a set of
+//! points into an RGB bitmap given a viewport, with the same qualitative
+//! properties that matter to the experiments —
+//!
+//! * rendering cost grows **linearly** with the number of points drawn
+//!   (the premise of Figure 2), and
+//! * what a viewer can see is exactly what lands on the canvas: zooming into
+//!   a sparse region of a poor sample produces a visibly empty plot
+//!   (the premise of Figure 1 and of the user study).
+//!
+//! Components:
+//!
+//! * [`canvas`] — RGB bitmap with PPM export and ASCII preview.
+//! * [`viewport`] — data-space ⇄ pixel-space transform, zoom and pan.
+//! * [`color`] — colormaps for value (altitude) encoding.
+//! * [`scatter`] — the scatter/map plot renderer, including the density
+//!   re-encoding (dot size / jitter) of the paper's Section V extension.
+//! * [`latency`] — a calibrated linear latency model standing in for the
+//!   Tableau / MathGL measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canvas;
+pub mod color;
+pub mod latency;
+pub mod scatter;
+pub mod viewport;
+
+pub use canvas::Canvas;
+pub use color::{Color, Colormap};
+pub use latency::LatencyModel;
+pub use scatter::{JitterEncoding, PlotStyle, ScatterRenderer, SizeEncoding};
+pub use viewport::Viewport;

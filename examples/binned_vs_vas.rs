@@ -1,0 +1,75 @@
+//! Comparing the two families of visualization accelerators on the same data:
+//! pre-aggregation (a binned tile pyramid) versus visualization-aware
+//! sampling — the trade-off discussed in the paper's related-work section.
+//!
+//! ```text
+//! cargo run --release --example binned_vs_vas
+//! ```
+//!
+//! The example builds both structures over the same GPS-like dataset, prints
+//! their storage cost, then drills into a deep-zoom viewport and reports what
+//! each can still show there. It also demonstrates the persistence layer: the
+//! VAS sample catalog is saved to disk and reloaded before querying.
+
+use vas::binned::{render_heatmap, TilePyramid, TilePyramidConfig};
+use vas::prelude::*;
+use vas::storage::{load_catalog, save_catalog, SampleCatalog};
+
+fn main() -> std::io::Result<()> {
+    let data = GeolifeGenerator::with_size(150_000, 31).generate();
+    println!("dataset: {} points", data.len());
+
+    // --- Offline construction of both accelerators.
+    let pyramid = TilePyramid::build(&data, TilePyramidConfig { max_level: 8 });
+    let catalog = SampleCatalog::build_nested(&data, &[2_000, 20_000], |k| {
+        VasSampler::from_dataset(&data, VasConfig::new(k))
+    });
+    println!(
+        "binned pyramid: {} non-empty cells across {} levels",
+        pyramid.total_cells(),
+        pyramid.max_level() + 1
+    );
+    println!(
+        "VAS catalog:    {} points across samples of sizes {:?} (nested)",
+        catalog.total_points(),
+        catalog.sizes()
+    );
+
+    // --- Persistence round trip (the offline index survives restarts).
+    let dir = std::path::PathBuf::from("target/vas_catalog");
+    save_catalog(&catalog, &dir)?;
+    let catalog = load_catalog(&dir)?;
+    println!("catalog reloaded from {} ({} samples)\n", dir.display(), catalog.len());
+
+    // --- A deep zoom into a trajectory region.
+    let zoom = ZoomWorkload::new(3).regions(&data, ZoomLevel::Deep, 1)[0].viewport;
+    let truth = data.filter_region(&zoom).len();
+    println!("deep-zoom viewport holds {truth} original points");
+
+    // Binned answer: coarse cells only.
+    let (level, cells) = pyramid.query_for_render(&zoom, 512);
+    println!(
+        "  binned aggregation answers at level {level}: {} cells (resolution capped)",
+        cells.len()
+    );
+    let heat = render_heatmap(&pyramid, &zoom, 512, 512, Colormap::Heat);
+    heat.write_ppm("target/plots_binned_zoom.ppm")?;
+
+    // VAS answer: actual points, re-renderable at any resolution.
+    let sample = catalog.largest().expect("catalog not empty");
+    let visible = sample.filter_region(&zoom);
+    println!(
+        "  VAS sample (K = {}) answers with {} real points",
+        sample.len(),
+        visible.len()
+    );
+    let canvas = ScatterRenderer::new(PlotStyle::map_plot())
+        .render_points(&visible, &Viewport::new(zoom, 512, 512));
+    canvas.write_ppm("target/plots_vas_zoom.ppm")?;
+
+    println!(
+        "\nimages written to target/plots_binned_zoom.ppm and target/plots_vas_zoom.ppm —\n\
+         the heatmap shows {level}-level blocks while the VAS plot shows the trajectory shape."
+    );
+    Ok(())
+}

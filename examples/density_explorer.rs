@@ -1,0 +1,74 @@
+//! Density embedding and the simulated user study.
+//!
+//! ```text
+//! cargo run --release --example density_explorer
+//! ```
+//!
+//! Demonstrates the Section V extension: plain VAS deliberately equalizes
+//! point density, which hurts density-estimation and clustering tasks; the
+//! density-embedding second pass attaches per-point counters that the
+//! renderer turns back into visual density (dot size). The example runs the
+//! simulated density and clustering users on both variants and prints their
+//! success rates, mirroring Table I(b) and I(c).
+
+use vas::prelude::*;
+
+fn main() {
+    // --- Density estimation on the skewed GPS-like data.
+    let data = GeolifeGenerator::with_size(60_000, 9).generate();
+    let k = 2_000;
+
+    let plain = VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data);
+    let embedded = with_embedded_density(plain.clone(), &data);
+    println!(
+        "VAS sample of {k} points; density counters attached in a second pass \
+         (total mass {} = dataset size {})",
+        embedded.total_density(),
+        data.len()
+    );
+
+    let density_task = DensityTask::generate(&data, 8, 1);
+    println!("\ndensity-estimation task ({} questions):", density_task.questions().len());
+    println!(
+        "  plain VAS          {:.2}",
+        density_task.success_ratio(&plain)
+    );
+    println!(
+        "  VAS with density   {:.2}",
+        density_task.success_ratio(&embedded)
+    );
+    let uniform = UniformSampler::new(k, 2).sample_dataset(&data);
+    println!(
+        "  uniform            {:.2}",
+        density_task.success_ratio(&uniform)
+    );
+
+    // --- Clustering on the paper's Gaussian-mixture datasets.
+    println!("\nclustering task (per generated dataset, 1 = correct count):");
+    for variant in 0..4 {
+        let gen = GaussianMixtureGenerator::paper_clustering_dataset(variant, 30_000, 13);
+        let truth = gen.n_clusters();
+        let mixture = gen.generate();
+        let task = ClusteringTask::new(&mixture, truth);
+
+        let vas_plain =
+            VasSampler::from_dataset(&mixture, VasConfig::new(k)).sample_dataset(&mixture);
+        let vas_density = with_embedded_density(vas_plain.clone(), &mixture);
+        let uni = UniformSampler::new(k, 3).sample_dataset(&mixture);
+
+        println!(
+            "  dataset {variant} ({truth} cluster{}): uniform={} vas={} vas+density={}",
+            if truth == 1 { "" } else { "s" },
+            task.perceived_clusters(&uni),
+            task.perceived_clusters(&vas_plain),
+            task.perceived_clusters(&vas_density),
+        );
+    }
+
+    // --- A picture is worth a thousand counters.
+    let viewport = Viewport::fit(&embedded.points, 160, 80);
+    let canvas =
+        ScatterRenderer::new(PlotStyle::density_plot(5)).render_sample(&embedded, &viewport);
+    println!("\nASCII preview of the density-embedded VAS sample (dot size ∝ √density):");
+    print!("{}", canvas.ascii_preview(72));
+}

@@ -1,0 +1,80 @@
+//! The end-to-end architecture of the paper's Figure 3: a visualization tool
+//! issuing queries against a database that answers from pre-built
+//! visualization-aware samples within an interactive latency budget.
+//!
+//! ```text
+//! cargo run --release --example interactive_dashboard
+//! ```
+//!
+//! The example registers a table, builds an offline VAS sample catalog
+//! (the "index construction" step of Section II-D), and then simulates an
+//! interactive session: an overview plot followed by a sequence of zooms,
+//! each with a 500 ms latency budget. The latency model converts the budget
+//! into a point budget; the engine picks the best pre-built sample.
+
+use std::time::Duration;
+use vas::prelude::*;
+
+fn main() {
+    // --- Offline: load the table and build the visualization index.
+    let data = GeolifeGenerator::with_size(100_000, 7).generate();
+    let mut engine = VizEngine::new();
+    engine.register_table(Table::from_dataset(&data));
+    let table = data.name.clone();
+
+    let sizes = [1_000usize, 5_000, 20_000];
+    println!("building offline VAS sample catalog for sizes {sizes:?} …");
+    engine
+        .build_catalog(&table, "x", "y", Some("value"), &sizes, |k| {
+            VasSampler::from_dataset(&data, VasConfig::new(k))
+        })
+        .expect("catalog construction");
+    println!(
+        "catalog ready: {:?} samples stored\n",
+        engine.catalog_sizes(&table, "x", "y")
+    );
+
+    // --- Online: the tool renders within a latency budget.
+    let latency = LatencyModel::tableau_like();
+    let budget = Duration::from_millis(500);
+    let point_budget = latency.tuples_within(budget);
+    println!(
+        "latency budget {budget:?} → at most {point_budget} points per frame \
+         (model: {})\n",
+        latency.label
+    );
+
+    // An exploration session: overview, then three successive zooms.
+    let session = ZoomWorkload::new(3).session(&data, 3);
+    let renderer = ScatterRenderer::new(PlotStyle::map_plot());
+
+    for (i, step) in session.iter().enumerate() {
+        let query = VizQuery::full(&table)
+            .in_region(step.viewport)
+            .with_budget(point_budget);
+        let result = engine.query(&query).expect("query");
+        let viewport = Viewport::new(step.viewport, 640, 640);
+        let canvas = renderer.render_points(&result.points, &viewport);
+        let predicted = latency.time_for(result.points.len());
+        println!(
+            "frame {i}: {:?} zoom | sample of {} → {} visible points | predicted viz time {:?} | ink {} px",
+            step.level,
+            result.source_size,
+            result.points.len(),
+            predicted,
+            canvas.ink(Color::WHITE),
+        );
+        assert!(result.from_sample);
+        assert!(predicted <= budget + latency.overhead);
+    }
+
+    // For contrast: the exact (unsampled) query at overview zoom.
+    let exact = engine.query(&VizQuery::full(&table)).expect("exact query");
+    println!(
+        "\nexact overview query returns {} points → predicted viz time {:?} \
+         (vs {:?} budget) — this is the latency VAS removes",
+        exact.points.len(),
+        latency.time_for(exact.points.len()),
+        budget
+    );
+}

@@ -1,0 +1,251 @@
+//! `vas-cli` — build visualization-aware samples from CSV files on the
+//! command line.
+//!
+//! ```text
+//! vas-cli sample  --input data.csv --output sample.csv --size 10000 [--method vas|uniform|stratified] [--density]
+//! vas-cli render  --input data.csv --output plot.ppm [--width 1200] [--height 900] [--density]
+//! vas-cli loss    --data data.csv --sample sample.csv
+//! vas-cli generate --output data.csv --kind geolife|splom|gaussian --points 100000 [--seed 42]
+//! ```
+//!
+//! The CSV format is `x,y[,value]` with an optional header row. `sample`
+//! builds an offline sample with the chosen method; `render` rasterizes a
+//! file into a PPM image; `loss` reports the paper's log-loss-ratio of a
+//! sample against its source data; `generate` produces the synthetic
+//! datasets used throughout the reproduction.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use vas::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, flags)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "sample" => cmd_sample(&flags),
+        "render" => cmd_render(&flags),
+        "loss" => cmd_loss(&flags),
+        "generate" => cmd_generate(&flags),
+        _ => Err(format!("unknown command: {command}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  vas-cli sample   --input <csv> --output <csv> --size <K> [--method vas|uniform|stratified] [--density] [--seed N]
+  vas-cli render   --input <csv> --output <ppm> [--width W] [--height H] [--density]
+  vas-cli loss     --data <csv> --sample <csv>
+  vas-cli generate --output <csv> --kind geolife|splom|gaussian --points N [--seed N]";
+
+/// Splits `command flag value flag value …` into the command and a flag map.
+fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+    let command = args.first()?.clone();
+    let mut flags = HashMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?.to_string();
+        // Boolean flags (no value or next token is another flag).
+        if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+            flags.insert(key, "true".to_string());
+            i += 1;
+        } else {
+            flags.insert(key, args[i + 1].clone());
+            i += 2;
+        }
+    }
+    Some((command, flags))
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}\n{USAGE}"))
+}
+
+fn numeric<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("flag --{key} expects a number, got {v:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<Dataset, String> {
+    vas::data::io::read_csv(path, path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn cmd_sample(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = required(flags, "input")?;
+    let output = required(flags, "output")?;
+    let k: usize = numeric(flags, "size", 10_000)?;
+    let seed: u64 = numeric(flags, "seed", 42)?;
+    let method = flags.get("method").map(String::as_str).unwrap_or("vas");
+    let data = load(input)?;
+
+    let mut sample = match method {
+        "vas" => VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data),
+        "uniform" => UniformSampler::new(k, seed).sample_dataset(&data),
+        "stratified" => {
+            StratifiedSampler::square(k, data.bounds(), 10, seed).sample_dataset(&data)
+        }
+        other => return Err(format!("unknown method {other:?} (vas|uniform|stratified)")),
+    };
+    if flags.contains_key("density") {
+        sample = with_embedded_density(sample, &data);
+    }
+    let out = Dataset::from_points(output, sample.points.clone());
+    vas::data::io::write_csv(&out, output).map_err(|e| format!("writing {output}: {e}"))?;
+    println!(
+        "wrote {} points ({} method{}) to {output}",
+        sample.len(),
+        sample.method,
+        if sample.has_densities() {
+            ", density counters computed"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn cmd_render(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = required(flags, "input")?;
+    let output = required(flags, "output")?;
+    let width: usize = numeric(flags, "width", 1_200)?;
+    let height: usize = numeric(flags, "height", 900)?;
+    let data = load(input)?;
+    if data.is_empty() {
+        return Err("input file contains no points".into());
+    }
+    let style = if flags.contains_key("density") {
+        PlotStyle::density_plot(6)
+    } else {
+        PlotStyle::map_plot()
+    };
+    let viewport = Viewport::fit(&data.points, width, height);
+    let canvas = ScatterRenderer::new(style).render_points(&data.points, &viewport);
+    canvas
+        .write_ppm(output)
+        .map_err(|e| format!("writing {output}: {e}"))?;
+    println!("rendered {} points to {output} ({width}x{height})", data.len());
+    Ok(())
+}
+
+fn cmd_loss(flags: &HashMap<String, String>) -> Result<(), String> {
+    let data = load(required(flags, "data")?)?;
+    let sample = load(required(flags, "sample")?)?;
+    if data.is_empty() {
+        return Err("the data file contains no points".into());
+    }
+    let kernel = GaussianKernel::for_dataset(&data);
+    let estimator = LossEstimator::new(&data, &kernel, LossConfig::default());
+    let report = estimator.evaluate(&kernel, &sample.points);
+    println!(
+        "sample: {} of {} points\nmedian point-loss: {:.6e}\nlog-loss-ratio:    {:.4}",
+        sample.len(),
+        data.len(),
+        report.median,
+        estimator.log_loss_ratio(&kernel, &sample.points)
+    );
+    Ok(())
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let output = required(flags, "output")?;
+    let kind = required(flags, "kind")?;
+    let n: usize = numeric(flags, "points", 100_000)?;
+    let seed: u64 = numeric(flags, "seed", 42)?;
+    let dataset = match kind {
+        "geolife" => GeolifeGenerator::with_size(n, seed).generate(),
+        "splom" => SplomGenerator::with_size(n, seed).generate(),
+        "gaussian" => GaussianMixtureGenerator::paper_clustering_dataset(2, n, seed).generate(),
+        other => return Err(format!("unknown kind {other:?} (geolife|splom|gaussian)")),
+    };
+    vas::data::io::write_csv(&dataset, output).map_err(|e| format!("writing {output}: {e}"))?;
+    println!("generated {} {kind} points into {output}", dataset.len());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_extracts_command_flags_and_booleans() {
+        let args = strings(&[
+            "sample", "--input", "a.csv", "--size", "100", "--density", "--output", "b.csv",
+        ]);
+        let (cmd, flags) = parse(&args).unwrap();
+        assert_eq!(cmd, "sample");
+        assert_eq!(flags.get("input").unwrap(), "a.csv");
+        assert_eq!(flags.get("size").unwrap(), "100");
+        assert_eq!(flags.get("density").unwrap(), "true");
+        assert_eq!(flags.get("output").unwrap(), "b.csv");
+    }
+
+    #[test]
+    fn parse_rejects_missing_command_and_bad_flags() {
+        assert!(parse(&[]).is_none());
+        assert!(parse(&strings(&["sample", "oops"])).is_none());
+    }
+
+    #[test]
+    fn numeric_defaults_and_errors() {
+        let (_, flags) = parse(&strings(&["x", "--size", "12"])).unwrap();
+        assert_eq!(numeric(&flags, "size", 0usize).unwrap(), 12);
+        assert_eq!(numeric(&flags, "missing", 7usize).unwrap(), 7);
+        let (_, flags) = parse(&strings(&["x", "--size", "abc"])).unwrap();
+        assert!(numeric(&flags, "size", 0usize).is_err());
+    }
+
+    #[test]
+    fn generate_sample_loss_round_trip() {
+        let dir = std::env::temp_dir().join(format!("vas-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv").to_string_lossy().to_string();
+        let sample_path = dir.join("sample.csv").to_string_lossy().to_string();
+
+        let (_, flags) = parse(&strings(&[
+            "generate", "--output", &data_path, "--kind", "geolife", "--points", "2000",
+        ]))
+        .unwrap();
+        cmd_generate(&flags).unwrap();
+
+        let (_, flags) = parse(&strings(&[
+            "sample", "--input", &data_path, "--output", &sample_path, "--size", "100",
+            "--method", "vas",
+        ]))
+        .unwrap();
+        cmd_sample(&flags).unwrap();
+        let sample = load(&sample_path).unwrap();
+        assert_eq!(sample.len(), 100);
+
+        let (_, flags) = parse(&strings(&[
+            "loss", "--data", &data_path, "--sample", &sample_path,
+        ]))
+        .unwrap();
+        cmd_loss(&flags).unwrap();
+
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,131 @@
+//! Integration tests for the features that go beyond the paper's minimum:
+//! Poisson-disk baseline, nested catalogs, catalog persistence, outlier
+//! augmentation, jitter rendering and the binned-aggregation comparison.
+
+use vas::binned::{TilePyramid, TilePyramidConfig};
+use vas::core::outlier::with_outliers;
+use vas::prelude::*;
+use vas::storage::{load_catalog, save_catalog};
+
+#[test]
+fn poisson_disk_is_a_weaker_substitute_for_vas_on_skewed_data() {
+    let data = GeolifeGenerator::with_size(40_000, 99).generate();
+    let kernel = GaussianKernel::for_dataset(&data);
+    let estimator = LossEstimator::new(&data, &kernel, LossConfig::default());
+    let k = 1_000;
+
+    let vas = VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data);
+    let poisson = PoissonDiskSampler::with_budget(k, data.bounds(), 3).sample_dataset(&data);
+
+    // Poisson-disk saturates below its budget on skewed data…
+    assert!(poisson.len() <= k);
+    // …and does not beat VAS on the paper's loss metric.
+    let l_vas = estimator.log_loss_ratio(&kernel, &vas.points);
+    let l_poisson = estimator.log_loss_ratio(&kernel, &poisson.points);
+    assert!(
+        l_vas <= l_poisson + 1e-9,
+        "VAS {l_vas} should be at least as good as poisson-disk {l_poisson}"
+    );
+}
+
+#[test]
+fn nested_catalog_persists_and_reloads() {
+    let data = GeolifeGenerator::with_size(20_000, 5).generate();
+    let catalog = SampleCatalog::build_nested(&data, &[200, 1_000], |k| {
+        VasSampler::from_dataset(&data, VasConfig::new(k))
+    });
+    // Nested property across the ladder.
+    let samples = catalog.samples();
+    for p in &samples[0].points {
+        assert!(samples[1].points.contains(p));
+    }
+
+    let dir = std::env::temp_dir().join(format!("vas-ext-catalog-{}", std::process::id()));
+    save_catalog(&catalog, &dir).unwrap();
+    let reloaded = load_catalog(&dir).unwrap();
+    assert_eq!(reloaded.sizes(), catalog.sizes());
+    assert_eq!(
+        reloaded.best_within(500).unwrap().points,
+        catalog.best_within(500).unwrap().points
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn outlier_augmentation_preserves_extreme_points() {
+    let mut data = GeolifeGenerator::with_size(10_000, 6).generate();
+    let glitch = Point::with_value(140.0, 50.0, 0.0);
+    data.points.push(glitch);
+
+    let sample = VasSampler::from_dataset(&data, VasConfig::new(150)).sample_dataset(&data);
+    let augmented = with_outliers(sample, &data, 3, 0.0);
+    assert!(
+        augmented.points.contains(&glitch),
+        "the injected glitch must survive augmentation"
+    );
+}
+
+#[test]
+fn jitter_and_dot_size_encodings_both_restore_density_signal() {
+    let data = GeolifeGenerator::with_size(30_000, 8).generate();
+    let sample = with_embedded_density(
+        VasSampler::from_dataset(&data, VasConfig::new(800)).sample_dataset(&data),
+        &data,
+    );
+    let task = DensityTask::generate(&data, 6, 2);
+    let baseline = {
+        let mut plain = sample.clone();
+        plain.densities = None;
+        task.success_ratio(&plain)
+    };
+    let with_size_encoding = task.success_ratio(&sample);
+    assert!(with_size_encoding >= baseline);
+
+    // The jitter renderer is deterministic and adds ink where density is high.
+    let viewport = Viewport::fit(&sample.points, 300, 300);
+    let jittered =
+        ScatterRenderer::new(PlotStyle::jitter_plot(10, 4)).render_sample(&sample, &viewport);
+    let plain_style = PlotStyle {
+        radius: 0,
+        ..PlotStyle::default()
+    };
+    let plain = ScatterRenderer::new(plain_style).render_points(&sample.points, &viewport);
+    assert!(jittered.ink(Color::WHITE) > plain.ink(Color::WHITE));
+}
+
+#[test]
+fn binned_pyramid_and_vas_catalog_answer_the_same_overview_consistently() {
+    let data = GeolifeGenerator::with_size(25_000, 12).generate();
+    let pyramid = TilePyramid::build(&data, TilePyramidConfig { max_level: 7 });
+    // Counts are conserved by the pyramid…
+    assert_eq!(pyramid.approximate_count(&pyramid.bounds()), data.len() as u64);
+    // …while the VAS catalog keeps raw points whose density counters also sum
+    // to the dataset size.
+    let sample = with_embedded_density(
+        VasSampler::from_dataset(&data, VasConfig::new(500)).sample_dataset(&data),
+        &data,
+    );
+    assert_eq!(sample.total_density(), data.len() as u64);
+}
+
+#[test]
+fn noisy_worker_population_keeps_method_ordering() {
+    let data = GeolifeGenerator::with_size(30_000, 16).generate();
+    let task = RegressionTask::generate(&data, 12, 7);
+    let k = 800;
+    let uniform = UniformSampler::new(k, 1).sample_dataset(&data);
+    let vas = VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data);
+
+    let answers = |points: &[Point]| -> Vec<bool> {
+        task.questions().iter().map(|q| task.answer(q, points)).collect()
+    };
+    let population = WorkerPopulation::paper_default(11);
+    let noisy_uniform = population.run(&answers(&uniform.points)).success_ratio;
+    let noisy_vas = population.run(&answers(&vas.points)).success_ratio;
+    let ideal_uniform = task.success_ratio(&uniform.points);
+    let ideal_vas = task.success_ratio(&vas.points);
+    // Noise shrinks the gap but must not invert a clear ordering.
+    if ideal_vas > ideal_uniform + 0.1 {
+        assert!(noisy_vas >= noisy_uniform);
+    }
+}
