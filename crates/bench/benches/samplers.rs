@@ -20,8 +20,7 @@ fn bench_samplers(c: &mut Criterion) {
     group.bench_function("stratified", |b| {
         b.iter(|| {
             black_box(
-                StratifiedSampler::square(k, data.bounds(), 10, 1)
-                    .sample_dataset(black_box(&data)),
+                StratifiedSampler::square(k, data.bounds(), 10, 1).sample_dataset(black_box(&data)),
             )
         })
     });

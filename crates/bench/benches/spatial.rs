@@ -11,11 +11,7 @@ fn bench_rtree(c: &mut Criterion) {
     for &n in &[1_000usize, 10_000] {
         let points = &data.points[..n];
         group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(RTree::from_entries(
-                    points.iter().copied().enumerate(),
-                ))
-            })
+            b.iter(|| black_box(RTree::from_entries(points.iter().copied().enumerate())))
         });
         let tree = RTree::from_entries(points.iter().copied().enumerate());
         let query = data.points[n / 2];

@@ -61,8 +61,10 @@ fn main() {
     // --- VAS samples of comparable storage cost.
     for k in [10_000usize, 50_000] {
         let sample = VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data);
-        let over =
-            renderer.render_points(&sample.points, &Viewport::new(overview, canvas_px, canvas_px));
+        let over = renderer.render_points(
+            &sample.points,
+            &Viewport::new(overview, canvas_px, canvas_px),
+        );
         let zoomed =
             renderer.render_points(&sample.points, &Viewport::new(zoom, canvas_px, canvas_px));
         let visible = sample.filter_region(&zoom).len();

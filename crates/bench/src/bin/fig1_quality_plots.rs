@@ -10,9 +10,9 @@
 
 use bench::{display_path, emit, fmt3, geolife, save_plot, ReportTable};
 use vas_core::{density::with_embedded_density, GaussianKernel, VasConfig, VasSampler};
+use vas_data::{ZoomLevel, ZoomWorkload};
 use vas_eval::{LossConfig, LossEstimator};
 use vas_sampling::{Sampler, StratifiedSampler, UniformSampler};
-use vas_data::{ZoomLevel, ZoomWorkload};
 use vas_viz::{PlotStyle, ScatterRenderer, Viewport};
 
 fn main() {
@@ -29,8 +29,11 @@ fn main() {
     let vas = VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data);
     let vas_density = with_embedded_density(vas.clone(), &data);
 
-    let overview =
-        Viewport::new(data.bounds().padded(data.bounds().diagonal() * 0.01), 900, 900);
+    let overview = Viewport::new(
+        data.bounds().padded(data.bounds().diagonal() * 0.01),
+        900,
+        900,
+    );
     let zooms = ZoomWorkload::new(5).regions(&data, ZoomLevel::Deep, 3);
     let map_renderer = ScatterRenderer::new(PlotStyle::map_plot());
     let density_renderer = ScatterRenderer::new(PlotStyle::density_plot(6));
@@ -56,8 +59,7 @@ fn main() {
         for (zi, z) in zooms.iter().enumerate() {
             let visible = sample.filter_region(&z.viewport);
             zoom_counts.push(visible.len());
-            let canvas =
-                map_renderer.render_points(&visible, &Viewport::new(z.viewport, 900, 900));
+            let canvas = map_renderer.render_points(&visible, &Viewport::new(z.viewport, 900, 900));
             let p = save_plot(&canvas, &format!("fig1_{}_zoom{}", sample.method, zi + 1));
             if zi == 0 {
                 first_zoom_path = display_path(&p);

@@ -44,18 +44,34 @@ fn main() {
     // --- Part 2: model-extrapolated times at the paper's scales.
     let mut modeled = ReportTable::new(
         "Figure 2/4 (modeled) — Tableau-like and MathGL-like latency at paper scales",
-        &["tuples", "tableau-like (s)", "mathgl-like (s)", "interactive (<2s)?"],
+        &[
+            "tuples",
+            "tableau-like (s)",
+            "mathgl-like (s)",
+            "interactive (<2s)?",
+        ],
     );
     let tableau = LatencyModel::tableau_like();
     let mathgl = LatencyModel::mathgl_like();
-    for n in [1_000_000usize, 5_000_000, 10_000_000, 50_000_000, 500_000_000] {
+    for n in [
+        1_000_000usize,
+        5_000_000,
+        10_000_000,
+        50_000_000,
+        500_000_000,
+    ] {
         let t = tableau.time_for(n);
         let m = mathgl.time_for(n);
         modeled.push_row(vec![
             n.to_string(),
             fmt_secs(t),
             fmt_secs(m),
-            if m < Duration::from_secs(2) { "yes" } else { "no" }.into(),
+            if m < Duration::from_secs(2) {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
         ]);
     }
 

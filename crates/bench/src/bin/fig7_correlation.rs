@@ -48,10 +48,7 @@ fn main() {
     }
 
     let rho = spearman(&losses, &successes);
-    let mut summary = ReportTable::new(
-        "Figure 7 — summary",
-        &["statistic", "paper", "measured"],
-    );
+    let mut summary = ReportTable::new("Figure 7 — summary", &["statistic", "paper", "measured"]);
     summary.push_row(vec![
         "Spearman rank correlation (loss vs success)".into(),
         "-0.85".into(),
@@ -60,7 +57,12 @@ fn main() {
     summary.push_row(vec![
         "direction".into(),
         "negative (lower loss => higher success)".into(),
-        if rho < 0.0 { "negative" } else { "NON-negative" }.into(),
+        if rho < 0.0 {
+            "negative"
+        } else {
+            "NON-negative"
+        }
+        .into(),
     ]);
 
     emit("fig7_correlation", &[table, summary]);

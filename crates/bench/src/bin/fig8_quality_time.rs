@@ -44,7 +44,13 @@ fn main() {
     // --- (a) error given time.
     let mut part_a = ReportTable::new(
         "Figure 8(a) — error (log-loss-ratio) given visualization time",
-        &["sample size", "viz time (s)", "uniform", "stratified", "vas"],
+        &[
+            "sample size",
+            "viz time (s)",
+            "uniform",
+            "stratified",
+            "vas",
+        ],
     );
     for &k in &SIZES {
         let err_of = |method: &str| {

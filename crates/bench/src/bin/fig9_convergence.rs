@@ -38,7 +38,12 @@ fn main() {
         let events = trace_for(k, passes, &data);
         let mut table = ReportTable::new(
             format!("Figure 9 — objective vs processing time (sample size {k}, {passes} passes)"),
-            &["tuples processed", "elapsed (s)", "objective", "replacements"],
+            &[
+                "tuples processed",
+                "elapsed (s)",
+                "objective",
+                "replacements",
+            ],
         );
         // Thin the trace to ~20 rows for readability; the JSON keeps them all.
         let step = (events.len() / 20).max(1);

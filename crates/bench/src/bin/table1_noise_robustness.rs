@@ -41,8 +41,8 @@ fn main() {
                 .iter()
                 .map(|q| task.answer(q, &s.points))
                 .collect();
-            let ideal = ideal_answers.iter().filter(|&&a| a).count() as f64
-                / ideal_answers.len() as f64;
+            let ideal =
+                ideal_answers.iter().filter(|&&a| a).count() as f64 / ideal_answers.len() as f64;
             let noisy = population.run(&ideal_answers);
             table.push_row(vec![
                 k.to_string(),

@@ -55,7 +55,13 @@ fn main() {
         let incumbent: Vec<usize> = approx
             .points
             .iter()
-            .map(|p| dataset.points.iter().position(|q| q == p).expect("sample point in data"))
+            .map(|p| {
+                dataset
+                    .points
+                    .iter()
+                    .position(|q| q == p)
+                    .expect("sample point in data")
+            })
             .collect();
         let t0 = Instant::now();
         let exact = ExactSolver::new().solve(&kernel, &dataset.points, k, Some(&incumbent));

@@ -310,7 +310,11 @@ mod tests {
         let tiny = p.bounds().subregion(0.5, 0.5, 0.501, 0.501);
         let (level, cells) = p.query_for_render(&tiny, 512);
         assert_eq!(level, 5);
-        assert!(cells.len() <= 4, "deep zoom shows only {} coarse cells", cells.len());
+        assert!(
+            cells.len() <= 4,
+            "deep zoom shows only {} coarse cells",
+            cells.len()
+        );
     }
 
     #[test]

@@ -87,7 +87,10 @@ mod tests {
         let mut points = Vec::new();
         for i in 0..9_000 {
             let t = i as f64 * 1e-4;
-            points.push(vas_data::Point::new(0.1 + t.sin() * 0.05, 0.1 + t.cos() * 0.05));
+            points.push(vas_data::Point::new(
+                0.1 + t.sin() * 0.05,
+                0.1 + t.cos() * 0.05,
+            ));
         }
         for i in 0..500 {
             points.push(vas_data::Point::new(0.9, 0.1 + i as f64 * 1e-4));

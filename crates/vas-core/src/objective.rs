@@ -99,7 +99,8 @@ mod tests {
             Point::new(1.0, 0.0),
             Point::new(0.0, 1.0),
         ];
-        let expected = k.eval(&pts[0], &pts[1]) + k.eval(&pts[0], &pts[2]) + k.eval(&pts[1], &pts[2]);
+        let expected =
+            k.eval(&pts[0], &pts[1]) + k.eval(&pts[0], &pts[2]) + k.eval(&pts[1], &pts[2]);
         assert!((objective(&k, &pts) - expected).abs() < 1e-12);
     }
 

@@ -43,8 +43,7 @@ pub fn find_outliers(sample: &[Point], dataset: &Dataset, budget: usize) -> Vec<
     for p in dataset.iter() {
         let (_, nearest) = tree.nearest(p).expect("non-empty sample");
         let distance = nearest.dist(p);
-        if top.len() < budget || distance > top.last().expect("non-empty top").distance_to_sample
-        {
+        if top.len() < budget || distance > top.last().expect("non-empty top").distance_to_sample {
             let outlier = Outlier {
                 point: *p,
                 distance_to_sample: distance,
@@ -66,7 +65,12 @@ pub fn find_outliers(sample: &[Point], dataset: &Dataset, budget: usize) -> Vec<
 /// `min_distance` (pass `0.0` to always use the full budget). Density
 /// counters, when present, are extended with a count of 1 for each added
 /// point so the sample stays internally consistent.
-pub fn with_outliers(sample: Sample, dataset: &Dataset, budget: usize, min_distance: f64) -> Sample {
+pub fn with_outliers(
+    sample: Sample,
+    dataset: &Dataset,
+    budget: usize,
+    min_distance: f64,
+) -> Sample {
     let outliers = find_outliers(&sample.points, dataset, budget);
     let mut sample = sample;
     for o in outliers {

@@ -76,7 +76,10 @@ impl GaussianMixtureGenerator {
     /// # Panics
     /// Panics if `clusters` is empty or any weight is non-positive.
     pub fn new(clusters: Vec<GaussianCluster>, n_points: usize, seed: u64) -> Self {
-        assert!(!clusters.is_empty(), "mixture requires at least one cluster");
+        assert!(
+            !clusters.is_empty(),
+            "mixture requires at least one cluster"
+        );
         assert!(
             clusters.iter().all(|c| c.weight > 0.0),
             "cluster weights must be positive"
@@ -154,7 +157,11 @@ impl GaussianMixtureGenerator {
         }
 
         Dataset::new(
-            format!("gaussian-mixture-{}c-{}", self.clusters.len(), self.n_points),
+            format!(
+                "gaussian-mixture-{}c-{}",
+                self.clusters.len(),
+                self.n_points
+            ),
             DatasetKind::GaussianMixture,
             points,
         )
@@ -218,8 +225,7 @@ mod tests {
 
     #[test]
     fn anisotropic_clusters_are_elongated() {
-        let clusters =
-            vec![GaussianCluster::isotropic(0.0, 0.0, 1.0).with_shape(4.0, 0.5, 0.0)];
+        let clusters = vec![GaussianCluster::isotropic(0.0, 0.0, 1.0).with_shape(4.0, 0.5, 0.0)];
         let d = GaussianMixtureGenerator::new(clusters, 20_000, 4).generate();
         let var_x = d.points.iter().map(|p| p.x * p.x).sum::<f64>() / d.len() as f64;
         let var_y = d.points.iter().map(|p| p.y * p.y).sum::<f64>() / d.len() as f64;

@@ -344,7 +344,11 @@ mod tests {
             assert!(max_dev < 60.0, "altitude not locally smooth: {max_dev}");
         }
         // But across the whole extent there is substantial variation.
-        let min = d.points.iter().map(|p| p.value).fold(f64::INFINITY, f64::min);
+        let min = d
+            .points
+            .iter()
+            .map(|p| p.value)
+            .fold(f64::INFINITY, f64::min);
         let max = d
             .points
             .iter()

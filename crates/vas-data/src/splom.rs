@@ -86,7 +86,10 @@ impl SplomTable {
     /// # Panics
     /// Panics if `cx` or `cy` is out of range or if `cx == cy`.
     pub fn project(&self, cx: usize, cy: usize) -> Dataset {
-        assert!(cx < SPLOM_COLUMNS && cy < SPLOM_COLUMNS, "column out of range");
+        assert!(
+            cx < SPLOM_COLUMNS && cy < SPLOM_COLUMNS,
+            "column out of range"
+        );
         assert_ne!(cx, cy, "projection requires two distinct columns");
         let value_col = (0..SPLOM_COLUMNS).find(|&c| c != cx && c != cy).unwrap();
         let points = (0..self.n_rows())
@@ -98,11 +101,7 @@ impl SplomTable {
                 )
             })
             .collect();
-        Dataset::new(
-            format!("splom-{}x{}", cx, cy),
-            DatasetKind::Splom,
-            points,
-        )
+        Dataset::new(format!("splom-{}x{}", cx, cy), DatasetKind::Splom, points)
     }
 }
 

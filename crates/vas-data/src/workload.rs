@@ -186,7 +186,9 @@ mod tests {
     #[test]
     fn empty_dataset_yields_no_regions() {
         let d = Dataset::from_points("empty", vec![]);
-        assert!(ZoomWorkload::new(0).regions(&d, ZoomLevel::Deep, 3).is_empty());
+        assert!(ZoomWorkload::new(0)
+            .regions(&d, ZoomLevel::Deep, 3)
+            .is_empty());
         assert!(ZoomWorkload::new(0).session(&d, 3).is_empty());
     }
 

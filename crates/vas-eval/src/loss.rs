@@ -66,6 +66,7 @@ pub struct LossReport {
 /// different samples of the same dataset are compared on identical probes —
 /// this is what makes loss values comparable across methods and sample sizes,
 /// as required for Figures 7 and 8.
+#[derive(Debug, Clone)]
 pub struct LossEstimator {
     probes: Vec<Point>,
     config: LossConfig,
@@ -92,14 +93,8 @@ impl LossEstimator {
             // Domain membership tests use a k-d tree over (a subsample of) the
             // dataset; a 50K subsample is plenty to delineate the domain.
             let step = (dataset.len() / 50_000).max(1);
-            let domain_tree = KdTree::build(
-                dataset
-                    .points
-                    .iter()
-                    .step_by(step)
-                    .copied()
-                    .enumerate(),
-            );
+            let domain_tree =
+                KdTree::build(dataset.points.iter().step_by(step).copied().enumerate());
             let mut attempts = 0usize;
             while probes.len() < config.probes && attempts < config.probes * 100 {
                 attempts += 1;

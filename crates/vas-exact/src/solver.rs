@@ -22,15 +22,13 @@ pub struct ExactSolution {
 }
 
 /// Exact solver for `min_{|S| = K} Σ_{i<j} κ̃(s_i, s_j)`.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExactSolver {
     /// Optional cap on explored nodes; `None` means unbounded. When the cap
     /// is hit the best incumbent found so far is returned (and is then only a
     /// heuristic solution, flagged by `nodes_explored >= cap`).
     pub node_limit: Option<u64>,
 }
-
 
 impl ExactSolver {
     /// Creates an unbounded exact solver.
@@ -255,7 +253,13 @@ impl SearchState<'_> {
 
 /// Enumerates every `k`-subset of `0..n` in lexicographic order, invoking the
 /// callback with each.
-fn enumerate(n: usize, k: usize, start: usize, current: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+fn enumerate(
+    n: usize,
+    k: usize,
+    start: usize,
+    current: &mut Vec<usize>,
+    f: &mut impl FnMut(&[usize]),
+) {
     if current.len() == k {
         f(current);
         return;

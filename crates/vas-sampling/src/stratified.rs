@@ -51,7 +51,10 @@ impl StratifiedSampler {
     /// Panics if the grid is degenerate or `bounds` is empty.
     pub fn new(k: usize, bounds: BoundingBox, cols: usize, rows: usize, seed: u64) -> Self {
         assert!(cols > 0 && rows > 0, "grid dimensions must be positive");
-        assert!(!bounds.is_empty(), "stratification domain must be non-empty");
+        assert!(
+            !bounds.is_empty(),
+            "stratification domain must be non-empty"
+        );
         Self {
             k,
             seed,
@@ -139,11 +142,7 @@ impl Sampler for StratifiedSampler {
     }
 
     fn finalize(&mut self) -> Sample {
-        let available: Vec<u64> = self
-            .bins
-            .iter()
-            .map(|b| b.reservoir.len() as u64)
-            .collect();
+        let available: Vec<u64> = self.bins.iter().map(|b| b.reservoir.len() as u64).collect();
         let quota = Self::balanced_allocation(&available, self.k);
 
         let mut points = Vec::with_capacity(self.k.min(available.iter().sum::<u64>() as usize));
@@ -210,9 +209,8 @@ mod tests {
             "small",
             (0..30).map(|i| Point::new(i as f64 / 30.0, 0.5)).collect(),
         );
-        let s =
-            StratifiedSampler::square(100, BoundingBox::new(0.0, 0.0, 1.0, 1.0), 5, 0)
-                .sample_dataset(&d);
+        let s = StratifiedSampler::square(100, BoundingBox::new(0.0, 0.0, 1.0, 1.0), 5, 0)
+            .sample_dataset(&d);
         assert_eq!(s.len(), 30);
     }
 

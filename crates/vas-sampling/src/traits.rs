@@ -65,10 +65,8 @@ mod tests {
 
     #[test]
     fn sample_dataset_drives_observe_and_finalize() {
-        let dataset = Dataset::from_points(
-            "d",
-            (0..10).map(|i| Point::new(i as f64, 0.0)).collect(),
-        );
+        let dataset =
+            Dataset::from_points("d", (0..10).map(|i| Point::new(i as f64, 0.0)).collect());
         let mut sampler = FirstK { k: 3, buf: vec![] };
         let s = sampler.sample_dataset(&dataset);
         assert_eq!(s.len(), 3);

@@ -286,8 +286,7 @@ mod tests {
         let bounds = BoundingBox::new(0.0, 0.0, 1.0, 1.0);
         let mut g = UniformGrid::new(bounds, 3, 3);
         g.insert(0, &Point::new(0.9, 0.1)); // col 2, row 0
-        let occupied: Vec<(usize, usize)> =
-            g.iter_occupied().map(|(c, r, _)| (c, r)).collect();
+        let occupied: Vec<(usize, usize)> = g.iter_occupied().map(|(c, r, _)| (c, r)).collect();
         assert_eq!(occupied, vec![(2, 0)]);
     }
 }

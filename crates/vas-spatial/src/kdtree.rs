@@ -54,7 +54,11 @@ impl KdTree {
         let axis = (depth % 2) as u8;
         indices.sort_by(|&a, &b| {
             let (pa, pb) = (&entries[a].1, &entries[b].1);
-            let (ka, kb) = if axis == 0 { (pa.x, pb.x) } else { (pa.y, pb.y) };
+            let (ka, kb) = if axis == 0 {
+                (pa.x, pb.x)
+            } else {
+                (pa.y, pb.y)
+            };
             ka.partial_cmp(&kb).expect("finite coordinates")
         });
         let mid = indices.len() / 2;

@@ -133,7 +133,10 @@ impl RTree {
             // `old_root` has been replaced by `left` contents already; rebuild.
             drop(old_root);
             self.root = Node::Internal {
-                children: vec![(left.bbox(), Box::new(left)), (right.bbox(), Box::new(right))],
+                children: vec![
+                    (left.bbox(), Box::new(left)),
+                    (right.bbox(), Box::new(right)),
+                ],
             };
         }
         self.len += 1;
@@ -228,18 +231,10 @@ impl RTree {
 
     /// Removes from the subtree. Underflowed leaves are dissolved into
     /// `orphans` for reinsertion. Returns whether the entry was found.
-    fn remove_rec(
-        node: &mut Node,
-        id: usize,
-        point: &Point,
-        orphans: &mut Vec<LeafEntry>,
-    ) -> bool {
+    fn remove_rec(node: &mut Node, id: usize, point: &Point, orphans: &mut Vec<LeafEntry>) -> bool {
         match node {
             Node::Leaf { entries } => {
-                if let Some(pos) = entries
-                    .iter()
-                    .position(|e| e.id == id && e.point == *point)
-                {
+                if let Some(pos) = entries.iter().position(|e| e.id == id && e.point == *point) {
                     entries.swap_remove(pos);
                     true
                 } else {
@@ -525,7 +520,11 @@ mod tests {
         let pts = random_points(1_000, 2);
         let t = RTree::from_entries(pts.iter().copied().enumerate());
         let region = BoundingBox::new(-30.0, -50.0, 20.0, 10.0);
-        let mut got: Vec<usize> = t.query_region(&region).into_iter().map(|(id, _)| id).collect();
+        let mut got: Vec<usize> = t
+            .query_region(&region)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
         got.sort_unstable();
         let mut expected: Vec<usize> = pts
             .iter()

@@ -103,10 +103,7 @@ impl SampleCatalog {
     /// nothing or falls back to the smallest sample, a policy decision left
     /// to the engine).
     pub fn best_within(&self, max_points: usize) -> Option<&Sample> {
-        self.samples
-            .iter()
-            .rev()
-            .find(|s| s.len() <= max_points)
+        self.samples.iter().rev().find(|s| s.len() <= max_points)
     }
 
     /// The smallest stored sample, if any.

@@ -186,9 +186,13 @@ impl VizEngine {
             .tables
             .get(&q.table)
             .ok_or_else(|| EngineError::UnknownTable(q.table.clone()))?;
-        for col in [Some(q.x_col.as_str()), Some(q.y_col.as_str()), q.value_col.as_deref()]
-            .into_iter()
-            .flatten()
+        for col in [
+            Some(q.x_col.as_str()),
+            Some(q.y_col.as_str()),
+            q.value_col.as_deref(),
+        ]
+        .into_iter()
+        .flatten()
         {
             if table.column(col).is_none() {
                 return Err(EngineError::UnknownColumn(col.to_string()));

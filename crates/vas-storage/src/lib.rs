@@ -33,6 +33,6 @@ pub mod persist;
 pub mod table;
 
 pub use catalog::SampleCatalog;
-pub use persist::{load_catalog, manifest_path, save_catalog};
 pub use engine::{VizEngine, VizQuery, VizResult};
+pub use persist::{load_catalog, manifest_path, save_catalog};
 pub use table::{ColumnRef, Table};

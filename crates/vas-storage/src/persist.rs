@@ -124,7 +124,10 @@ fn read_sample(path: &Path, entry: &ManifestEntry) -> io::Result<Sample> {
     if r.read(&mut buf)? != 0 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("sample file {} is larger than its manifest entry", path.display()),
+            format!(
+                "sample file {} is larger than its manifest entry",
+                path.display()
+            ),
         ));
     }
     Ok(sample)
@@ -137,10 +140,7 @@ mod tests {
     use vas_sampling::{Sampler, UniformSampler};
 
     fn temp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "vas-persist-{}-{name}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("vas-persist-{}-{name}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         dir
     }

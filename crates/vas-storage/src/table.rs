@@ -57,8 +57,14 @@ impl Table {
         Self::new(
             dataset.name.clone(),
             vec![
-                ("x".to_string(), dataset.points.iter().map(|p| p.x).collect()),
-                ("y".to_string(), dataset.points.iter().map(|p| p.y).collect()),
+                (
+                    "x".to_string(),
+                    dataset.points.iter().map(|p| p.x).collect(),
+                ),
+                (
+                    "y".to_string(),
+                    dataset.points.iter().map(|p| p.y).collect(),
+                ),
                 (
                     "value".to_string(),
                     dataset.points.iter().map(|p| p.value).collect(),
@@ -191,10 +197,7 @@ mod tests {
     fn mismatched_column_lengths_rejected() {
         let _ = Table::new(
             "bad",
-            vec![
-                ("x".into(), vec![0.0; 4]),
-                ("y".into(), vec![0.0; 3]),
-            ],
+            vec![("x".into(), vec![0.0; 4]), ("y".into(), vec![0.0; 3])],
         );
     }
 

@@ -251,7 +251,10 @@ mod tests {
             density_score >= plain_score,
             "density embedding ({density_score}) must not be worse than plain VAS ({plain_score})"
         );
-        assert!(density_score > 0.4, "density-embedded score {density_score}");
+        assert!(
+            density_score > 0.4,
+            "density-embedded score {density_score}"
+        );
     }
 
     #[test]
@@ -282,7 +285,10 @@ mod tests {
         let b = DensityTask::generate(&d, 4, 9);
         assert_eq!(a.questions().len(), b.questions().len());
         for (qa, qb) in a.questions().iter().zip(b.questions()) {
-            assert_eq!(qa.markers.map(|m| (m.x, m.y)), qb.markers.map(|m| (m.x, m.y)));
+            assert_eq!(
+                qa.markers.map(|m| (m.x, m.y)),
+                qb.markers.map(|m| (m.x, m.y))
+            );
             assert_eq!(qa.densest, qb.densest);
         }
     }

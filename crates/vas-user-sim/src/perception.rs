@@ -100,7 +100,10 @@ pub fn count_ink_clusters(canvas: &Canvas, config: &PerceptionConfig) -> usize {
     let threshold = config
         .occupancy_threshold
         .max(config.relative_threshold * max_frac);
-    let occupied: Vec<bool> = fractions.iter().map(|&f| f > 0.0 && f >= threshold).collect();
+    let occupied: Vec<bool> = fractions
+        .iter()
+        .map(|&f| f > 0.0 && f >= threshold)
+        .collect();
 
     // 8-connected components over occupied cells.
     let mut visited = vec![false; side * side];

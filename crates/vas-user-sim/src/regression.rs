@@ -75,10 +75,8 @@ impl RegressionTask {
                         rng.gen_range(r.viewport.min_x..=r.viewport.max_x),
                         rng.gen_range(r.viewport.min_y..=r.viewport.max_y),
                     );
-                    let has_ground_truth = dataset
-                        .points
-                        .iter()
-                        .any(|p| p.dist(&candidate) <= radius);
+                    let has_ground_truth =
+                        dataset.points.iter().any(|p| p.dist(&candidate) <= radius);
                     if has_ground_truth {
                         query = candidate;
                         break;
@@ -86,10 +84,7 @@ impl RegressionTask {
                 }
                 let truth = local_average_value(dataset, &query, radius);
                 let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-                let decoys = [
-                    truth + sign * value_std,
-                    truth - sign * 2.0 * value_std,
-                ];
+                let decoys = [truth + sign * value_std, truth - sign * 2.0 * value_std];
                 RegressionQuestion {
                     region: r.viewport,
                     query,

@@ -19,7 +19,10 @@ impl Canvas {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize, background: Color) -> Self {
-        assert!(width > 0 && height > 0, "canvas dimensions must be positive");
+        assert!(
+            width > 0 && height > 0,
+            "canvas dimensions must be positive"
+        );
         Self {
             width,
             height,
@@ -149,8 +152,8 @@ impl Canvas {
                     }
                 }
                 let level = if n == 0 { 0.0 } else { darkness / n as f64 };
-                let idx = ((level * (glyphs.len() - 1) as f64).round() as usize)
-                    .min(glyphs.len() - 1);
+                let idx =
+                    ((level * (glyphs.len() - 1) as f64).round() as usize).min(glyphs.len() - 1);
                 out.push(glyphs[idx]);
             }
             out.push('\n');

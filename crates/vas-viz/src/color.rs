@@ -116,7 +116,12 @@ mod tests {
 
     #[test]
     fn colormaps_cover_their_endpoints() {
-        for cm in [Colormap::Viridis, Colormap::Blues, Colormap::Heat, Colormap::Greys] {
+        for cm in [
+            Colormap::Viridis,
+            Colormap::Blues,
+            Colormap::Heat,
+            Colormap::Greys,
+        ] {
             let lo = cm.map(0.0);
             let hi = cm.map(1.0);
             assert_ne!(lo, hi, "{cm:?} endpoints should differ");

@@ -55,7 +55,11 @@ impl LatencyModel {
     /// Calibrates a model against this crate's rasterizer by rendering
     /// `calibration_sizes` synthetic point sets and fitting the linear model
     /// through the two extreme measurements.
-    pub fn calibrate(renderer: &ScatterRenderer, viewport: &Viewport, calibration_sizes: &[usize]) -> Self {
+    pub fn calibrate(
+        renderer: &ScatterRenderer,
+        viewport: &Viewport,
+        calibration_sizes: &[usize],
+    ) -> Self {
         assert!(
             calibration_sizes.len() >= 2,
             "calibration needs at least two sizes"
@@ -85,8 +89,7 @@ impl LatencyModel {
         let t_lo = measure(n_lo);
         let t_hi = measure(n_hi);
         let span = (n_hi - n_lo).max(1) as f64;
-        let per_tuple_secs =
-            ((t_hi.as_secs_f64() - t_lo.as_secs_f64()) / span).max(1e-12);
+        let per_tuple_secs = ((t_hi.as_secs_f64() - t_lo.as_secs_f64()) / span).max(1e-12);
         let overhead_secs = (t_lo.as_secs_f64() - per_tuple_secs * n_lo as f64).max(0.0);
         Self {
             overhead: Duration::from_secs_f64(overhead_secs),

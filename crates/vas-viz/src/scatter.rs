@@ -393,7 +393,10 @@ mod tests {
         let points = vec![Point::new(2.0, 2.0), Point::new(8.0, 3.0)];
         let with_jitter_style = r.render_points(&points, &v);
         let without = ScatterRenderer::new(plain).render_points(&points, &v);
-        assert_eq!(with_jitter_style.ink(Color::WHITE), without.ink(Color::WHITE));
+        assert_eq!(
+            with_jitter_style.ink(Color::WHITE),
+            without.ink(Color::WHITE)
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ impl Viewport {
     /// # Panics
     /// Panics if the region is empty/degenerate or a dimension is zero.
     pub fn new(region: BoundingBox, width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "viewport dimensions must be positive");
+        assert!(
+            width > 0 && height > 0,
+            "viewport dimensions must be positive"
+        );
         assert!(
             !region.is_empty() && region.width() > 0.0 && region.height() > 0.0,
             "viewport region must have positive area"

@@ -39,7 +39,11 @@ fn main() -> std::io::Result<()> {
     let dir = std::path::PathBuf::from("target/vas_catalog");
     save_catalog(&catalog, &dir)?;
     let catalog = load_catalog(&dir)?;
-    println!("catalog reloaded from {} ({} samples)\n", dir.display(), catalog.len());
+    println!(
+        "catalog reloaded from {} ({} samples)\n",
+        dir.display(),
+        catalog.len()
+    );
 
     // --- A deep zoom into a trajectory region.
     let zoom = ZoomWorkload::new(3).regions(&data, ZoomLevel::Deep, 1)[0].viewport;

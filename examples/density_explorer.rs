@@ -28,7 +28,10 @@ fn main() {
     );
 
     let density_task = DensityTask::generate(&data, 8, 1);
-    println!("\ndensity-estimation task ({} questions):", density_task.questions().len());
+    println!(
+        "\ndensity-estimation task ({} questions):",
+        density_task.questions().len()
+    );
     println!(
         "  plain VAS          {:.2}",
         density_task.success_ratio(&plain)

@@ -30,14 +30,17 @@ fn main() -> std::io::Result<()> {
 
     // The paper's stratified baseline for this figure: a 316×316 grid with
     // per-cell balanced allocation. We keep the grid proportionally fine.
-    let stratified =
-        StratifiedSampler::square(k, data.bounds(), 316, 3).sample_dataset(&data);
+    let stratified = StratifiedSampler::square(k, data.bounds(), 316, 3).sample_dataset(&data);
     let vas = VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data);
 
     // Pick a deterministic zoom region that contains trajectory structure.
     let zoom = ZoomWorkload::new(11).regions(&data, ZoomLevel::Deep, 1)[0].viewport;
 
-    let overview = Viewport::new(data.bounds().padded(data.bounds().diagonal() * 0.01), 900, 900);
+    let overview = Viewport::new(
+        data.bounds().padded(data.bounds().diagonal() * 0.01),
+        900,
+        900,
+    );
     let zoomed = Viewport::new(zoom, 900, 900);
     let renderer = ScatterRenderer::new(PlotStyle::map_plot());
 

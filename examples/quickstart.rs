@@ -24,8 +24,7 @@ fn main() {
 
     // --- Build one sample per method (all single-pass over the same data).
     let uniform = UniformSampler::new(k, 1).sample_dataset(&data);
-    let stratified =
-        StratifiedSampler::square(k, data.bounds(), 10, 1).sample_dataset(&data);
+    let stratified = StratifiedSampler::square(k, data.bounds(), 10, 1).sample_dataset(&data);
     let vas = VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data);
 
     // --- Compare the paper's quality metric (lower is better, 0 is perfect).

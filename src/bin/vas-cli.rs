@@ -101,9 +101,7 @@ fn cmd_sample(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut sample = match method {
         "vas" => VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data),
         "uniform" => UniformSampler::new(k, seed).sample_dataset(&data),
-        "stratified" => {
-            StratifiedSampler::square(k, data.bounds(), 10, seed).sample_dataset(&data)
-        }
+        "stratified" => StratifiedSampler::square(k, data.bounds(), 10, seed).sample_dataset(&data),
         other => return Err(format!("unknown method {other:?} (vas|uniform|stratified)")),
     };
     if flags.contains_key("density") {
@@ -143,7 +141,10 @@ fn cmd_render(flags: &HashMap<String, String>) -> Result<(), String> {
     canvas
         .write_ppm(output)
         .map_err(|e| format!("writing {output}: {e}"))?;
-    println!("rendered {} points to {output} ({width}x{height})", data.len());
+    println!(
+        "rendered {} points to {output} ({width}x{height})",
+        data.len()
+    );
     Ok(())
 }
 
@@ -193,7 +194,14 @@ mod tests {
     #[test]
     fn parse_extracts_command_flags_and_booleans() {
         let args = strings(&[
-            "sample", "--input", "a.csv", "--size", "100", "--density", "--output", "b.csv",
+            "sample",
+            "--input",
+            "a.csv",
+            "--size",
+            "100",
+            "--density",
+            "--output",
+            "b.csv",
         ]);
         let (cmd, flags) = parse(&args).unwrap();
         assert_eq!(cmd, "sample");
@@ -232,8 +240,15 @@ mod tests {
         cmd_generate(&flags).unwrap();
 
         let (_, flags) = parse(&strings(&[
-            "sample", "--input", &data_path, "--output", &sample_path, "--size", "100",
-            "--method", "vas",
+            "sample",
+            "--input",
+            &data_path,
+            "--output",
+            &sample_path,
+            "--size",
+            "100",
+            "--method",
+            "vas",
         ]))
         .unwrap();
         cmd_sample(&flags).unwrap();
@@ -241,7 +256,11 @@ mod tests {
         assert_eq!(sample.len(), 100);
 
         let (_, flags) = parse(&strings(&[
-            "loss", "--data", &data_path, "--sample", &sample_path,
+            "loss",
+            "--data",
+            &data_path,
+            "--sample",
+            &sample_path,
         ]))
         .unwrap();
         cmd_loss(&flags).unwrap();

@@ -27,11 +27,12 @@
 //! ```
 //! use vas::prelude::*;
 //!
-//! // 1. Generate (or load) a dataset.
-//! let data = GeolifeGenerator::with_size(5_000, 42).generate();
+//! // 1. Generate (or load) a dataset. (Kept small so `cargo test` stays
+//! //    fast; the samplers scale to millions of points.)
+//! let data = GeolifeGenerator::with_size(2_000, 42).generate();
 //!
-//! // 2. Build a visualization-aware sample of 200 points.
-//! let mut sampler = VasSampler::from_dataset(&data, VasConfig::new(200));
+//! // 2. Build a visualization-aware sample of 100 points.
+//! let mut sampler = VasSampler::from_dataset(&data, VasConfig::new(100));
 //! let sample = sampler.sample_dataset(&data);
 //!
 //! // 3. Optionally attach density counters (Section V of the paper).
@@ -59,18 +60,20 @@ pub use vas_viz as viz;
 
 /// The most commonly used types, importable with `use vas::prelude::*`.
 pub mod prelude {
+    pub use vas_binned::{TilePyramid, TilePyramidConfig};
     pub use vas_core::{
-        density::with_embedded_density, embed_density, GaussianKernel, InterchangeStrategy,
-        Kernel, VasConfig, VasSampler,
+        density::with_embedded_density, embed_density, GaussianKernel, InterchangeStrategy, Kernel,
+        VasConfig, VasSampler,
     };
     pub use vas_data::{
         BoundingBox, Dataset, GaussianMixtureGenerator, GeolifeGenerator, Point, SplomGenerator,
         ZoomLevel, ZoomWorkload,
     };
     pub use vas_eval::{visual_similarity, LossConfig, LossEstimator, SimilarityConfig};
-    pub use vas_binned::{TilePyramid, TilePyramidConfig};
     pub use vas_exact::ExactSolver;
-    pub use vas_sampling::{PoissonDiskSampler, Sample, Sampler, StratifiedSampler, UniformSampler};
+    pub use vas_sampling::{
+        PoissonDiskSampler, Sample, Sampler, StratifiedSampler, UniformSampler,
+    };
     pub use vas_spatial::{KdTree, RTree, UniformGrid};
     pub use vas_storage::{SampleCatalog, Table, VizEngine, VizQuery};
     pub use vas_user_sim::{ClusteringTask, DensityTask, RegressionTask, WorkerPopulation};

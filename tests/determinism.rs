@@ -1,0 +1,93 @@
+//! Regression tests pinning down determinism: the same seed must produce
+//! byte-identical output across independent runs of every generator and
+//! sampler. Future PRs that parallelize the hot loops (Interchange, R-tree
+//! queries, dataset generation) must preserve this property — these tests
+//! are the tripwire.
+
+use vas::prelude::*;
+
+/// Two points are byte-identical when every coordinate has the same bit
+/// pattern — stricter than `==`, which would accept `-0.0 == 0.0`.
+fn assert_points_bitwise_equal(a: &[Point], b: &[Point], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: lengths differ");
+    for (i, (p, q)) in a.iter().zip(b).enumerate() {
+        let pb = [p.x.to_bits(), p.y.to_bits(), p.value.to_bits()];
+        let qb = [q.x.to_bits(), q.y.to_bits(), q.value.to_bits()];
+        assert_eq!(pb, qb, "{what}: point {i} differs: {p:?} vs {q:?}");
+    }
+}
+
+#[test]
+fn geolife_generator_is_deterministic_per_seed() {
+    let a = GeolifeGenerator::with_size(10_000, 77).generate();
+    let b = GeolifeGenerator::with_size(10_000, 77).generate();
+    assert_points_bitwise_equal(&a.points, &b.points, "GeolifeGenerator");
+
+    // And a different seed actually changes the stream.
+    let c = GeolifeGenerator::with_size(10_000, 78).generate();
+    assert!(
+        a.points.iter().zip(&c.points).any(|(p, q)| p != q),
+        "different seeds must produce different datasets"
+    );
+}
+
+#[test]
+fn splom_and_gaussian_generators_are_deterministic_per_seed() {
+    let a = SplomGenerator::with_size(5_000, 3).generate();
+    let b = SplomGenerator::with_size(5_000, 3).generate();
+    assert_points_bitwise_equal(&a.points, &b.points, "SplomGenerator");
+
+    let a = GaussianMixtureGenerator::paper_clustering_dataset(0, 5_000, 9).generate();
+    let b = GaussianMixtureGenerator::paper_clustering_dataset(0, 5_000, 9).generate();
+    assert_points_bitwise_equal(&a.points, &b.points, "GaussianMixtureGenerator");
+}
+
+#[test]
+fn uniform_sampler_is_deterministic_per_seed() {
+    let data = GeolifeGenerator::with_size(20_000, 5).generate();
+    let a = UniformSampler::new(500, 42).sample_dataset(&data);
+    let b = UniformSampler::new(500, 42).sample_dataset(&data);
+    assert_points_bitwise_equal(&a.points, &b.points, "UniformSampler");
+}
+
+#[test]
+fn stratified_sampler_is_deterministic_per_seed() {
+    let data = GeolifeGenerator::with_size(20_000, 5).generate();
+    let bounds = data.bounds();
+    let a = StratifiedSampler::square(500, bounds, 10, 42).sample_dataset(&data);
+    let b = StratifiedSampler::square(500, bounds, 10, 42).sample_dataset(&data);
+    assert_points_bitwise_equal(&a.points, &b.points, "StratifiedSampler");
+}
+
+#[test]
+fn vas_sampler_is_deterministic() {
+    // The Interchange algorithm is seedless (fully determined by the input
+    // stream), so two runs over the same dataset must agree exactly — for
+    // every strategy, including the R-tree locality variant.
+    let data = GeolifeGenerator::with_size(10_000, 21).generate();
+    for strategy in [
+        InterchangeStrategy::ExpandShrink,
+        InterchangeStrategy::ExpandShrinkLocality,
+    ] {
+        let config = VasConfig::new(300).with_strategy(strategy);
+        let a = VasSampler::from_dataset(&data, config.clone()).sample_dataset(&data);
+        let b = VasSampler::from_dataset(&data, config).sample_dataset(&data);
+        assert_points_bitwise_equal(
+            &a.points,
+            &b.points,
+            &format!("VasSampler ({})", strategy.label()),
+        );
+    }
+}
+
+#[test]
+fn density_embedding_is_deterministic() {
+    let data = GeolifeGenerator::with_size(10_000, 33).generate();
+    let sample = VasSampler::from_dataset(&data, VasConfig::new(200)).sample_dataset(&data);
+    let a = vas::core::density::with_embedded_density(sample.clone(), &data);
+    let b = vas::core::density::with_embedded_density(sample, &data);
+    assert_eq!(
+        a.densities, b.densities,
+        "density counters must be reproducible"
+    );
+}

@@ -60,8 +60,7 @@ fn vas_dominates_baselines_on_the_loss_metric() {
 
     for k in [300usize, 1_000] {
         let uniform = UniformSampler::new(k, 5).sample_dataset(&data);
-        let stratified =
-            StratifiedSampler::square(k, data.bounds(), 10, 5).sample_dataset(&data);
+        let stratified = StratifiedSampler::square(k, data.bounds(), 10, 5).sample_dataset(&data);
         let vas = VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data);
 
         let l_uni = estimator.log_loss_ratio(&kernel, &uniform.points);

@@ -98,7 +98,10 @@ fn binned_pyramid_and_vas_catalog_answer_the_same_overview_consistently() {
     let data = GeolifeGenerator::with_size(25_000, 12).generate();
     let pyramid = TilePyramid::build(&data, TilePyramidConfig { max_level: 7 });
     // Counts are conserved by the pyramid…
-    assert_eq!(pyramid.approximate_count(&pyramid.bounds()), data.len() as u64);
+    assert_eq!(
+        pyramid.approximate_count(&pyramid.bounds()),
+        data.len() as u64
+    );
     // …while the VAS catalog keeps raw points whose density counters also sum
     // to the dataset size.
     let sample = with_embedded_density(
@@ -117,7 +120,10 @@ fn noisy_worker_population_keeps_method_ordering() {
     let vas = VasSampler::from_dataset(&data, VasConfig::new(k)).sample_dataset(&data);
 
     let answers = |points: &[Point]| -> Vec<bool> {
-        task.questions().iter().map(|q| task.answer(q, points)).collect()
+        task.questions()
+            .iter()
+            .map(|q| task.answer(q, points))
+            .collect()
     };
     let population = WorkerPopulation::paper_default(11);
     let noisy_uniform = population.run(&answers(&uniform.points)).success_ratio;

@@ -98,7 +98,9 @@ fn expand_shrink_is_much_faster_than_naive() {
     let time_of = |strategy| {
         let mut sampler = VasSampler::from_dataset(
             &data,
-            VasConfig::new(k).with_strategy(strategy).with_epsilon(epsilon),
+            VasConfig::new(k)
+                .with_strategy(strategy)
+                .with_epsilon(epsilon),
         );
         let start = Instant::now();
         let s = sampler.sample_dataset(&data);

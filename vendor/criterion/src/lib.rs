@@ -1,0 +1,221 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the `bench` crate uses — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros — with
+//! a simple wall-clock measurement loop instead of criterion's statistics
+//! engine: each benchmark is warmed up, then timed over enough iterations
+//! to fill a small measurement window, and the mean time per iteration is
+//! printed. No plots, no outlier analysis, no saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: a function name plus a
+/// parameter rendered into the label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id labeled `{name}/{parameter}`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    last_ns_per_iter: f64,
+    measurement_window: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (also primes caches/allocations).
+        black_box(routine());
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement_window || iters >= 1 << 20 {
+                self.last_ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_window: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.measurement_window, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_window: self.measurement_window,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_window: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in has no sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.measurement_window,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.measurement_window,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, window: Duration, mut f: F) {
+    let mut bencher = Bencher {
+        last_ns_per_iter: 0.0,
+        measurement_window: window,
+    };
+    f(&mut bencher);
+    let ns = bencher.last_ns_per_iter;
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("{label:<50} {value:>10.3} {unit}/iter");
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion {
+            measurement_window: Duration::from_micros(200),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the `proptest!` surface this workspace uses:
+//!
+//! ```ignore
+//! proptest::proptest! {
+//!     #[test]
+//!     fn my_property(
+//!         xs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..20),
+//!         flag in proptest::bool::ANY,
+//!     ) {
+//!         proptest::prop_assert!(xs.len() >= 2);
+//!     }
+//! }
+//! ```
+//!
+//! Each property runs [`CASES`] times with inputs drawn from a generator
+//! seeded from the test's module path and name, so failures reproduce
+//! exactly across runs. There is no shrinking: a failing case panics with
+//! the standard assertion message (the deterministic seed stands in for a
+//! minimal counterexample).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of random cases each property is exercised with.
+pub const CASES: usize = 64;
+
+/// Builds the deterministic generator for one property test.
+pub fn test_rng(test_path: &str) -> TestRng {
+    // FNV-1a over the fully qualified test name.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+/// Input generators.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A source of random values of an associated type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+}
+
+use strategy::Strategy;
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Strategies over collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            !len.is_empty(),
+            "vec strategy needs a non-empty length range"
+        );
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over booleans.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Strategy drawing `true` and `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. See the crate docs for the accepted grammar.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __vas_proptest_rng =
+                    $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __vas_proptest_case in 0..$crate::CASES {
+                    let _ = __vas_proptest_case;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __vas_proptest_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tuples_and_vecs_stay_in_bounds(
+            pts in crate::collection::vec((-10.0f64..10.0, 0usize..5), 1..30),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!(!pts.is_empty() && pts.len() < 30);
+            for (x, k) in &pts {
+                prop_assert!((-10.0..10.0).contains(x));
+                prop_assert!(*k < 5);
+            }
+            // `flag` only checks that the bool strategy plugs into the macro.
+            let _: bool = flag;
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_test_name() {
+        let mut a = crate::test_rng("some::test");
+        let mut b = crate::test_rng("some::test");
+        let s: Strategy2 = 0.0f64..1.0;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    type Strategy2 = std::ops::Range<f64>;
+}

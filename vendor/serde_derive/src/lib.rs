@@ -1,0 +1,365 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (neither is available offline): the
+//! input item is parsed by walking its token trees directly, and the
+//! generated impls are built as strings and re-parsed into a `TokenStream`.
+//!
+//! Supported shapes — the full set used by this workspace:
+//! * structs with named fields,
+//! * enums whose variants are unit or tuple variants.
+//!
+//! Generics, tuple structs and struct-variant enums produce a
+//! `compile_error!` with a clear message instead of silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (conversion into the `Value` tree).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (conversion out of the `Value` tree).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Struct with named fields.
+    Struct { fields: Vec<String> },
+    /// Enum of unit variants and tuple variants (with field counts).
+    Enum { variants: Vec<(String, usize)> },
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match (&parsed.shape, mode) {
+        (Shape::Struct { fields }, Mode::Serialize) => struct_serialize(&parsed.name, fields),
+        (Shape::Struct { fields }, Mode::Deserialize) => struct_deserialize(&parsed.name, fields),
+        (Shape::Enum { variants }, Mode::Serialize) => enum_serialize(&parsed.name, variants),
+        (Shape::Enum { variants }, Mode::Deserialize) => enum_deserialize(&parsed.name, variants),
+    };
+    code.parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde_derive generated invalid code: {e}")))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// Walks the derive input down to its name and field/variant lists.
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!(
+                "serde_derive: expected `struct` or `enum`, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported by the vendored stand-in"
+        ));
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde_derive: tuple struct `{name}` is not supported by the vendored stand-in"
+                ));
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("serde_derive: `{name}` has no body to derive from")),
+        }
+    };
+    let shape = if kind == "struct" {
+        Shape::Struct {
+            fields: parse_named_fields(body)?,
+        }
+    } else {
+        Shape::Enum {
+            variants: parse_variants(&name, body)?,
+        }
+    };
+    Ok(Parsed { name, shape })
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            // `pub` possibly followed by `(crate)` etc.
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde_derive: expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "serde_derive: expected `:` after `{name}`, got {other:?}"
+                ))
+            }
+        }
+        // Skip the type, tracking angle-bracket depth so commas inside
+        // generics don't end the field early.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Extracts `(variant name, tuple field count)` pairs from an enum body.
+/// Unit variants get count 0.
+fn parse_variants(enum_name: &str, body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde_derive: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let mut count = 0usize;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                count = count_top_level_items(g.stream());
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde_derive: struct variant `{enum_name}::{name}` is not supported by the vendored stand-in"
+                ));
+            }
+            _ => {}
+        }
+        // Skip to the next `,` (covers discriminants like `= 3`).
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push((name, count));
+    }
+    Ok(variants)
+}
+
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        saw_token = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_token {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{\n\
+                ::serde::Value::Object(::std::vec![{entries}])\n\
+            }}\n\
+        }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(__v.get({f:?}).ok_or_else(|| \
+                 ::serde::DeError::msg(concat!(\"missing field `\", {f:?}, \"` in {name}\")))?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                ::std::result::Result::Ok(Self {{ {entries} }})\n\
+            }}\n\
+        }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[(String, usize)]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|(v, count)| {
+            if *count == 0 {
+                format!(
+                    "{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?})),"
+                )
+            } else {
+                let binders: Vec<String> = (0..*count).map(|k| format!("__f{k}")).collect();
+                let values: String = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                    .collect();
+                format!(
+                    "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from({v:?}), \
+                     ::serde::Value::Array(::std::vec![{values}]))]),",
+                    binders.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{\n\
+                match self {{ {arms} }}\n\
+            }}\n\
+        }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[(String, usize)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, count)| *count == 0)
+        .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let tuple_arms: String = variants
+        .iter()
+        .filter(|(_, count)| *count > 0)
+        .map(|(v, count)| {
+            let extracts: String = (0..*count)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?,"))
+                .collect();
+            format!(
+                "{v:?} => {{\n\
+                    let __items = match __payload {{\n\
+                        ::serde::Value::Array(a) if a.len() == {count} => a,\n\
+                        other => return ::std::result::Result::Err(::serde::DeError::msg(\
+                            ::std::format!(\"variant {name}::{v} expects {count} value(s), got {{other:?}}\"))),\n\
+                    }};\n\
+                    ::std::result::Result::Ok({name}::{v}({extracts}))\n\
+                }}"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                match __v {{\n\
+                    ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                        {unit_arms}\n\
+                        other => ::std::result::Result::Err(::serde::DeError::msg(\
+                            ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                    }},\n\
+                    ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                        let (__tag, __payload) = &__fields[0];\n\
+                        match __tag.as_str() {{\n\
+                            {tuple_arms}\n\
+                            other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                        }}\n\
+                    }}\n\
+                    other => ::std::result::Result::Err(::serde::DeError::msg(\
+                        ::std::format!(\"expected {name} variant, got {{other:?}}\"))),\n\
+                }}\n\
+            }}\n\
+        }}"
+    )
+}
