@@ -19,6 +19,21 @@ fn bench_rtree(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("query_radius", n), &n, |b, _| {
             b.iter(|| black_box(tree.query_radius(black_box(&query), radius)))
         });
+        // The zero-allocation forms used by the Interchange hot loop.
+        let mut buf = Vec::new();
+        group.bench_with_input(BenchmarkId::new("query_radius_into", n), &n, |b, _| {
+            b.iter(|| {
+                tree.query_radius_into(black_box(&query), radius, &mut buf);
+                black_box(buf.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("for_each_in_radius", n), &n, |b, _| {
+            b.iter(|| {
+                let mut count = 0usize;
+                tree.for_each_in_radius(black_box(&query), radius, |_, _| count += 1);
+                black_box(count)
+            })
+        });
         group.bench_with_input(BenchmarkId::new("nearest", n), &n, |b, _| {
             b.iter(|| black_box(tree.nearest(black_box(&query))))
         });

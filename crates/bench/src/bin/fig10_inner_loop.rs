@@ -1,0 +1,270 @@
+//! Inner-loop throughput of the Interchange candidate (replacement-test)
+//! path: the optimized loop (tournament-tree Shrink + zero-allocation
+//! spatial queries) against the retained pre-optimization legacy loop,
+//! measured in the same run on the same stream.
+//!
+//! The figure of merit is **throughput on rejected-candidate tuples** — the
+//! overwhelmingly common case once the sample has converged, and the case
+//! the max-responsibility structure turns from `O(K)` into near-`O(1)`.
+//!
+//! Output: a human-readable table on stdout plus machine-readable
+//! `results/BENCH_interchange.json`, so the perf trajectory of this hot path
+//! can be tracked across commits. CI runs `--smoke` (tiny N) on every push
+//! to keep the harness itself from rotting.
+//!
+//! Usage:
+//! ```text
+//! fig10_inner_loop [--smoke] [--baseline]
+//! ```
+//! * `--smoke`    — tiny dataset (20K points, K = 500) for CI.
+//! * `--baseline` — measure only the legacy loop (for A/B-ing across
+//!   checkouts; the default measures both in one run).
+
+use bench::{emit, fmt3, results_dir, ReportTable};
+use serde::Serialize;
+use std::time::Instant;
+use vas_core::{GaussianKernel, InterchangeStrategy, Kernel, VasConfig, VasSampler};
+use vas_data::{Dataset, GaussianMixtureGenerator};
+use vas_sampling::Sampler;
+
+/// One measured (strategy × inner-loop) cell.
+#[derive(Debug, Clone, Serialize)]
+struct VariantResult {
+    /// Strategy label ("ES" or "ES+Loc").
+    strategy: String,
+    /// "legacy" or "optimized".
+    inner_loop: String,
+    /// Wall-clock seconds spent filling the first K slots.
+    fill_secs: f64,
+    /// Wall-clock seconds spent on the candidate (replacement-test) phase.
+    candidate_secs: f64,
+    /// Of `candidate_secs`, the share spent on tuples that ended rejected.
+    rejected_secs: f64,
+    /// Of `candidate_secs`, the share spent on tuples that ended accepted.
+    accepted_secs: f64,
+    /// Candidate tuples streamed after the fill.
+    candidate_tuples: u64,
+    /// Valid replacements performed (accepted tuples).
+    accepted: u64,
+    /// Rejected tuples (`candidate_tuples - accepted`).
+    rejected: u64,
+    /// Candidate tuples per second (whole candidate phase).
+    tuples_per_sec: f64,
+    /// Rejected tuples per second **while processing rejected tuples** — the
+    /// headline metric: the per-tuple cost of the overwhelmingly common case,
+    /// with accepted-tuple (replacement) work accounted separately.
+    rejected_per_sec: f64,
+    /// Accepted tuples per second while processing accepted tuples.
+    accepted_per_sec: f64,
+}
+
+/// Speed-up of the optimized loop over the legacy loop for one strategy.
+#[derive(Debug, Clone, Serialize)]
+struct Speedup {
+    strategy: String,
+    /// `optimized.rejected_per_sec / legacy.rejected_per_sec`.
+    rejected_throughput_ratio: f64,
+    /// `optimized.tuples_per_sec / legacy.tuples_per_sec`.
+    tuple_throughput_ratio: f64,
+}
+
+/// The whole report, serialized to `results/BENCH_interchange.json`.
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    bench: String,
+    mode: String,
+    dataset: DatasetInfo,
+    variants: Vec<VariantResult>,
+    speedups: Vec<Speedup>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct DatasetInfo {
+    kind: String,
+    n: usize,
+    k: usize,
+    epsilon: f64,
+    locality_threshold: f64,
+}
+
+fn measure(
+    data: &Dataset,
+    k: usize,
+    strategy: InterchangeStrategy,
+    epsilon: f64,
+    legacy: bool,
+) -> VariantResult {
+    let mut sampler = VasSampler::from_dataset(
+        data,
+        VasConfig::new(k)
+            .with_strategy(strategy)
+            .with_epsilon(epsilon)
+            .with_legacy_inner_loop(legacy),
+    );
+    let fill_start = Instant::now();
+    for p in data.points.iter().take(k) {
+        sampler.observe(*p);
+    }
+    let fill_secs = fill_start.elapsed().as_secs_f64();
+
+    // Time every observation individually so rejected-tuple cost can be
+    // separated from accepted-tuple (replacement) cost; the ~2×Instant
+    // overhead per tuple is identical for both inner loops.
+    let candidates = &data.points[k..];
+    let mut rejected_secs = 0.0f64;
+    let mut accepted_secs = 0.0f64;
+    let mut replacements_before = sampler.replacements();
+    let start = Instant::now();
+    for p in candidates {
+        let t0 = Instant::now();
+        sampler.observe(*p);
+        let dt = t0.elapsed().as_secs_f64();
+        let replacements_now = sampler.replacements();
+        if replacements_now == replacements_before {
+            rejected_secs += dt;
+        } else {
+            accepted_secs += dt;
+            replacements_before = replacements_now;
+        }
+    }
+    let candidate_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let accepted = sampler.replacements();
+    let candidate_tuples = candidates.len() as u64;
+    let rejected = candidate_tuples - accepted;
+    VariantResult {
+        strategy: strategy.label().to_string(),
+        inner_loop: if legacy { "legacy" } else { "optimized" }.to_string(),
+        fill_secs,
+        candidate_secs,
+        rejected_secs,
+        accepted_secs,
+        candidate_tuples,
+        accepted,
+        rejected,
+        tuples_per_sec: candidate_tuples as f64 / candidate_secs,
+        rejected_per_sec: rejected as f64 / rejected_secs.max(1e-9),
+        accepted_per_sec: accepted as f64 / accepted_secs.max(1e-9),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let baseline_only = args.iter().any(|a| a == "--baseline");
+    if let Some(unknown) = args.iter().find(|a| *a != "--smoke" && *a != "--baseline") {
+        eprintln!("unknown argument {unknown}; usage: fig10_inner_loop [--smoke] [--baseline]");
+        std::process::exit(2);
+    }
+
+    // The paper-scale configuration: 1M Gaussian points, K = 10K. The smoke
+    // configuration keeps the same shape at a size CI can afford.
+    let (n, k) = if smoke {
+        (20_000, 500)
+    } else {
+        (1_000_000, 10_000)
+    };
+    let mode = if smoke { "smoke" } else { "full" };
+    eprintln!("[fig10_inner_loop] generating Gaussian dataset: n = {n}, K = {k}");
+    let data = GaussianMixtureGenerator::paper_clustering_dataset(3, n, 20_160_518).generate();
+    let epsilon = GaussianKernel::for_dataset(&data).bandwidth();
+    let locality_threshold = VasConfig::new(k).locality_threshold;
+
+    let mut variants = Vec::new();
+    let mut speedups = Vec::new();
+    for strategy in [
+        InterchangeStrategy::ExpandShrink,
+        InterchangeStrategy::ExpandShrinkLocality,
+    ] {
+        // The quadratic-ish full-scan ES variant dominates the full-size run
+        // without adding information at K = 10K; measure it in smoke mode and
+        // keep the 1M-point run focused on the headline ES+Loc comparison.
+        if !smoke && strategy == InterchangeStrategy::ExpandShrink {
+            continue;
+        }
+        let legacy = measure(&data, k, strategy, epsilon, true);
+        eprintln!(
+            "[fig10_inner_loop] {} legacy: {:.0} rejected tuples/s",
+            legacy.strategy, legacy.rejected_per_sec
+        );
+        if baseline_only {
+            variants.push(legacy);
+            continue;
+        }
+        let optimized = measure(&data, k, strategy, epsilon, false);
+        eprintln!(
+            "[fig10_inner_loop] {} optimized: {:.0} rejected tuples/s",
+            optimized.strategy, optimized.rejected_per_sec
+        );
+        assert_eq!(
+            legacy.accepted, optimized.accepted,
+            "legacy and optimized loops must make identical replacement decisions"
+        );
+        speedups.push(Speedup {
+            strategy: strategy.label().to_string(),
+            rejected_throughput_ratio: optimized.rejected_per_sec / legacy.rejected_per_sec,
+            tuple_throughput_ratio: optimized.tuples_per_sec / legacy.tuples_per_sec,
+        });
+        variants.push(legacy);
+        variants.push(optimized);
+    }
+
+    let mut table = ReportTable::new(
+        format!("Interchange inner-loop throughput ({mode}: n = {n}, K = {k})"),
+        &[
+            "variant",
+            "inner loop",
+            "candidate tuples",
+            "accepted",
+            "rejected/s",
+            "accepted/s",
+            "tuples/s",
+            "candidate time (s)",
+        ],
+    );
+    for v in &variants {
+        table.push_row(vec![
+            v.strategy.clone(),
+            v.inner_loop.clone(),
+            v.candidate_tuples.to_string(),
+            v.accepted.to_string(),
+            fmt3(v.rejected_per_sec),
+            fmt3(v.accepted_per_sec),
+            fmt3(v.tuples_per_sec),
+            fmt3(v.candidate_secs),
+        ]);
+    }
+    let mut speedup_table = ReportTable::new(
+        "Optimized vs legacy inner loop",
+        &[
+            "variant",
+            "rejected-throughput ratio",
+            "tuple-throughput ratio",
+        ],
+    );
+    for s in &speedups {
+        speedup_table.push_row(vec![
+            s.strategy.clone(),
+            format!("{:.2}x", s.rejected_throughput_ratio),
+            format!("{:.2}x", s.tuple_throughput_ratio),
+        ]);
+    }
+    emit("fig10_inner_loop", &[table, speedup_table]);
+
+    let report = BenchReport {
+        bench: "fig10_inner_loop".to_string(),
+        mode: mode.to_string(),
+        dataset: DatasetInfo {
+            kind: "gaussian-mixture".to_string(),
+            n,
+            k,
+            epsilon,
+            locality_threshold,
+        },
+        variants,
+        speedups,
+    };
+    let path = results_dir().join("BENCH_interchange.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&path, json).expect("write BENCH_interchange.json");
+    eprintln!("[machine-readable report written to {}]", path.display());
+}

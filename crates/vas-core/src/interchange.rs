@@ -24,6 +24,7 @@
 //!   neighbourhood, exploiting the locality of the proximity function.
 
 use crate::kernel::{GaussianKernel, Kernel};
+use crate::max_tracker::MaxTracker;
 use crate::objective::objective;
 use std::time::{Duration, Instant};
 use vas_data::{BoundingBox, Dataset, Point};
@@ -77,6 +78,11 @@ pub struct VasConfig {
     /// Emit a [`ProgressEvent`] every this many observed tuples
     /// (0 disables progress reporting).
     pub progress_every: u64,
+    /// Use the pre-optimization inner loop (`O(K)` Shrink scan, allocating
+    /// spatial queries). Retained as the measured baseline of the
+    /// `fig10_inner_loop` benchmark and as the reference implementation the
+    /// determinism suite checks the optimized loop against bit-for-bit.
+    pub legacy_inner_loop: bool,
 }
 
 impl VasConfig {
@@ -89,6 +95,7 @@ impl VasConfig {
             locality_threshold: 1e-6,
             passes: 1,
             progress_every: 0,
+            legacy_inner_loop: false,
         }
     }
 
@@ -121,6 +128,15 @@ impl VasConfig {
         self.locality_threshold = threshold;
         self
     }
+
+    /// Selects the pre-optimization inner loop (see
+    /// [`legacy_inner_loop`](Self::legacy_inner_loop)). Benchmarking and
+    /// regression-testing only — the optimized loop produces bit-identical
+    /// samples faster.
+    pub fn with_legacy_inner_loop(mut self, legacy: bool) -> Self {
+        self.legacy_inner_loop = legacy;
+        self
+    }
 }
 
 /// A snapshot of Interchange progress, reported periodically while scanning.
@@ -147,6 +163,9 @@ pub type ProgressSink = Box<dyn FnMut(ProgressEvent) + Send>;
 pub struct VasSampler {
     config: VasConfig,
     kernel: Option<GaussianKernel>,
+    /// Locality cutoff radius (cached; `cutoff2` is its square). Both are
+    /// derived once per kernel install so the hot loop never calls `sqrt`.
+    cutoff: f64,
     cutoff2: f64,
     /// Current sample, slot-indexed; slots are stable across replacements.
     points: Vec<Point>,
@@ -155,6 +174,16 @@ pub struct VasSampler {
     /// R-tree over the sample (ids are slot indices); only maintained by the
     /// locality strategy.
     rtree: RTree,
+    /// Tournament tree over `rsp`, giving the Shrink step its maximum in
+    /// `O(1)`; only maintained by the (non-legacy) locality strategy.
+    max_tracker: MaxTracker,
+    /// Whether `max_tracker` currently mirrors `rsp`. Cleared by every path
+    /// that mutates `rsp` without updating the tracker (fill, legacy loop,
+    /// naive rebuilds) and restored lazily on the next candidate.
+    tracker_fresh: bool,
+    /// Reusable buffer for the per-candidate `(slot, κ̃(t, s_i))` deltas, so
+    /// the steady-state replacement test performs no allocation.
+    scratch_deltas: Vec<(usize, f64)>,
     /// Running objective value (½ of the responsibility sum, maintained
     /// incrementally).
     objective: f64,
@@ -182,11 +211,15 @@ impl VasSampler {
     pub fn new(config: VasConfig) -> Self {
         let kernel = config.epsilon.map(GaussianKernel::new);
         let mut sampler = Self {
+            cutoff: f64::INFINITY,
             cutoff2: f64::INFINITY,
             kernel: None,
             points: Vec::new(),
             rsp: Vec::new(),
             rtree: RTree::new(),
+            max_tracker: MaxTracker::new(),
+            tracker_fresh: false,
+            scratch_deltas: Vec::new(),
             objective: 0.0,
             seen: 0,
             replacements: 0,
@@ -288,6 +321,7 @@ impl VasSampler {
 
     fn install_kernel(&mut self, kernel: GaussianKernel) {
         let cutoff = kernel.effective_radius(self.config.locality_threshold);
+        self.cutoff = cutoff;
         self.cutoff2 = cutoff * cutoff;
         self.kernel = Some(kernel);
     }
@@ -315,11 +349,14 @@ impl VasSampler {
         self.rsp = vec![0.0; n];
         self.objective = 0.0;
         self.rtree = RTree::new();
+        self.tracker_fresh = false;
         let use_locality = self.config.strategy == InterchangeStrategy::ExpandShrinkLocality;
         if use_locality {
+            let mut neighbors: Vec<(usize, Point)> = Vec::new();
             for (i, p) in self.points.iter().enumerate() {
                 // Contributions against already-inserted points only.
-                for (j, q) in self.rtree.query_radius(p, self.cutoff2.sqrt()) {
+                self.rtree.query_radius_into(p, self.cutoff, &mut neighbors);
+                for &(j, q) in &neighbors {
                     let v = kernel.eval(p, &q);
                     self.rsp[i] += v;
                     self.rsp[j] += v;
@@ -346,11 +383,13 @@ impl VasSampler {
             let use_locality = self.config.strategy == InterchangeStrategy::ExpandShrinkLocality;
             let mut own = 0.0;
             if use_locality {
-                for (j, q) in self.rtree.query_radius(&point, self.cutoff2.sqrt()) {
-                    let v = kernel.eval(&point, &q);
-                    self.rsp[j] += v;
+                let cutoff = self.cutoff;
+                let Self { rtree, rsp, .. } = self;
+                rtree.for_each_in_radius_with_dist2(&point, cutoff, |j, _, d2| {
+                    let v = kernel.eval_dist2(d2);
+                    rsp[j] += v;
                     own += v;
-                }
+                });
                 self.rtree.insert(slot, point);
             } else {
                 for (j, q) in self.points.iter().enumerate() {
@@ -362,6 +401,7 @@ impl VasSampler {
             self.objective += own;
             self.points.push(point);
             self.rsp.push(own);
+            self.tracker_fresh = false;
         } else {
             // Bandwidth not known yet: buffer and defer.
             self.points.push(point);
@@ -374,10 +414,14 @@ impl VasSampler {
     /// Handles a candidate point once the sample is full: the Expand/Shrink
     /// replacement test.
     fn observe_candidate(&mut self, point: Point) {
-        match self.config.strategy {
-            InterchangeStrategy::Naive => self.candidate_naive(point),
-            InterchangeStrategy::ExpandShrink => self.candidate_es(point, false),
-            InterchangeStrategy::ExpandShrinkLocality => self.candidate_es(point, true),
+        match (self.config.strategy, self.config.legacy_inner_loop) {
+            (InterchangeStrategy::Naive, _) => self.candidate_naive(point),
+            (InterchangeStrategy::ExpandShrink, false) => self.candidate_es_full(point),
+            (InterchangeStrategy::ExpandShrinkLocality, false) => self.candidate_es_locality(point),
+            (InterchangeStrategy::ExpandShrink, true) => self.candidate_es_legacy(point, false),
+            (InterchangeStrategy::ExpandShrinkLocality, true) => {
+                self.candidate_es_legacy(point, true)
+            }
         }
     }
 
@@ -411,10 +455,184 @@ impl VasSampler {
             .map(|r| 2.0 * r)
             .collect();
         self.objective = objective(&kernel, &self.points);
+        self.tracker_fresh = false;
     }
 
-    /// "ES" / "ES+Loc": incremental Expand/Shrink.
-    fn candidate_es(&mut self, point: Point, locality: bool) {
+    /// Rebuilds the max-responsibility tournament from `rsp` if a
+    /// non-tracking path (fill, naive, legacy) has touched `rsp` since the
+    /// tracker last mirrored it.
+    fn ensure_tracker(&mut self) {
+        if !self.tracker_fresh {
+            self.max_tracker.rebuild(&self.rsp);
+            self.tracker_fresh = true;
+        }
+    }
+
+    /// "ES" without locality: incremental Expand/Shrink with a dense delta
+    /// vector. Inherently `O(K)` per tuple (every slot's responsibility
+    /// changes in the expanded set), but allocation-free in steady state.
+    fn candidate_es_full(&mut self, point: Point) {
+        let kernel = self.kernel.expect("kernel resolved");
+        let k = self.points.len();
+
+        // --- Expand: deltas[i] = (i, κ̃(t, s_i)) for every slot, in order.
+        let mut deltas = std::mem::take(&mut self.scratch_deltas);
+        deltas.clear();
+        let mut cand_rsp = 0.0;
+        for (i, q) in self.points.iter().enumerate() {
+            let v = kernel.eval(&point, q);
+            deltas.push((i, v));
+            cand_rsp += v;
+        }
+
+        // --- Shrink: largest responsibility in the expanded set. Because
+        // the deltas are dense and slot-ordered, `deltas[i].1` plays the role
+        // the legacy loop's scattered `delta_of` vector played, without the
+        // per-tuple allocation.
+        let mut max_idx = usize::MAX; // usize::MAX encodes "the candidate"
+        let mut max_val = cand_rsp;
+        for (i, &r) in self.rsp.iter().enumerate() {
+            let r = r + deltas[i].1;
+            if r > max_val {
+                max_val = r;
+                max_idx = i;
+            }
+        }
+
+        if max_idx == usize::MAX {
+            self.scratch_deltas = deltas;
+            return; // candidate is the most redundant element: reject
+        }
+
+        // --- Accept: replace slot `max_idx` ("s_j") with the candidate.
+        let removed = self.points[max_idx];
+        let removed_rsp = self.rsp[max_idx];
+        for &(i, v) in &deltas {
+            if i != max_idx {
+                self.rsp[i] += v;
+            }
+        }
+        let kappa_t_removed = deltas[max_idx].1;
+        for i in 0..k {
+            if i != max_idx {
+                self.rsp[i] -= kernel.eval(&removed, &self.points[i]);
+            }
+        }
+
+        let new_rsp = cand_rsp - kappa_t_removed;
+        self.points[max_idx] = point;
+        self.rsp[max_idx] = new_rsp;
+        self.objective += new_rsp - removed_rsp;
+        self.replacements += 1;
+        self.tracker_fresh = false;
+        self.scratch_deltas = deltas;
+    }
+
+    /// "ES+Loc": Expand/Shrink with R-tree locality **and** the
+    /// max-responsibility tournament.
+    ///
+    /// A rejected candidate — the overwhelmingly common case once the sample
+    /// has converged — costs only its neighbourhood kernel evaluations plus
+    /// an `O(1)` read of the tournament root: the `O(K)` Shrink scan of the
+    /// legacy loop is gone. An accepted candidate additionally pays
+    /// `O(log K)` per touched neighbour to repair the tournament.
+    fn candidate_es_locality(&mut self, point: Point) {
+        let kernel = self.kernel.expect("kernel resolved");
+
+        // --- Expand: evaluate the kernel against the candidate's
+        // neighbourhood only, straight off the R-tree visitor — no id vector,
+        // no per-call query allocation.
+        let mut deltas = std::mem::take(&mut self.scratch_deltas);
+        deltas.clear();
+        let mut cand_rsp = 0.0;
+        self.rtree
+            .for_each_in_radius_with_dist2(&point, self.cutoff, |i, _, d2| {
+                let v = kernel.eval_dist2(d2);
+                deltas.push((i, v));
+                cand_rsp += v;
+            });
+
+        // --- Shrink: the expanded-set maximum is either the candidate, a
+        // neighbour slot raised by its delta, or the standing maximum over
+        // all base responsibilities — which the tournament hands over in
+        // O(1). Tie-breaking matches the legacy first-wins linear scan
+        // because the tournament resolves ties to the lowest index.
+        self.ensure_tracker();
+        let mut max_idx = usize::MAX; // usize::MAX encodes "the candidate"
+        let mut max_val = cand_rsp;
+        if let Some((i, r)) = self.max_tracker.max() {
+            if r > max_val {
+                max_val = r;
+                max_idx = i;
+            }
+        }
+        for &(i, v) in &deltas {
+            let r = self.rsp[i] + v;
+            if r > max_val {
+                max_val = r;
+                max_idx = i;
+            }
+        }
+
+        if max_idx == usize::MAX {
+            self.scratch_deltas = deltas;
+            return; // candidate is the most redundant element: reject
+        }
+
+        // --- Accept: replace slot `max_idx` ("s_j") with the candidate.
+        // Responsibility updates are written into the tournament lazily
+        // (`set_deferred`) and the dirtied ancestor matches are replayed once
+        // at the end (`flush`): one accept touches up to 2·|neighbourhood|
+        // slots whose paths overlap heavily, so the batched replay costs
+        // `O(D)` node matches instead of `O(D·log K)`.
+        let removed = self.points[max_idx];
+        let removed_rsp = self.rsp[max_idx];
+
+        // Add the candidate's contributions to its neighbours.
+        for &(i, v) in &deltas {
+            if i != max_idx {
+                self.rsp[i] += v;
+                self.max_tracker.set_deferred(i, self.rsp[i]);
+            }
+        }
+        // Subtract the removed element's contributions from its neighbours.
+        let kappa_t_removed = deltas
+            .iter()
+            .find(|(i, _)| *i == max_idx)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| kernel.eval(&point, &removed));
+        {
+            let cutoff = self.cutoff;
+            let Self {
+                rtree,
+                rsp,
+                max_tracker,
+                ..
+            } = self;
+            rtree.for_each_in_radius_with_dist2(&removed, cutoff, |i, _, d2| {
+                if i != max_idx {
+                    rsp[i] -= kernel.eval_dist2(d2);
+                    max_tracker.set_deferred(i, rsp[i]);
+                }
+            });
+        }
+        self.rtree.remove(max_idx, &removed);
+        self.rtree.insert(max_idx, point);
+
+        let new_rsp = cand_rsp - kappa_t_removed;
+        self.points[max_idx] = point;
+        self.rsp[max_idx] = new_rsp;
+        self.max_tracker.set_deferred(max_idx, new_rsp);
+        self.max_tracker.flush();
+        self.objective += new_rsp - removed_rsp;
+        self.replacements += 1;
+        self.scratch_deltas = deltas;
+    }
+
+    /// The pre-optimization "ES" / "ES+Loc" inner loop, retained verbatim as
+    /// the benchmark baseline and the bit-identity reference (see
+    /// [`VasConfig::legacy_inner_loop`]).
+    fn candidate_es_legacy(&mut self, point: Point, locality: bool) {
         let kernel = self.kernel.expect("kernel resolved");
         let k = self.points.len();
 
@@ -515,6 +733,8 @@ impl VasSampler {
         self.rsp[max_idx] = new_rsp;
         self.objective += new_rsp - removed_rsp;
         self.replacements += 1;
+        // The legacy loop never maintains the tournament.
+        self.tracker_fresh = false;
     }
 
     fn maybe_report_progress(&mut self) {
@@ -539,6 +759,9 @@ impl VasSampler {
         self.points = Vec::new();
         self.rsp = Vec::new();
         self.rtree = RTree::new();
+        self.max_tracker = MaxTracker::new();
+        self.tracker_fresh = false;
+        self.scratch_deltas = Vec::new();
         self.objective = 0.0;
         self.seen = 0;
         self.replacements = 0;
@@ -929,6 +1152,81 @@ mod tests {
             let obj_resumed = objective_of(&kernel, &resumed.points);
             assert!(obj_resumed <= obj_first + 1e-9);
         }
+    }
+
+    #[test]
+    fn optimized_inner_loop_matches_legacy_bitwise_per_tuple() {
+        // The tentpole refactor's contract: the tournament-tree Shrink and
+        // the zero-allocation queries must not change a single replacement
+        // decision. Lock-step the optimized and legacy samplers and compare
+        // the full sample bit-for-bit after *every* observation.
+        let d = GeolifeGenerator::with_size(3_000, 41).generate();
+        let k = 120;
+        for strategy in [
+            InterchangeStrategy::ExpandShrink,
+            InterchangeStrategy::ExpandShrinkLocality,
+        ] {
+            let eps = GaussianKernel::for_dataset(&d).bandwidth();
+            let base = VasConfig::new(k).with_strategy(strategy).with_epsilon(eps);
+            let mut optimized = VasSampler::from_dataset(&d, base.clone());
+            let mut legacy = VasSampler::from_dataset(&d, base.with_legacy_inner_loop(true));
+            for (t, p) in d.iter().enumerate() {
+                optimized.observe(*p);
+                legacy.observe(*p);
+                let (a, b) = (optimized.current_sample(), legacy.current_sample());
+                assert_eq!(a.len(), b.len());
+                for (i, (pa, pb)) in a.iter().zip(b).enumerate() {
+                    assert!(
+                        pa.x.to_bits() == pb.x.to_bits() && pa.y.to_bits() == pb.y.to_bits(),
+                        "{}: slot {i} diverged at tuple {t}: {pa:?} vs {pb:?}",
+                        strategy.label()
+                    );
+                }
+                assert_eq!(
+                    optimized.replacements(),
+                    legacy.replacements(),
+                    "{}: replacement count diverged at tuple {t}",
+                    strategy.label()
+                );
+            }
+            assert_eq!(
+                optimized.current_objective().to_bits(),
+                legacy.current_objective().to_bits(),
+                "{}: objective bits diverged",
+                strategy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_loop_survives_multiple_passes() {
+        // Multi-pass runs exercise the tracker across fill → candidates →
+        // another full pass without a reset in between.
+        let d = GeolifeGenerator::with_size(1_200, 59).generate();
+        let eps = GaussianKernel::for_dataset(&d).bandwidth();
+        let base = VasConfig::new(80)
+            .with_strategy(InterchangeStrategy::ExpandShrinkLocality)
+            .with_epsilon(eps)
+            .with_passes(3);
+        let fast = VasSampler::from_dataset(&d, base.clone()).build(&d);
+        let slow = VasSampler::from_dataset(&d, base.with_legacy_inner_loop(true)).build(&d);
+        assert_eq!(fast.points, slow.points);
+    }
+
+    #[test]
+    fn tracker_state_survives_streaming_reuse() {
+        // finalize() resets the sampler; a second stream through the same
+        // instance must behave exactly like a fresh sampler.
+        let d = GeolifeGenerator::with_size(2_000, 71).generate();
+        let eps = GaussianKernel::for_dataset(&d).bandwidth();
+        let config = VasConfig::new(100)
+            .with_strategy(InterchangeStrategy::ExpandShrinkLocality)
+            .with_epsilon(eps);
+        let mut reused = VasSampler::from_dataset(&d, config.clone());
+        let _ = reused.sample_dataset(&d);
+        let second = reused.sample_dataset(&d);
+        let fresh = VasSampler::from_dataset(&d, config).sample_dataset(&d);
+        assert_eq!(second.points, fresh.points);
     }
 
     #[test]

@@ -57,6 +57,14 @@ pub struct GaussianKernel {
     inv_two_eps2: f64,
 }
 
+/// Exponents beyond which `exp(-x)` underflows to exactly `0.0` in `f64`
+/// (the true cutover is ≈745.2, where the result drops below the smallest
+/// subnormal; 750 leaves a safety margin). Pairs this far apart can skip the
+/// `exp` call entirely **without changing the result by a single bit** —
+/// which is what lets the Interchange hot loop use the early-out while the
+/// determinism suite still demands bit-identical samples.
+const GAUSSIAN_UNDERFLOW_EXPONENT: f64 = 750.0;
+
 impl GaussianKernel {
     /// Creates a Gaussian kernel with bandwidth `epsilon`.
     ///
@@ -110,7 +118,15 @@ impl Kernel for GaussianKernel {
 
     #[inline]
     fn eval_dist2(&self, dist2: f64) -> f64 {
-        (-dist2 * self.inv_two_eps2).exp()
+        let x = dist2 * self.inv_two_eps2;
+        // Early-out for pairs beyond the kernel's support: `exp(-x)` is
+        // exactly 0.0 there, so skipping the (expensive) exp call is
+        // value-preserving. This is the hot-path guard for the full-scan
+        // (`ES`/`Naive`) Interchange variants, where far pairs dominate.
+        if x > GAUSSIAN_UNDERFLOW_EXPONENT {
+            return 0.0;
+        }
+        (-x).exp()
     }
 
     fn effective_radius(&self, threshold: f64) -> f64 {
@@ -237,6 +253,27 @@ mod tests {
                 "{kind:?}: value beyond effective radius too large"
             );
         }
+    }
+
+    #[test]
+    fn underflow_early_out_is_bit_identical_to_exp() {
+        let k = GaussianKernel::new(1.0);
+        // Straddle the early-out threshold (x = d²/2 here): everywhere the
+        // shortcut fires, a direct exp call must produce the same bits.
+        for x in [
+            0.0, 1.0, 100.0, 700.0, 744.0, 745.0, 746.0, 749.9, 750.0, 750.1, 800.0, 1e6, 1e300,
+        ] {
+            let dist2: f64 = 2.0 * x;
+            let direct = f64::exp(-(dist2 * 0.5));
+            let fast = k.eval_dist2(dist2);
+            assert_eq!(
+                fast.to_bits(),
+                direct.to_bits(),
+                "x = {x}: {fast} vs {direct}"
+            );
+        }
+        // And beyond the threshold the value really is exactly zero.
+        assert_eq!(k.eval_dist2(2.0 * 751.0), 0.0);
     }
 
     #[test]

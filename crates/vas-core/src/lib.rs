@@ -53,11 +53,13 @@
 pub mod density;
 pub mod interchange;
 pub mod kernel;
+pub mod max_tracker;
 pub mod objective;
 pub mod outlier;
 
 pub use density::embed_density;
 pub use interchange::{InterchangeStrategy, ProgressEvent, VasConfig, VasSampler};
 pub use kernel::{GaussianKernel, Kernel, KernelKind};
+pub use max_tracker::MaxTracker;
 pub use objective::{objective, responsibilities, responsibility_of};
 pub use outlier::{find_outliers, with_outliers, Outlier};

@@ -1,0 +1,362 @@
+//! A tournament tree tracking the maximum of a mutable array of scores.
+//!
+//! The Interchange Shrink step must find the element with the **largest
+//! responsibility** in the expanded sample for every candidate tuple. A
+//! linear scan makes every candidate — including the overwhelmingly common
+//! *rejected* ones — cost `O(K)`. [`MaxTracker`] keeps a complete binary
+//! tournament over the responsibility array instead, so the running maximum
+//! is an `O(1)` read and each of the sparse updates produced by an accepted
+//! replacement is an `O(log K)` path fix. Rejected candidates therefore cost
+//! only their neighbourhood kernel evaluations.
+//!
+//! ## Tie-breaking contract
+//!
+//! [`max`](MaxTracker::max) returns the **lowest index** attaining the
+//! maximum value. This mirrors a first-wins linear scan (`v > best`), which
+//! is exactly what the pre-existing Interchange implementation did — the
+//! contract that keeps the optimized inner loop bit-identical to the legacy
+//! one even when responsibilities tie (e.g. many isolated slots at 0.0).
+//!
+//! The tree compares slot *values* only; values must never be NaN (kernel
+//! sums are finite and non-negative). Unused capacity leaves hold
+//! `f64::NEG_INFINITY` so they can never win a match.
+
+/// Indexed max-tournament over a dense array of `f64` scores.
+///
+/// Slots are addressed `0..len`. The structure is rebuilt in `O(len)` and
+/// updated in `O(log len)` per changed slot.
+#[derive(Debug, Clone, Default)]
+pub struct MaxTracker {
+    /// Number of live slots.
+    len: usize,
+    /// Leaf capacity; a power of two (or 0 when empty).
+    cap: usize,
+    /// Slot values, padded to `cap` with `NEG_INFINITY`.
+    values: Vec<f64>,
+    /// Match winners: `winners[node]` for `node in 1..2*cap` is the leaf index
+    /// winning the subtree rooted at `node`; leaves live at `cap + i`.
+    winners: Vec<u32>,
+    /// Slots written by [`set_deferred`](Self::set_deferred) whose ancestor
+    /// matches have not been replayed yet.
+    dirty: Vec<u32>,
+    /// Reusable frontier buffer for [`flush`](Self::flush).
+    scratch: Vec<u32>,
+}
+
+impl MaxTracker {
+    /// An empty tracker (no slots).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the tournament over `values` in `O(len)`.
+    pub fn rebuild(&mut self, values: &[f64]) {
+        self.dirty.clear();
+        self.len = values.len();
+        if self.len == 0 {
+            self.cap = 0;
+            self.values.clear();
+            self.winners.clear();
+            return;
+        }
+        // Node ids are u32 and leaves live at `cap + i` with
+        // `cap = len.next_power_of_two()`, so `cap + len` must fit in u32:
+        // at most 2^31 slots.
+        assert!(
+            self.len <= 1usize << 31,
+            "MaxTracker supports at most 2^31 slots"
+        );
+        self.cap = self.len.next_power_of_two();
+        self.values.clear();
+        self.values.extend_from_slice(values);
+        self.values.resize(self.cap, f64::NEG_INFINITY);
+        self.winners.clear();
+        self.winners.resize(2 * self.cap, 0);
+        for i in 0..self.cap {
+            self.winners[self.cap + i] = i as u32;
+        }
+        // Bottom-up: each internal node takes the better of its two children,
+        // the left (lower-index) child winning ties.
+        for node in (1..self.cap).rev() {
+            self.winners[node] = self.play(self.winners[2 * node], self.winners[2 * node + 1]);
+        }
+    }
+
+    /// Number of live slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tracker holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current value of slot `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> f64 {
+        assert!(i < self.len, "slot {i} out of bounds (len {})", self.len);
+        self.values[i]
+    }
+
+    /// Sets slot `i` to `value` and repairs the winner path in `O(log len)`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: f64) {
+        assert!(i < self.len, "slot {i} out of bounds (len {})", self.len);
+        self.values[i] = value;
+        let mut node = (self.cap + i) / 2;
+        while node >= 1 {
+            self.winners[node] = self.play(self.winners[2 * node], self.winners[2 * node + 1]);
+            node /= 2;
+        }
+    }
+
+    /// Writes `value` into slot `i` **without** repairing the ancestor
+    /// matches, deferring that work to the next [`flush`](Self::flush).
+    ///
+    /// This is the lazy half of the re-heapify used by an accepted
+    /// Interchange replacement: the sparse responsibility deltas of one
+    /// accept often share most of their ancestor paths, so replaying each
+    /// path once per *batch* (in `flush`) costs `O(D)` node matches instead
+    /// of the `O(D·log K)` a `set` per slot would.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set_deferred(&mut self, i: usize, value: f64) {
+        assert!(i < self.len, "slot {i} out of bounds (len {})", self.len);
+        self.values[i] = value;
+        self.dirty.push(i as u32);
+    }
+
+    /// Replays the matches above every slot written by
+    /// [`set_deferred`](Self::set_deferred) since the last flush (or
+    /// rebuild). Levels are processed bottom-up with shared ancestors
+    /// deduplicated, so each affected node is recomputed exactly once. No-op
+    /// when nothing is dirty.
+    pub fn flush(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        if self.cap <= 1 {
+            // The root *is* the single leaf; nothing to replay.
+            self.dirty.clear();
+            return;
+        }
+        let mut frontier = std::mem::take(&mut self.scratch);
+        frontier.clear();
+        frontier.extend(self.dirty.drain(..).map(|i| (self.cap as u32 + i) >> 1));
+        frontier.sort_unstable();
+        frontier.dedup();
+        // All leaves sit at the same depth (cap is a power of two), so the
+        // frontier stays level-synchronized as it walks towards the root.
+        loop {
+            for &node in &frontier {
+                let n = node as usize;
+                let w = self.play(self.winners[2 * n], self.winners[2 * n + 1]);
+                self.winners[n] = w;
+            }
+            if frontier[0] == 1 {
+                break;
+            }
+            for node in frontier.iter_mut() {
+                *node >>= 1;
+            }
+            frontier.dedup();
+        }
+        self.scratch = frontier;
+    }
+
+    /// The `(index, value)` of the maximum slot, ties resolved to the lowest
+    /// index; `None` when empty.
+    ///
+    /// # Panics
+    /// Debug-panics if deferred writes have not been flushed.
+    pub fn max(&self) -> Option<(usize, f64)> {
+        debug_assert!(
+            self.dirty.is_empty(),
+            "MaxTracker::max read with unflushed deferred writes"
+        );
+        if self.len == 0 {
+            return None;
+        }
+        // For cap == 1 the single leaf sits at winners[1] itself.
+        let winner = self.winners[1] as usize;
+        Some((winner, self.values[winner]))
+    }
+
+    /// Winner of a match between leaves `a` and `b`; `a` (always the
+    /// lower-index side in tree order) wins ties.
+    #[inline]
+    fn play(&self, a: u32, b: u32) -> u32 {
+        if self.values[b as usize] > self.values[a as usize] {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: first-wins linear argmax, exactly the scan the legacy
+    /// Interchange Shrink step performed.
+    fn linear_argmax(values: &[f64]) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &v) in values.iter().enumerate() {
+            if best.is_none_or(|(_, b)| v > b) {
+                best = Some((i, v));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let t = MaxTracker::new();
+        assert!(t.is_empty());
+        assert_eq!(t.max(), None);
+    }
+
+    #[test]
+    fn single_slot() {
+        let mut t = MaxTracker::new();
+        t.rebuild(&[3.5]);
+        assert_eq!(t.max(), Some((0, 3.5)));
+        t.set(0, -1.0);
+        assert_eq!(t.max(), Some((0, -1.0)));
+    }
+
+    #[test]
+    fn ties_resolve_to_the_lowest_index() {
+        let mut t = MaxTracker::new();
+        t.rebuild(&[0.0, 1.0, 1.0, 0.5, 1.0]);
+        assert_eq!(t.max(), Some((1, 1.0)));
+        // Raising a later slot to the same value must not steal the win.
+        t.set(4, 1.0);
+        assert_eq!(t.max(), Some((1, 1.0)));
+        // A strictly greater later slot does win.
+        t.set(4, 1.0 + 1e-12);
+        assert_eq!(t.max().unwrap().0, 4);
+        // Dropping it hands the win back to the earliest of the tied slots.
+        t.set(4, 0.0);
+        assert_eq!(t.max(), Some((1, 1.0)));
+    }
+
+    #[test]
+    fn all_equal_values_pick_slot_zero() {
+        let mut t = MaxTracker::new();
+        t.rebuild(&vec![0.0; 37]);
+        assert_eq!(t.max(), Some((0, 0.0)));
+    }
+
+    #[test]
+    fn non_power_of_two_lengths() {
+        for n in [1usize, 2, 3, 5, 7, 9, 31, 33, 100] {
+            let values: Vec<f64> = (0..n).map(|i| ((i * 7919) % 101) as f64).collect();
+            let mut t = MaxTracker::new();
+            t.rebuild(&values);
+            assert_eq!(t.len(), n);
+            assert_eq!(t.max(), linear_argmax(&values), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn rebuild_replaces_previous_contents() {
+        let mut t = MaxTracker::new();
+        t.rebuild(&[9.0, 1.0, 2.0]);
+        assert_eq!(t.max(), Some((0, 9.0)));
+        t.rebuild(&[1.0, 2.0]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.max(), Some((1, 2.0)));
+        t.rebuild(&[]);
+        assert_eq!(t.max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_checks_bounds() {
+        let mut t = MaxTracker::new();
+        t.rebuild(&[1.0, 2.0]);
+        t.set(2, 0.0);
+    }
+
+    proptest::proptest! {
+        /// The tracker always agrees with a first-wins linear argmax scan
+        /// under an arbitrary interleaving of rebuilds and sparse updates —
+        /// the exact access pattern of the Interchange inner loop (rebuild on
+        /// fill, sparse deltas on accept, slot replacement on swap).
+        #[test]
+        fn agrees_with_linear_argmax_under_interleaved_ops(
+            initial in proptest::collection::vec(-100.0f64..100.0, 1..130),
+            ops in proptest::collection::vec(
+                (0usize..130, -100.0f64..100.0, proptest::bool::ANY),
+                0..200,
+            ),
+        ) {
+            let mut reference = initial.clone();
+            let mut tracker = MaxTracker::new();
+            tracker.rebuild(&initial);
+            proptest::prop_assert_eq!(tracker.max(), linear_argmax(&reference));
+            for (slot, value, additive) in ops {
+                let i = slot % reference.len();
+                // Model both update flavours the sampler performs: additive
+                // responsibility deltas and outright slot replacement.
+                let new = if additive { reference[i] + value } else { value };
+                reference[i] = new;
+                tracker.set(i, new);
+                proptest::prop_assert_eq!(tracker.max(), linear_argmax(&reference));
+                proptest::prop_assert_eq!(tracker.get(i), new);
+            }
+        }
+
+        /// Deferred batches (`set_deferred` × D then one `flush`) reach the
+        /// same state as eager per-slot `set` calls — the lazy re-heapify an
+        /// accepted replacement relies on.
+        #[test]
+        fn deferred_batches_match_eager_sets(
+            initial in proptest::collection::vec(-100.0f64..100.0, 1..100),
+            batches in proptest::collection::vec(
+                proptest::collection::vec((0usize..100, -100.0f64..100.0), 1..25),
+                0..25,
+            ),
+        ) {
+            let mut eager = MaxTracker::new();
+            let mut lazy = MaxTracker::new();
+            eager.rebuild(&initial);
+            lazy.rebuild(&initial);
+            for batch in batches {
+                for (slot, value) in batch {
+                    let i = slot % initial.len();
+                    // Duplicate slots within a batch are allowed: the last
+                    // write must win, exactly as with eager sets.
+                    eager.set(i, value);
+                    lazy.set_deferred(i, value);
+                }
+                lazy.flush();
+                proptest::prop_assert_eq!(lazy.max(), eager.max());
+            }
+        }
+
+        /// Duplicated (tied) values never break the lowest-index contract.
+        #[test]
+        fn tie_heavy_streams_keep_lowest_index(
+            picks in proptest::collection::vec((0usize..40, 0u8..4), 1..120),
+        ) {
+            // Values drawn from a 4-value alphabet force constant ties.
+            let mut reference = vec![0.0f64; 40];
+            let mut tracker = MaxTracker::new();
+            tracker.rebuild(&reference);
+            for (slot, level) in picks {
+                reference[slot] = level as f64;
+                tracker.set(slot, level as f64);
+                proptest::prop_assert_eq!(tracker.max(), linear_argmax(&reference));
+            }
+        }
+    }
+}

@@ -154,9 +154,11 @@ impl LossEstimator {
         let mut losses: Vec<f64> = Vec::with_capacity(self.probes.len());
         for probe in &self.probes {
             let mut total = 0.0;
-            for (_, p) in tree.query_radius(probe, radius) {
-                total += kernel.eval(probe, &p);
-            }
+            // Visitor form of the radius query: summing M probe
+            // neighbourhoods allocates nothing.
+            tree.for_each_in_radius(probe, radius, |_, p| {
+                total += kernel.eval(probe, p);
+            });
             let loss = if total > 0.0 {
                 (1.0 / total).min(self.config.max_point_loss)
             } else {

@@ -121,12 +121,38 @@ impl KdTree {
     }
 
     /// All entries within Euclidean distance `radius` of `query`.
+    ///
+    /// Thin wrapper over [`query_radius_into`](Self::query_radius_into); hot
+    /// paths should use the buffer or visitor form to avoid the per-call
+    /// allocation.
     pub fn query_radius(&self, query: &Point, radius: f64) -> Vec<(usize, Point)> {
         let mut out = Vec::new();
-        if let Some(root) = self.root.as_ref() {
-            self.radius_rec(root, query, radius, radius * radius, &mut out);
-        }
+        self.query_radius_into(query, radius, &mut out);
         out
+    }
+
+    /// Writes all entries within `radius` of `query` into `out`, clearing it
+    /// first. The buffer's capacity is retained across calls, so a reused
+    /// buffer makes the query allocation-free in the steady state.
+    ///
+    /// Entries are produced in the same order as [`query_radius`](Self::query_radius).
+    pub fn query_radius_into(&self, query: &Point, radius: f64, out: &mut Vec<(usize, Point)>) {
+        out.clear();
+        self.for_each_in_radius(query, radius, |id, p| out.push((id, *p)));
+    }
+
+    /// Calls `visit(id, point)` for every entry within Euclidean distance
+    /// `radius` of `query`, in the same deterministic traversal order as
+    /// [`query_radius`](Self::query_radius), without allocating.
+    pub fn for_each_in_radius(
+        &self,
+        query: &Point,
+        radius: f64,
+        mut visit: impl FnMut(usize, &Point),
+    ) {
+        if let Some(root) = self.root.as_ref() {
+            self.radius_rec(root, query, radius, radius * radius, &mut visit);
+        }
     }
 
     fn radius_rec(
@@ -135,11 +161,11 @@ impl KdTree {
         query: &Point,
         radius: f64,
         r2: f64,
-        out: &mut Vec<(usize, Point)>,
+        visit: &mut impl FnMut(usize, &Point),
     ) {
         let (id, point) = self.entries[node.entry];
         if point.dist2(query) <= r2 {
-            out.push((id, point));
+            visit(id, &point);
         }
         let diff = if node.axis == 0 {
             query.x - point.x
@@ -152,11 +178,11 @@ impl KdTree {
             (&node.right, &node.left)
         };
         if let Some(n) = near {
-            self.radius_rec(n, query, radius, r2, out);
+            self.radius_rec(n, query, radius, r2, visit);
         }
         if diff.abs() <= radius {
             if let Some(f) = far {
-                self.radius_rec(f, query, radius, r2, out);
+                self.radius_rec(f, query, radius, r2, visit);
             }
         }
     }
@@ -255,6 +281,22 @@ mod tests {
                 .collect();
             expected.sort_unstable();
             assert_eq!(got, expected, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn query_radius_into_and_visitor_match_the_allocating_query() {
+        let pts = random_points(600, 9);
+        let t = KdTree::from_points(&pts);
+        let q = Point::new(2.0, 3.0);
+        let mut buf = Vec::new();
+        for radius in [0.3, 2.5, 15.0] {
+            let allocated = t.query_radius(&q, radius);
+            t.query_radius_into(&q, radius, &mut buf);
+            assert_eq!(buf, allocated, "radius {radius}");
+            let mut visited = Vec::new();
+            t.for_each_in_radius(&q, radius, |id, p| visited.push((id, *p)));
+            assert_eq!(visited, allocated, "radius {radius}");
         }
     }
 

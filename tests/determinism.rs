@@ -81,6 +81,37 @@ fn vas_sampler_is_deterministic() {
 }
 
 #[test]
+fn optimized_inner_loop_is_bit_identical_to_the_legacy_implementation() {
+    // PR 2 rebuilt the Interchange inner loop (tournament-tree Shrink,
+    // zero-allocation spatial queries, cached cutoff radius). The refactor's
+    // contract is that it is a pure speed-up: on the seeds pinned here, both
+    // `ExpandShrink` and `ExpandShrinkLocality` must produce samples
+    // byte-identical to the pre-refactor implementation, which is retained
+    // behind `VasConfig::with_legacy_inner_loop` exactly for this test and
+    // for the `fig10_inner_loop` benchmark baseline.
+    for seed in [21u64, 99] {
+        let data = GeolifeGenerator::with_size(10_000, seed).generate();
+        for strategy in [
+            InterchangeStrategy::ExpandShrink,
+            InterchangeStrategy::ExpandShrinkLocality,
+        ] {
+            let config = VasConfig::new(300).with_strategy(strategy);
+            let optimized = VasSampler::from_dataset(&data, config.clone()).sample_dataset(&data);
+            let legacy = VasSampler::from_dataset(&data, config.with_legacy_inner_loop(true))
+                .sample_dataset(&data);
+            assert_points_bitwise_equal(
+                &optimized.points,
+                &legacy.points,
+                &format!(
+                    "VasSampler optimized vs legacy ({}, seed {seed})",
+                    strategy.label()
+                ),
+            );
+        }
+    }
+}
+
+#[test]
 fn density_embedding_is_deterministic() {
     let data = GeolifeGenerator::with_size(10_000, 33).generate();
     let sample = VasSampler::from_dataset(&data, VasConfig::new(200)).sample_dataset(&data);
