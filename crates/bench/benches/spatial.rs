@@ -1,9 +1,10 @@
-//! Micro-benchmarks of the spatial substrates: R-tree (the ES+Loc locality
-//! index) and k-d tree (the density-embedding nearest-neighbour index).
+//! Micro-benchmarks of the spatial substrates: the three `LocalityIndex`
+//! backends (R-tree, k-d tree, spatial hash) on the ES+Loc fixed-radius
+//! query, plus the k-d tree's density-embedding nearest-neighbour query.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use vas_data::GeolifeGenerator;
-use vas_spatial::{KdTree, RTree};
+use vas_spatial::{HashGrid, KdTree, LocalityIndex, RTree};
 
 fn bench_rtree(c: &mut Criterion) {
     let data = GeolifeGenerator::with_size(20_000, 2).generate();
@@ -58,5 +59,39 @@ fn bench_kdtree(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rtree, bench_kdtree);
+fn bench_hashgrid(c: &mut Criterion) {
+    let data = GeolifeGenerator::with_size(20_000, 4).generate();
+    let mut group = c.benchmark_group("spatial/hashgrid");
+    let radius = data.bounds().diagonal() * 0.01;
+    for &n in &[1_000usize, 10_000] {
+        let points = &data.points[..n];
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(HashGrid::from_entries(
+                    radius,
+                    points.iter().copied().enumerate(),
+                ))
+            })
+        });
+        let grid = HashGrid::from_entries(radius, points.iter().copied().enumerate());
+        let query = data.points[n / 2];
+        group.bench_with_input(BenchmarkId::new("for_each_in_radius", n), &n, |b, _| {
+            b.iter(|| {
+                let mut count = 0usize;
+                grid.for_each_in_radius(black_box(&query), radius, |_, _| count += 1);
+                black_box(count)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("churn", n), &n, |b, _| {
+            let mut grid = HashGrid::from_entries(radius, points.iter().copied().enumerate());
+            b.iter(|| {
+                assert!(LocalityIndex::remove(&mut grid, n / 2, &query));
+                LocalityIndex::insert(&mut grid, n / 2, query);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtree, bench_kdtree, bench_hashgrid);
 criterion_main!(benches);

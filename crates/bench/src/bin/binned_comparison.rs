@@ -13,7 +13,7 @@
 //! * the effective resolution available at a deep-zoom viewport.
 
 use bench::{emit, fmt3, geolife, ReportTable};
-use vas_binned::{render_heatmap, TilePyramid, TilePyramidConfig};
+use vas_binned::{HeatmapRenderer, TilePyramid, TilePyramidConfig};
 use vas_core::{VasConfig, VasSampler};
 use vas_data::{ZoomLevel, ZoomWorkload};
 use vas_eval::similarity::{density_correlation, ink_jaccard};
@@ -43,11 +43,13 @@ fn main() {
         ],
     );
 
-    // --- Binned aggregation at two pyramid depths.
+    // --- Binned aggregation at two pyramid depths. One HeatmapRenderer
+    // serves every frame, reusing its cell buffer across queries.
+    let mut heatmaps = HeatmapRenderer::new();
     for max_level in [7u8, 9] {
         let pyramid = TilePyramid::build(&data, TilePyramidConfig { max_level });
-        let over = render_heatmap(&pyramid, &overview, canvas_px, canvas_px, Colormap::Greys);
-        let zoomed = render_heatmap(&pyramid, &zoom, canvas_px, canvas_px, Colormap::Greys);
+        let over = heatmaps.render(&pyramid, &overview, canvas_px, canvas_px, Colormap::Greys);
+        let zoomed = heatmaps.render(&pyramid, &zoom, canvas_px, canvas_px, Colormap::Greys);
         let visible = pyramid.query_for_render(&zoom, canvas_px).1.len();
         table.push_row(vec![
             format!("binned aggregation (max level {max_level})"),

@@ -1,37 +1,51 @@
 //! Inner-loop throughput of the Interchange candidate (replacement-test)
 //! path: the optimized loop (tournament-tree Shrink + zero-allocation
 //! spatial queries) against the retained pre-optimization legacy loop,
-//! measured in the same run on the same stream.
+//! swept across every `LocalityIndex` backend, measured in the same run on
+//! the same stream.
 //!
 //! The figure of merit is **throughput on rejected-candidate tuples** — the
 //! overwhelmingly common case once the sample has converged, and the case
 //! the max-responsibility structure turns from `O(K)` into near-`O(1)`.
+//! The accepted-replacement path is tracked separately, with a micro-measured
+//! cost split (the two radius queries vs the index remove/insert churn) per
+//! backend.
 //!
 //! Output: a human-readable table on stdout plus machine-readable
 //! `results/BENCH_interchange.json`, so the perf trajectory of this hot path
 //! can be tracked across commits. CI runs `--smoke` (tiny N) on every push
-//! to keep the harness itself from rotting.
+//! with `--require-hashgrid-at-least 0.9`, which fails the job if the
+//! spatial-hash backend ever regresses below the R-tree baseline.
 //!
 //! Usage:
 //! ```text
-//! fig10_inner_loop [--smoke] [--baseline]
+//! fig10_inner_loop [--smoke] [--baseline] [--backend rtree|kdtree|hashgrid]
+//!                  [--require-hashgrid-at-least <ratio>]
 //! ```
 //! * `--smoke`    — tiny dataset (20K points, K = 500) for CI.
 //! * `--baseline` — measure only the legacy loop (for A/B-ing across
 //!   checkouts; the default measures both in one run).
+//! * `--backend`  — restrict the sweep to one backend (default: all three).
+//! * `--require-hashgrid-at-least` — exit non-zero unless
+//!   `hashgrid rejected/s ÷ rtree rejected/s` (optimized loop) reaches the
+//!   given ratio; both backends must be part of the sweep.
 
 use bench::{emit, fmt3, results_dir, ReportTable};
 use serde::Serialize;
 use std::time::Instant;
 use vas_core::{GaussianKernel, InterchangeStrategy, Kernel, VasConfig, VasSampler};
-use vas_data::{Dataset, GaussianMixtureGenerator};
+use vas_data::{Dataset, GaussianMixtureGenerator, Point};
 use vas_sampling::Sampler;
+use vas_spatial::{AnyLocalityIndex, LocalityBackend, LocalityIndex};
 
-/// One measured (strategy × inner-loop) cell.
+/// One measured (strategy × backend × inner-loop) cell.
 #[derive(Debug, Clone, Serialize)]
 struct VariantResult {
     /// Strategy label ("ES" or "ES+Loc").
     strategy: String,
+    /// Locality backend label ("rtree", "kdtree", "hashgrid"; "n/a" for the
+    /// backend-independent plain-ES strategy).
+    backend: String,
     /// "legacy" or "optimized".
     inner_loop: String,
     /// Wall-clock seconds spent filling the first K slots.
@@ -58,14 +72,41 @@ struct VariantResult {
     accepted_per_sec: f64,
 }
 
-/// Speed-up of the optimized loop over the legacy loop for one strategy.
+/// Speed-up of the optimized loop over the legacy loop for one
+/// (strategy, backend) pair.
 #[derive(Debug, Clone, Serialize)]
 struct Speedup {
     strategy: String,
+    backend: String,
     /// `optimized.rejected_per_sec / legacy.rejected_per_sec`.
     rejected_throughput_ratio: f64,
     /// `optimized.tuples_per_sec / legacy.tuples_per_sec`.
     tuple_throughput_ratio: f64,
+}
+
+/// Micro-measured cost split of one accepted replacement on one backend:
+/// the two neighbourhood queries (candidate + removed element) vs the index
+/// churn (remove + insert), averaged over a deterministic probe set drawn
+/// from the converged sample.
+#[derive(Debug, Clone, Serialize)]
+struct AcceptCostSplit {
+    backend: String,
+    /// Average nanoseconds for the two radius queries of one replacement.
+    query_pair_ns: f64,
+    /// Average nanoseconds for one remove + insert cycle.
+    churn_ns: f64,
+    /// Probe points measured.
+    probes: usize,
+}
+
+/// Cross-backend standing of the optimized ES+Loc loop.
+#[derive(Debug, Clone, Serialize)]
+struct BackendComparison {
+    backend: String,
+    rejected_per_sec: f64,
+    /// `rejected_per_sec / rtree.rejected_per_sec` (1.0 for rtree itself);
+    /// 0.0 when the sweep excluded the rtree baseline.
+    vs_rtree_rejected_ratio: f64,
 }
 
 /// The whole report, serialized to `results/BENCH_interchange.json`.
@@ -76,6 +117,8 @@ struct BenchReport {
     dataset: DatasetInfo,
     variants: Vec<VariantResult>,
     speedups: Vec<Speedup>,
+    accept_cost: Vec<AcceptCostSplit>,
+    backend_comparison: Vec<BackendComparison>,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -87,18 +130,24 @@ struct DatasetInfo {
     locality_threshold: f64,
 }
 
+/// Streams the whole dataset through one sampler configuration, timing every
+/// observation so rejected-tuple cost is separated from accepted-tuple cost.
+/// Returns the measurement plus the converged sample (for the accept-cost
+/// micro-bench).
 fn measure(
     data: &Dataset,
     k: usize,
     strategy: InterchangeStrategy,
+    backend: LocalityBackend,
     epsilon: f64,
     legacy: bool,
-) -> VariantResult {
+) -> (VariantResult, Vec<Point>) {
     let mut sampler = VasSampler::from_dataset(
         data,
         VasConfig::new(k)
             .with_strategy(strategy)
             .with_epsilon(epsilon)
+            .with_locality_backend(backend)
             .with_legacy_inner_loop(legacy),
     );
     let fill_start = Instant::now();
@@ -107,9 +156,8 @@ fn measure(
     }
     let fill_secs = fill_start.elapsed().as_secs_f64();
 
-    // Time every observation individually so rejected-tuple cost can be
-    // separated from accepted-tuple (replacement) cost; the ~2×Instant
-    // overhead per tuple is identical for both inner loops.
+    // The ~2×Instant overhead per tuple is identical for both inner loops
+    // and all backends.
     let candidates = &data.points[k..];
     let mut rejected_secs = 0.0f64;
     let mut accepted_secs = 0.0f64;
@@ -131,8 +179,14 @@ fn measure(
     let accepted = sampler.replacements();
     let candidate_tuples = candidates.len() as u64;
     let rejected = candidate_tuples - accepted;
-    VariantResult {
+    let backend_label = if strategy == InterchangeStrategy::ExpandShrinkLocality {
+        backend.label().to_string()
+    } else {
+        "n/a".to_string()
+    };
+    let result = VariantResult {
         strategy: strategy.label().to_string(),
+        backend: backend_label,
         inner_loop: if legacy { "legacy" } else { "optimized" }.to_string(),
         fill_secs,
         candidate_secs,
@@ -144,6 +198,48 @@ fn measure(
         tuples_per_sec: candidate_tuples as f64 / candidate_secs,
         rejected_per_sec: rejected as f64 / rejected_secs.max(1e-9),
         accepted_per_sec: accepted as f64 / accepted_secs.max(1e-9),
+    };
+    (result, sampler.current_sample().to_vec())
+}
+
+/// Micro-measures the accepted-replacement cost split on one backend: builds
+/// the index over the converged sample at the cutoff radius, then times the
+/// two neighbourhood queries and the remove/insert churn an accept performs.
+fn measure_accept_cost(backend: LocalityBackend, sample: &[Point], cutoff: f64) -> AcceptCostSplit {
+    let mut index = AnyLocalityIndex::new(backend);
+    index.rebuild(
+        cutoff,
+        &sample.iter().copied().enumerate().collect::<Vec<_>>(),
+    );
+    // A deterministic probe subset; every probe is a stored entry, so the
+    // churn cycle (remove then re-insert the same entry) is always valid.
+    let stride = (sample.len() / 512).max(1);
+    let probes: Vec<(usize, Point)> = sample.iter().copied().enumerate().step_by(stride).collect();
+
+    let mut sink = 0usize;
+    let query_start = Instant::now();
+    for (_, p) in &probes {
+        // An accept performs two radius queries: the candidate's
+        // neighbourhood and the removed element's neighbourhood.
+        for _ in 0..2 {
+            index.for_each_in_radius_with_dist2(p, cutoff, |_, _, _| sink += 1);
+        }
+    }
+    let query_pair_ns = query_start.elapsed().as_nanos() as f64 / probes.len() as f64;
+    std::hint::black_box(sink);
+
+    let churn_start = Instant::now();
+    for &(id, ref p) in &probes {
+        assert!(index.remove(id, p), "probe entry must be present");
+        index.insert(id, *p);
+    }
+    let churn_ns = churn_start.elapsed().as_nanos() as f64 / probes.len() as f64;
+
+    AcceptCostSplit {
+        backend: backend.label().to_string(),
+        query_pair_ns,
+        churn_ns,
+        probes: probes.len(),
     }
 }
 
@@ -151,8 +247,59 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let baseline_only = args.iter().any(|a| a == "--baseline");
-    if let Some(unknown) = args.iter().find(|a| *a != "--smoke" && *a != "--baseline") {
-        eprintln!("unknown argument {unknown}; usage: fig10_inner_loop [--smoke] [--baseline]");
+    let mut backends: Vec<LocalityBackend> = Vec::new();
+    let mut required_hashgrid_ratio: Option<f64> = None;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" | "--baseline" => {}
+            "--backend" => {
+                i += 1;
+                let value = args.get(i).unwrap_or_else(|| {
+                    eprintln!("--backend needs a value (rtree|kdtree|hashgrid)");
+                    std::process::exit(2);
+                });
+                match value.parse::<LocalityBackend>() {
+                    Ok(b) => {
+                        if !backends.contains(&b) {
+                            backends.push(b);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--require-hashgrid-at-least" => {
+                i += 1;
+                let value = args.get(i).and_then(|v| v.parse::<f64>().ok());
+                match value {
+                    Some(r) if r.is_finite() && r > 0.0 => required_hashgrid_ratio = Some(r),
+                    _ => {
+                        eprintln!("--require-hashgrid-at-least needs a positive ratio");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            unknown => {
+                eprintln!(
+                    "unknown argument {unknown}; usage: fig10_inner_loop [--smoke] [--baseline] \
+                     [--backend rtree|kdtree|hashgrid] [--require-hashgrid-at-least <ratio>]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if backends.is_empty() {
+        backends = LocalityBackend::ALL.to_vec();
+    }
+    if baseline_only && required_hashgrid_ratio.is_some() {
+        eprintln!(
+            "--require-hashgrid-at-least compares the optimized loops, which --baseline skips; \
+             drop one of the two flags"
+        );
         std::process::exit(2);
     }
 
@@ -166,52 +313,101 @@ fn main() {
     let mode = if smoke { "smoke" } else { "full" };
     eprintln!("[fig10_inner_loop] generating Gaussian dataset: n = {n}, K = {k}");
     let data = GaussianMixtureGenerator::paper_clustering_dataset(3, n, 20_160_518).generate();
-    let epsilon = GaussianKernel::for_dataset(&data).bandwidth();
+    let kernel = GaussianKernel::for_dataset(&data);
+    let epsilon = kernel.bandwidth();
     let locality_threshold = VasConfig::new(k).locality_threshold;
+    let cutoff = kernel.effective_radius(locality_threshold);
 
     let mut variants = Vec::new();
     let mut speedups = Vec::new();
-    for strategy in [
-        InterchangeStrategy::ExpandShrink,
-        InterchangeStrategy::ExpandShrinkLocality,
-    ] {
-        // The quadratic-ish full-scan ES variant dominates the full-size run
-        // without adding information at K = 10K; measure it in smoke mode and
-        // keep the 1M-point run focused on the headline ES+Loc comparison.
-        if !smoke && strategy == InterchangeStrategy::ExpandShrink {
-            continue;
-        }
-        let legacy = measure(&data, k, strategy, epsilon, true);
+    let mut accept_cost = Vec::new();
+    let mut comparison_raw: Vec<(LocalityBackend, f64)> = Vec::new();
+
+    // Plain ES ignores the locality index entirely, so it is measured once
+    // (smoke only: the quadratic-ish full scan dominates the full-size run
+    // without adding information at K = 10K).
+    if smoke {
+        let backend = LocalityBackend::default();
+        let strategy = InterchangeStrategy::ExpandShrink;
+        let (legacy, _) = measure(&data, k, strategy, backend, epsilon, true);
         eprintln!(
-            "[fig10_inner_loop] {} legacy: {:.0} rejected tuples/s",
-            legacy.strategy, legacy.rejected_per_sec
+            "[fig10_inner_loop] ES legacy: {:.0} rejected tuples/s",
+            legacy.rejected_per_sec
+        );
+        if baseline_only {
+            variants.push(legacy);
+        } else {
+            let (optimized, _) = measure(&data, k, strategy, backend, epsilon, false);
+            eprintln!(
+                "[fig10_inner_loop] ES optimized: {:.0} rejected tuples/s",
+                optimized.rejected_per_sec
+            );
+            assert_eq!(
+                legacy.accepted, optimized.accepted,
+                "legacy and optimized loops must make identical replacement decisions"
+            );
+            speedups.push(Speedup {
+                strategy: strategy.label().to_string(),
+                backend: "n/a".to_string(),
+                rejected_throughput_ratio: optimized.rejected_per_sec / legacy.rejected_per_sec,
+                tuple_throughput_ratio: optimized.tuples_per_sec / legacy.tuples_per_sec,
+            });
+            variants.push(legacy);
+            variants.push(optimized);
+        }
+    }
+
+    // The headline sweep: ES+Loc, legacy and optimized, per backend.
+    for &backend in &backends {
+        let strategy = InterchangeStrategy::ExpandShrinkLocality;
+        let (legacy, _) = measure(&data, k, strategy, backend, epsilon, true);
+        eprintln!(
+            "[fig10_inner_loop] ES+Loc/{backend} legacy: {:.0} rejected tuples/s",
+            legacy.rejected_per_sec
         );
         if baseline_only {
             variants.push(legacy);
             continue;
         }
-        let optimized = measure(&data, k, strategy, epsilon, false);
+        let (optimized, sample) = measure(&data, k, strategy, backend, epsilon, false);
         eprintln!(
-            "[fig10_inner_loop] {} optimized: {:.0} rejected tuples/s",
-            optimized.strategy, optimized.rejected_per_sec
+            "[fig10_inner_loop] ES+Loc/{backend} optimized: {:.0} rejected tuples/s",
+            optimized.rejected_per_sec
         );
         assert_eq!(
             legacy.accepted, optimized.accepted,
-            "legacy and optimized loops must make identical replacement decisions"
+            "legacy and optimized loops must make identical replacement decisions ({backend})"
         );
         speedups.push(Speedup {
             strategy: strategy.label().to_string(),
+            backend: backend.label().to_string(),
             rejected_throughput_ratio: optimized.rejected_per_sec / legacy.rejected_per_sec,
             tuple_throughput_ratio: optimized.tuples_per_sec / legacy.tuples_per_sec,
         });
+        comparison_raw.push((backend, optimized.rejected_per_sec));
+        accept_cost.push(measure_accept_cost(backend, &sample, cutoff));
         variants.push(legacy);
         variants.push(optimized);
     }
+
+    let rtree_rejected = comparison_raw
+        .iter()
+        .find(|(b, _)| *b == LocalityBackend::RTree)
+        .map(|(_, r)| *r);
+    let backend_comparison: Vec<BackendComparison> = comparison_raw
+        .iter()
+        .map(|(b, r)| BackendComparison {
+            backend: b.label().to_string(),
+            rejected_per_sec: *r,
+            vs_rtree_rejected_ratio: rtree_rejected.map(|base| r / base).unwrap_or(0.0),
+        })
+        .collect();
 
     let mut table = ReportTable::new(
         format!("Interchange inner-loop throughput ({mode}: n = {n}, K = {k})"),
         &[
             "variant",
+            "backend",
             "inner loop",
             "candidate tuples",
             "accepted",
@@ -224,6 +420,7 @@ fn main() {
     for v in &variants {
         table.push_row(vec![
             v.strategy.clone(),
+            v.backend.clone(),
             v.inner_loop.clone(),
             v.candidate_tuples.to_string(),
             v.accepted.to_string(),
@@ -237,6 +434,7 @@ fn main() {
         "Optimized vs legacy inner loop",
         &[
             "variant",
+            "backend",
             "rejected-throughput ratio",
             "tuple-throughput ratio",
         ],
@@ -244,11 +442,38 @@ fn main() {
     for s in &speedups {
         speedup_table.push_row(vec![
             s.strategy.clone(),
+            s.backend.clone(),
             format!("{:.2}x", s.rejected_throughput_ratio),
             format!("{:.2}x", s.tuple_throughput_ratio),
         ]);
     }
-    emit("fig10_inner_loop", &[table, speedup_table]);
+    let mut backend_table = ReportTable::new(
+        "Locality backends (optimized ES+Loc)",
+        &[
+            "backend",
+            "rejected/s",
+            "vs rtree",
+            "accept query pair (µs)",
+            "accept churn (µs)",
+        ],
+    );
+    for c in &backend_comparison {
+        let cost = accept_cost.iter().find(|a| a.backend == c.backend);
+        backend_table.push_row(vec![
+            c.backend.clone(),
+            fmt3(c.rejected_per_sec),
+            if c.vs_rtree_rejected_ratio > 0.0 {
+                format!("{:.2}x", c.vs_rtree_rejected_ratio)
+            } else {
+                "-".to_string()
+            },
+            cost.map(|a| fmt3(a.query_pair_ns / 1_000.0))
+                .unwrap_or_else(|| "-".to_string()),
+            cost.map(|a| fmt3(a.churn_ns / 1_000.0))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    emit("fig10_inner_loop", &[table, speedup_table, backend_table]);
 
     let report = BenchReport {
         bench: "fig10_inner_loop".to_string(),
@@ -262,9 +487,35 @@ fn main() {
         },
         variants,
         speedups,
+        accept_cost,
+        backend_comparison: backend_comparison.clone(),
     };
     let path = results_dir().join("BENCH_interchange.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
     std::fs::write(&path, json).expect("write BENCH_interchange.json");
     eprintln!("[machine-readable report written to {}]", path.display());
+
+    if let Some(required) = required_hashgrid_ratio {
+        let ratio = backend_comparison
+            .iter()
+            .find(|c| c.backend == LocalityBackend::HashGrid.label())
+            .map(|c| c.vs_rtree_rejected_ratio)
+            .filter(|r| *r > 0.0);
+        match ratio {
+            Some(r) if r >= required => {
+                eprintln!("[fig10_inner_loop] hashgrid/rtree rejected-throughput {r:.2}x >= required {required:.2}x");
+            }
+            Some(r) => {
+                eprintln!("[fig10_inner_loop] FAIL: hashgrid/rtree rejected-throughput {r:.2}x < required {required:.2}x");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!(
+                    "[fig10_inner_loop] FAIL: --require-hashgrid-at-least needs both the \
+                     hashgrid and rtree backends in the sweep"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -27,4 +27,4 @@ pub mod pyramid;
 pub mod render;
 
 pub use pyramid::{TileCell, TilePyramid, TilePyramidConfig};
-pub use render::render_heatmap;
+pub use render::{render_heatmap, HeatmapRenderer};

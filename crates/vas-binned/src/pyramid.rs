@@ -150,17 +150,34 @@ impl TilePyramid {
 
     /// The non-empty cells at `level` that intersect `region`, together with
     /// their rectangles in data coordinates.
+    ///
+    /// Thin allocating wrapper over [`query_into`](Self::query_into); callers
+    /// issuing one query per rendered frame should reuse a buffer instead.
     pub fn query(&self, region: &BoundingBox, level: u8) -> Vec<(BoundingBox, TileCell)> {
+        let mut out = Vec::new();
+        self.query_into(region, level, &mut out);
+        out
+    }
+
+    /// Writes the non-empty cells at `level` that intersect `region` into
+    /// `out`, clearing it first. The buffer's capacity is retained across
+    /// calls, so a reused buffer makes per-frame queries allocation-free in
+    /// the steady state.
+    pub fn query_into(
+        &self,
+        region: &BoundingBox,
+        level: u8,
+        out: &mut Vec<(BoundingBox, TileCell)>,
+    ) {
+        out.clear();
         let level = level.min(self.config.max_level);
         let cells = &self.levels[level as usize];
-        let mut out = Vec::new();
         for cell in cells.values() {
             let bb = self.cell_bounds(level, cell.col, cell.row);
             if bb.intersects(region) {
                 out.push((bb, *cell));
             }
         }
-        out
     }
 
     /// Convenience: query at the level appropriate for a `pixels`-wide render
@@ -172,6 +189,19 @@ impl TilePyramid {
     ) -> (u8, Vec<(BoundingBox, TileCell)>) {
         let level = self.level_for(region, pixels);
         (level, self.query(region, level))
+    }
+
+    /// Buffer-reusing form of [`query_for_render`](Self::query_for_render):
+    /// fills `out` and returns the chosen level.
+    pub fn query_for_render_into(
+        &self,
+        region: &BoundingBox,
+        pixels: usize,
+        out: &mut Vec<(BoundingBox, TileCell)>,
+    ) -> u8 {
+        let level = self.level_for(region, pixels);
+        self.query_into(region, level, out);
+        level
     }
 
     /// Total tuple count inside `region`, computed from the finest level

@@ -1,14 +1,62 @@
 //! Heatmap rendering of pre-aggregated tiles.
 
-use crate::pyramid::TilePyramid;
+use crate::pyramid::{TileCell, TilePyramid};
 use vas_data::BoundingBox;
 use vas_viz::{Canvas, Color, Colormap, Viewport};
 
-/// Renders the pyramid's answer for `region` as a count heatmap.
-///
-/// The cell level is chosen automatically from the canvas resolution; each
-/// returned cell is filled with a color proportional to `log(1 + count)`,
-/// which is the conventional encoding for heavily skewed count data.
+/// A heatmap renderer that reuses its cell buffer across frames, so an
+/// interactive pan/zoom session performs no per-frame query allocation.
+#[derive(Debug, Clone, Default)]
+pub struct HeatmapRenderer {
+    cells: Vec<(BoundingBox, TileCell)>,
+}
+
+impl HeatmapRenderer {
+    /// Creates a renderer with an empty (growable) cell buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the pyramid's answer for `region` as a count heatmap.
+    ///
+    /// The cell level is chosen automatically from the canvas resolution;
+    /// each returned cell is filled with a color proportional to
+    /// `log(1 + count)`, which is the conventional encoding for heavily
+    /// skewed count data.
+    pub fn render(
+        &mut self,
+        pyramid: &TilePyramid,
+        region: &BoundingBox,
+        width: usize,
+        height: usize,
+        colormap: Colormap,
+    ) -> Canvas {
+        let viewport = Viewport::new(*region, width, height);
+        let mut canvas = Canvas::white(width, height);
+        pyramid.query_for_render_into(region, width.max(height), &mut self.cells);
+        if self.cells.is_empty() {
+            return canvas;
+        }
+        let max_count = self
+            .cells
+            .iter()
+            .map(|(_, c)| c.count)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let scale = (1.0 + max_count as f64).ln();
+
+        for (bb, cell) in &self.cells {
+            let intensity = (1.0 + cell.count as f64).ln() / scale;
+            let color = colormap.map(intensity);
+            fill_rect(&mut canvas, &viewport, bb, color);
+        }
+        canvas
+    }
+}
+
+/// One-shot convenience wrapper over [`HeatmapRenderer::render`]; per-frame
+/// callers should hold a [`HeatmapRenderer`] to reuse its cell buffer.
 pub fn render_heatmap(
     pyramid: &TilePyramid,
     region: &BoundingBox,
@@ -16,21 +64,7 @@ pub fn render_heatmap(
     height: usize,
     colormap: Colormap,
 ) -> Canvas {
-    let viewport = Viewport::new(*region, width, height);
-    let mut canvas = Canvas::white(width, height);
-    let (_, cells) = pyramid.query_for_render(region, width.max(height));
-    if cells.is_empty() {
-        return canvas;
-    }
-    let max_count = cells.iter().map(|(_, c)| c.count).max().unwrap_or(1).max(1);
-    let scale = (1.0 + max_count as f64).ln();
-
-    for (bb, cell) in cells {
-        let intensity = (1.0 + cell.count as f64).ln() / scale;
-        let color = colormap.map(intensity);
-        fill_rect(&mut canvas, &viewport, &bb, color);
-    }
-    canvas
+    HeatmapRenderer::new().render(pyramid, region, width, height, colormap)
 }
 
 /// Fills the pixel footprint of a data-space rectangle.

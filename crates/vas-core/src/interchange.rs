@@ -19,9 +19,17 @@
 //!   from scratch for every candidate (`O(K²)` kernel evaluations per tuple).
 //! * [`InterchangeStrategy::ExpandShrink`] — "ES": incremental
 //!   responsibilities, `O(K)` kernel evaluations per tuple.
-//! * [`InterchangeStrategy::ExpandShrinkLocality`] — "ES+Loc": an R-tree over
-//!   the current sample restricts kernel evaluations to the candidate's
-//!   neighbourhood, exploiting the locality of the proximity function.
+//! * [`InterchangeStrategy::ExpandShrinkLocality`] — "ES+Loc": a spatial
+//!   index over the current sample restricts kernel evaluations to the
+//!   candidate's neighbourhood, exploiting the locality of the proximity
+//!   function.
+//!
+//! The locality strategy is generic over the spatial index through the
+//! [`LocalityIndex`] trait: the paper's R-tree, a dynamic k-d tree and the
+//! default [`HashGrid`](vas_spatial::HashGrid) (cutoff-sized spatial-hash
+//! cells — the fastest backend on this fixed-radius churn workload) are
+//! interchangeable via [`VasConfig::with_locality_backend`], and
+//! [`VasSampler::with_index`] accepts any statically-typed backend.
 
 use crate::kernel::{GaussianKernel, Kernel};
 use crate::max_tracker::MaxTracker;
@@ -29,7 +37,7 @@ use crate::objective::objective;
 use std::time::{Duration, Instant};
 use vas_data::{BoundingBox, Dataset, Point};
 use vas_sampling::{Sample, Sampler};
-use vas_spatial::RTree;
+use vas_spatial::{AnyLocalityIndex, LocalityBackend, LocalityIndex};
 
 /// Which inner-loop implementation the Interchange algorithm uses.
 ///
@@ -43,8 +51,9 @@ pub enum InterchangeStrategy {
     Naive,
     /// Incrementally maintained responsibilities ("ES").
     ExpandShrink,
-    /// Incremental responsibilities plus R-tree neighbourhood pruning
-    /// ("ES+Loc").
+    /// Incremental responsibilities plus spatial-index neighbourhood pruning
+    /// ("ES+Loc"); the index backend is chosen by
+    /// [`VasConfig::with_locality_backend`].
     ExpandShrinkLocality,
 }
 
@@ -83,6 +92,12 @@ pub struct VasConfig {
     /// `fig10_inner_loop` benchmark and as the reference implementation the
     /// determinism suite checks the optimized loop against bit-for-bit.
     pub legacy_inner_loop: bool,
+    /// Which spatial index the locality strategy keeps the sample in
+    /// (default: [`LocalityBackend::HashGrid`]). Only consulted by the
+    /// runtime-dispatched constructors ([`VasSampler::new`],
+    /// [`VasSampler::from_dataset`]); statically-typed samplers built with
+    /// [`VasSampler::with_index`] bring their own backend.
+    pub locality_backend: LocalityBackend,
 }
 
 impl VasConfig {
@@ -96,6 +111,7 @@ impl VasConfig {
             passes: 1,
             progress_every: 0,
             legacy_inner_loop: false,
+            locality_backend: LocalityBackend::default(),
         }
     }
 
@@ -137,6 +153,13 @@ impl VasConfig {
         self.legacy_inner_loop = legacy;
         self
     }
+
+    /// Selects the spatial-index backend the locality strategy uses (see
+    /// [`locality_backend`](Self::locality_backend)).
+    pub fn with_locality_backend(mut self, backend: LocalityBackend) -> Self {
+        self.locality_backend = backend;
+        self
+    }
 }
 
 /// A snapshot of Interchange progress, reported periodically while scanning.
@@ -160,7 +183,13 @@ pub struct ProgressEvent {
 pub type ProgressSink = Box<dyn FnMut(ProgressEvent) + Send>;
 
 /// The VAS sampler: Interchange over a stream of points.
-pub struct VasSampler {
+///
+/// Generic over the [`LocalityIndex`] backend the locality strategy keeps the
+/// sample in. The default instantiation dispatches at runtime via
+/// [`AnyLocalityIndex`] (selected by [`VasConfig::with_locality_backend`],
+/// default [`HashGrid`](vas_spatial::HashGrid)); performance-critical callers
+/// can pin a concrete backend with [`VasSampler::with_index`].
+pub struct VasSampler<L: LocalityIndex = AnyLocalityIndex> {
     config: VasConfig,
     kernel: Option<GaussianKernel>,
     /// Locality cutoff radius (cached; `cutoff2` is its square). Both are
@@ -171,9 +200,9 @@ pub struct VasSampler {
     points: Vec<Point>,
     /// Responsibilities without the ½ factor: `rsp[i] = Σ_{j≠i} κ̃(s_i, s_j)`.
     rsp: Vec<f64>,
-    /// R-tree over the sample (ids are slot indices); only maintained by the
-    /// locality strategy.
-    rtree: RTree,
+    /// Spatial index over the sample (ids are slot indices); only maintained
+    /// by the locality strategy.
+    index: L,
     /// Tournament tree over `rsp`, giving the Shrink step its maximum in
     /// `O(1)`; only maintained by the (non-legacy) locality strategy.
     max_tracker: MaxTracker,
@@ -193,7 +222,7 @@ pub struct VasSampler {
     started: Instant,
 }
 
-impl std::fmt::Debug for VasSampler {
+impl<L: LocalityIndex> std::fmt::Debug for VasSampler<L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("VasSampler")
             .field("config", &self.config)
@@ -206,9 +235,28 @@ impl std::fmt::Debug for VasSampler {
 }
 
 impl VasSampler {
-    /// Creates a sampler. If `config.epsilon` is `None`, the bandwidth is
-    /// resolved from the extent of the first `K` buffered points.
+    /// Creates a sampler whose locality backend is chosen at runtime from
+    /// [`VasConfig::locality_backend`]. If `config.epsilon` is `None`, the
+    /// bandwidth is resolved from the extent of the first `K` buffered
+    /// points.
     pub fn new(config: VasConfig) -> Self {
+        let index = AnyLocalityIndex::new(config.locality_backend);
+        Self::with_index(config, index)
+    }
+
+    /// Creates a sampler whose bandwidth (if not fixed in the config) follows
+    /// the paper's rule applied to `dataset`: ε = extent diagonal / 100.
+    pub fn from_dataset(dataset: &Dataset, config: VasConfig) -> Self {
+        let index = AnyLocalityIndex::new(config.locality_backend);
+        Self::from_dataset_with_index(dataset, config, index)
+    }
+}
+
+impl<L: LocalityIndex> VasSampler<L> {
+    /// Creates a sampler over an explicit (statically-typed) locality index;
+    /// `index` is cleared before use. See [`VasSampler::new`] for the
+    /// bandwidth-resolution behaviour.
+    pub fn with_index(config: VasConfig, index: L) -> Self {
         let kernel = config.epsilon.map(GaussianKernel::new);
         let mut sampler = Self {
             cutoff: f64::INFINITY,
@@ -216,7 +264,7 @@ impl VasSampler {
             kernel: None,
             points: Vec::new(),
             rsp: Vec::new(),
-            rtree: RTree::new(),
+            index,
             max_tracker: MaxTracker::new(),
             tracker_fresh: false,
             scratch_deltas: Vec::new(),
@@ -227,16 +275,16 @@ impl VasSampler {
             started: Instant::now(),
             config,
         };
+        sampler.index.reset(1.0);
         if let Some(k) = kernel {
             sampler.install_kernel(k);
         }
         sampler
     }
 
-    /// Creates a sampler whose bandwidth (if not fixed in the config) follows
-    /// the paper's rule applied to `dataset`: ε = extent diagonal / 100.
-    pub fn from_dataset(dataset: &Dataset, config: VasConfig) -> Self {
-        let mut sampler = Self::new(config);
+    /// [`VasSampler::from_dataset`] over an explicit locality index.
+    pub fn from_dataset_with_index(dataset: &Dataset, config: VasConfig, index: L) -> Self {
+        let mut sampler = Self::with_index(config, index);
         if sampler.kernel.is_none() {
             sampler.install_kernel(GaussianKernel::for_dataset(dataset));
         }
@@ -324,6 +372,11 @@ impl VasSampler {
         self.cutoff = cutoff;
         self.cutoff2 = cutoff * cutoff;
         self.kernel = Some(kernel);
+        if self.index.is_empty() {
+            // Re-tune the (still empty) index to the cutoff radius every
+            // radius query will use: the HashGrid sizes its cells from it.
+            self.index.reset(cutoff);
+        }
     }
 
     /// Resolves the kernel bandwidth from the points buffered so far
@@ -341,28 +394,28 @@ impl VasSampler {
         self.initialize_state();
     }
 
-    /// (Re)computes responsibilities, the R-tree and the objective for the
-    /// current `points`. Called once the kernel becomes available.
+    /// (Re)computes responsibilities, the locality index and the objective
+    /// for the current `points`. Called once the kernel becomes available.
     fn initialize_state(&mut self) {
         let kernel = self.kernel.expect("kernel resolved");
         let n = self.points.len();
         self.rsp = vec![0.0; n];
         self.objective = 0.0;
-        self.rtree = RTree::new();
+        self.index.reset(self.cutoff);
         self.tracker_fresh = false;
         let use_locality = self.config.strategy == InterchangeStrategy::ExpandShrinkLocality;
         if use_locality {
             let mut neighbors: Vec<(usize, Point)> = Vec::new();
             for (i, p) in self.points.iter().enumerate() {
                 // Contributions against already-inserted points only.
-                self.rtree.query_radius_into(p, self.cutoff, &mut neighbors);
+                self.index.query_radius_into(p, self.cutoff, &mut neighbors);
                 for &(j, q) in &neighbors {
                     let v = kernel.eval(p, &q);
                     self.rsp[i] += v;
                     self.rsp[j] += v;
                     self.objective += v;
                 }
-                self.rtree.insert(i, *p);
+                self.index.insert(i, *p);
             }
         } else {
             for i in 0..n {
@@ -384,13 +437,13 @@ impl VasSampler {
             let mut own = 0.0;
             if use_locality {
                 let cutoff = self.cutoff;
-                let Self { rtree, rsp, .. } = self;
-                rtree.for_each_in_radius_with_dist2(&point, cutoff, |j, _, d2| {
+                let Self { index, rsp, .. } = self;
+                index.for_each_in_radius_with_dist2(&point, cutoff, |j, _, d2| {
                     let v = kernel.eval_dist2(d2);
                     rsp[j] += v;
                     own += v;
                 });
-                self.rtree.insert(slot, point);
+                self.index.insert(slot, point);
             } else {
                 for (j, q) in self.points.iter().enumerate() {
                     let v = kernel.eval(&point, q);
@@ -528,7 +581,7 @@ impl VasSampler {
         self.scratch_deltas = deltas;
     }
 
-    /// "ES+Loc": Expand/Shrink with R-tree locality **and** the
+    /// "ES+Loc": Expand/Shrink with spatial-index locality **and** the
     /// max-responsibility tournament.
     ///
     /// A rejected candidate — the overwhelmingly common case once the sample
@@ -540,12 +593,12 @@ impl VasSampler {
         let kernel = self.kernel.expect("kernel resolved");
 
         // --- Expand: evaluate the kernel against the candidate's
-        // neighbourhood only, straight off the R-tree visitor — no id vector,
+        // neighbourhood only, straight off the index visitor — no id vector,
         // no per-call query allocation.
         let mut deltas = std::mem::take(&mut self.scratch_deltas);
         deltas.clear();
         let mut cand_rsp = 0.0;
-        self.rtree
+        self.index
             .for_each_in_radius_with_dist2(&point, self.cutoff, |i, _, d2| {
                 let v = kernel.eval_dist2(d2);
                 deltas.push((i, v));
@@ -604,20 +657,20 @@ impl VasSampler {
         {
             let cutoff = self.cutoff;
             let Self {
-                rtree,
+                index,
                 rsp,
                 max_tracker,
                 ..
             } = self;
-            rtree.for_each_in_radius_with_dist2(&removed, cutoff, |i, _, d2| {
+            index.for_each_in_radius_with_dist2(&removed, cutoff, |i, _, d2| {
                 if i != max_idx {
                     rsp[i] -= kernel.eval_dist2(d2);
                     max_tracker.set_deferred(i, rsp[i]);
                 }
             });
         }
-        self.rtree.remove(max_idx, &removed);
-        self.rtree.insert(max_idx, point);
+        self.index.remove(max_idx, &removed);
+        self.index.insert(max_idx, point);
 
         let new_rsp = cand_rsp - kappa_t_removed;
         self.points[max_idx] = point;
@@ -639,7 +692,7 @@ impl VasSampler {
         // --- Expand: responsibilities the candidate would add.
         // deltas[i] = κ̃(t, s_i) for the slots we evaluate.
         let (neighbor_ids, mut cand_rsp): (Vec<usize>, f64) = if locality {
-            let neighbors = self.rtree.query_radius(&point, self.cutoff2.sqrt());
+            let neighbors = self.index.query_radius(&point, self.cutoff2.sqrt());
             let ids: Vec<usize> = neighbors.iter().map(|(id, _)| *id).collect();
             (ids, 0.0)
         } else {
@@ -712,13 +765,13 @@ impl VasSampler {
                 .find(|(i, _)| *i == max_idx)
                 .map(|(_, v)| *v)
                 .unwrap_or_else(|| kernel.eval(&point, &removed));
-            for (i, q) in self.rtree.query_radius(&removed, self.cutoff2.sqrt()) {
+            for (i, q) in self.index.query_radius(&removed, self.cutoff2.sqrt()) {
                 if i != max_idx {
                     self.rsp[i] -= kernel.eval(&removed, &q);
                 }
             }
-            self.rtree.remove(max_idx, &removed);
-            self.rtree.insert(max_idx, point);
+            self.index.remove(max_idx, &removed);
+            self.index.insert(max_idx, point);
         } else {
             kappa_t_removed = delta_of[max_idx];
             for i in 0..k {
@@ -758,7 +811,7 @@ impl VasSampler {
     fn reset(&mut self) {
         self.points = Vec::new();
         self.rsp = Vec::new();
-        self.rtree = RTree::new();
+        self.index.reset(self.cutoff);
         self.max_tracker = MaxTracker::new();
         self.tracker_fresh = false;
         self.scratch_deltas = Vec::new();
@@ -771,7 +824,7 @@ impl VasSampler {
     }
 }
 
-impl Sampler for VasSampler {
+impl<L: LocalityIndex> Sampler for VasSampler<L> {
     fn name(&self) -> &str {
         "vas"
     }
@@ -1162,12 +1215,21 @@ mod tests {
         // the full sample bit-for-bit after *every* observation.
         let d = GeolifeGenerator::with_size(3_000, 41).generate();
         let k = 120;
-        for strategy in [
+        // ES ignores the index entirely; ES+Loc must hold the contract on
+        // every locality backend.
+        let mut cases = vec![(
             InterchangeStrategy::ExpandShrink,
-            InterchangeStrategy::ExpandShrinkLocality,
-        ] {
+            LocalityBackend::default(),
+        )];
+        for backend in LocalityBackend::ALL {
+            cases.push((InterchangeStrategy::ExpandShrinkLocality, backend));
+        }
+        for (strategy, backend) in cases {
             let eps = GaussianKernel::for_dataset(&d).bandwidth();
-            let base = VasConfig::new(k).with_strategy(strategy).with_epsilon(eps);
+            let base = VasConfig::new(k)
+                .with_strategy(strategy)
+                .with_epsilon(eps)
+                .with_locality_backend(backend);
             let mut optimized = VasSampler::from_dataset(&d, base.clone());
             let mut legacy = VasSampler::from_dataset(&d, base.with_legacy_inner_loop(true));
             for (t, p) in d.iter().enumerate() {
@@ -1178,21 +1240,21 @@ mod tests {
                 for (i, (pa, pb)) in a.iter().zip(b).enumerate() {
                     assert!(
                         pa.x.to_bits() == pb.x.to_bits() && pa.y.to_bits() == pb.y.to_bits(),
-                        "{}: slot {i} diverged at tuple {t}: {pa:?} vs {pb:?}",
+                        "{}/{backend}: slot {i} diverged at tuple {t}: {pa:?} vs {pb:?}",
                         strategy.label()
                     );
                 }
                 assert_eq!(
                     optimized.replacements(),
                     legacy.replacements(),
-                    "{}: replacement count diverged at tuple {t}",
+                    "{}/{backend}: replacement count diverged at tuple {t}",
                     strategy.label()
                 );
             }
             assert_eq!(
                 optimized.current_objective().to_bits(),
                 legacy.current_objective().to_bits(),
-                "{}: objective bits diverged",
+                "{}/{backend}: objective bits diverged",
                 strategy.label()
             );
         }
@@ -1234,5 +1296,54 @@ mod tests {
         assert_eq!(InterchangeStrategy::Naive.label(), "No ES");
         assert_eq!(InterchangeStrategy::ExpandShrink.label(), "ES");
         assert_eq!(InterchangeStrategy::ExpandShrinkLocality.label(), "ES+Loc");
+    }
+
+    #[test]
+    fn every_locality_backend_produces_a_full_quality_sample() {
+        // Different backends visit neighbourhoods in different orders, so the
+        // hill climbs may reach different local optima — but each must yield
+        // a complete sample whose objective beats uniform sampling.
+        let d = GeolifeGenerator::with_size(2_500, 61).generate();
+        let k = 120;
+        let kernel = GaussianKernel::for_dataset(&d);
+        let uni = UniformSampler::new(k, 5).sample_dataset(&d);
+        let o_uni = objective_of(&kernel, &uni.points);
+        for backend in LocalityBackend::ALL {
+            let config = VasConfig::new(k)
+                .with_epsilon(kernel.bandwidth())
+                .with_locality_backend(backend);
+            let sample = VasSampler::from_dataset(&d, config).sample_dataset(&d);
+            assert_eq!(sample.len(), k, "backend {backend}");
+            let o = objective_of(&kernel, &sample.points);
+            assert!(
+                o < o_uni,
+                "backend {backend}: {o} should beat uniform {o_uni}"
+            );
+        }
+    }
+
+    #[test]
+    fn statically_typed_backend_matches_the_runtime_dispatched_one() {
+        // `with_index` pins the backend at compile time; the produced sample
+        // must be bit-identical to the enum-dispatched sampler configured for
+        // the same backend.
+        let d = GeolifeGenerator::with_size(2_000, 67).generate();
+        let eps = GaussianKernel::for_dataset(&d).bandwidth();
+        let config = VasConfig::new(100)
+            .with_epsilon(eps)
+            .with_locality_backend(LocalityBackend::HashGrid);
+        let via_enum = VasSampler::from_dataset(&d, config.clone()).sample_dataset(&d);
+        let via_static =
+            VasSampler::from_dataset_with_index(&d, config, vas_spatial::HashGrid::new())
+                .sample_dataset(&d);
+        assert_eq!(via_enum.points, via_static.points);
+    }
+
+    #[test]
+    fn config_backend_defaults_to_hashgrid() {
+        assert_eq!(
+            VasConfig::new(10).locality_backend,
+            LocalityBackend::HashGrid
+        );
     }
 }

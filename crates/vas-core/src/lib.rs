@@ -63,3 +63,4 @@ pub use kernel::{GaussianKernel, Kernel, KernelKind};
 pub use max_tracker::MaxTracker;
 pub use objective::{objective, responsibilities, responsibility_of};
 pub use outlier::{find_outliers, with_outliers, Outlier};
+pub use vas_spatial::{AnyLocalityIndex, LocalityBackend, LocalityIndex};

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vas_core::Kernel;
 use vas_data::{Dataset, Point};
-use vas_spatial::KdTree;
+use vas_spatial::{HashGrid, KdTree, LocalityIndex};
 
 /// Configuration of the Monte-Carlo loss estimator.
 #[derive(Debug, Clone)]
@@ -148,15 +148,18 @@ impl LossEstimator {
             };
         }
         // Locality: kernel contributions beyond the effective radius are
-        // negligible, so only sample points near the probe are summed.
-        let tree = KdTree::from_points(sample);
+        // negligible, so only sample points near the probe are summed. The
+        // M identical fixed-radius queries go through the `LocalityIndex`
+        // visitor API over a spatial hash with radius-sized cells — the same
+        // locality subsystem the Interchange loop uses.
         let radius = kernel.effective_radius(1e-12).min(f64::MAX);
+        let grid = HashGrid::from_entries(radius, sample.iter().copied().enumerate());
         let mut losses: Vec<f64> = Vec::with_capacity(self.probes.len());
         for probe in &self.probes {
             let mut total = 0.0;
             // Visitor form of the radius query: summing M probe
             // neighbourhoods allocates nothing.
-            tree.for_each_in_radius(probe, radius, |_, p| {
+            grid.for_each_in_radius(probe, radius, |_, p| {
                 total += kernel.eval(probe, p);
             });
             let loss = if total > 0.0 {

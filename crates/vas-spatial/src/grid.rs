@@ -165,14 +165,30 @@ impl UniformGrid {
     /// Ids of all points whose cell intersects `region`. This over-approximates
     /// a precise region query (cells straddling the border are returned whole);
     /// callers needing exactness filter by the original coordinates.
+    ///
+    /// Thin allocating wrapper over
+    /// [`query_region_cells_into`](Self::query_region_cells_into); callers
+    /// issuing one query per rendered frame should reuse a buffer instead.
     pub fn query_region_cells(&self, region: &BoundingBox) -> Vec<usize> {
         let mut out = Vec::new();
+        self.query_region_cells_into(region, &mut out);
+        out
+    }
+
+    /// Writes the ids of all points whose cell intersects `region` into
+    /// `out`, clearing it first. The buffer's capacity is retained across
+    /// calls, so a reused buffer makes per-frame queries allocation-free in
+    /// the steady state.
+    ///
+    /// Ids are produced in the same order as
+    /// [`query_region_cells`](Self::query_region_cells).
+    pub fn query_region_cells_into(&self, region: &BoundingBox, out: &mut Vec<usize>) {
+        out.clear();
         for (col, row, ids) in self.iter_occupied() {
             if self.cell_bounds(col, row).intersects(region) {
                 out.extend_from_slice(ids);
             }
         }
-        out
     }
 }
 
@@ -255,6 +271,22 @@ mod tests {
                 assert!(ids.contains(&i), "missing point {i}");
             }
         }
+    }
+
+    #[test]
+    fn query_region_cells_into_matches_and_reuses_the_buffer() {
+        let pts = unit_points(400, 7);
+        let g = UniformGrid::build(&pts, 16, 16);
+        let region = BoundingBox::new(0.1, 0.1, 0.5, 0.9);
+        let allocated = g.query_region_cells(&region);
+        let mut buf = Vec::new();
+        g.query_region_cells_into(&region, &mut buf);
+        assert_eq!(buf, allocated);
+        let cap = buf.capacity();
+        // A smaller follow-up query clears but does not shrink the buffer.
+        g.query_region_cells_into(&BoundingBox::new(0.0, 0.0, 0.05, 0.05), &mut buf);
+        assert!(buf.len() < allocated.len());
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

@@ -1,14 +1,24 @@
-//! A static k-d tree for nearest-neighbour queries.
+//! A balanced k-d tree with a small dynamic overlay.
 //!
 //! Section V of the paper adds *density embedding* to VAS: after the sample
 //! is chosen, a second scan over the full dataset increments a counter on the
 //! sampled point nearest to each scanned tuple. The paper notes a k-d tree
-//! makes this second pass `O(N log K)`. This module provides that structure:
-//! built once over the (small) sample, queried `N` times.
+//! makes this second pass `O(N log K)`. That static workload — built once
+//! over the (small) sample, queried `N` times — is this module's sweet spot.
 //!
 //! The tree is constructed by recursive median splits, which guarantees a
 //! balanced tree regardless of the input distribution.
+//!
+//! To serve as a [`LocalityIndex`] backend for the Interchange loop (which
+//! needs insert/remove churn), the tree carries a classic dynamic overlay:
+//! removals mark **tombstones** (the node keeps splitting the space but no
+//! longer reports its entry), insertions go to a linear **overflow buffer**
+//! scanned after every tree traversal, and once the overlay grows past a
+//! fraction of the live size the tree is **compacted** — rebuilt from the
+//! live entries. Queries stay correct at every moment; the rebuild schedule
+//! only affects the constant factor.
 
+use crate::LocalityIndex;
 use vas_data::{BoundingBox, Point};
 
 #[derive(Debug, Clone)]
@@ -21,20 +31,38 @@ struct KdNode {
     right: Option<Box<KdNode>>,
 }
 
-/// A balanced, static k-d tree over `(id, Point)` entries.
-#[derive(Debug, Clone)]
+/// A balanced k-d tree over `(id, Point)` entries with tombstone deletion
+/// and an overflow buffer for insertions (compacted automatically).
+#[derive(Debug, Clone, Default)]
 pub struct KdTree {
     entries: Vec<(usize, Point)>,
     root: Option<Box<KdNode>>,
+    /// Tombstone flags, parallel to `entries`.
+    removed: Vec<bool>,
+    removed_count: usize,
+    /// Entries inserted since the last compaction, scanned linearly.
+    overflow: Vec<(usize, Point)>,
 }
 
 impl KdTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Builds a tree from `(id, point)` pairs. Building is `O(n log² n)`.
     pub fn build(entries: impl IntoIterator<Item = (usize, Point)>) -> Self {
         let entries: Vec<(usize, Point)> = entries.into_iter().collect();
         let mut indices: Vec<usize> = (0..entries.len()).collect();
         let root = Self::build_rec(&entries, &mut indices, 0);
-        Self { entries, root }
+        let removed = vec![false; entries.len()];
+        Self {
+            entries,
+            root,
+            removed,
+            removed_count: 0,
+            overflow: Vec::new(),
+        }
     }
 
     /// Builds a tree over a slice of points, using each point's position in
@@ -73,30 +101,136 @@ impl KdTree {
         }))
     }
 
-    /// Number of stored entries.
+    /// Number of stored (live) entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.len() - self.removed_count + self.overflow.len()
     }
 
-    /// `true` if the tree holds no entries.
+    /// `true` if the tree holds no live entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// The id and point of the entry nearest to `query`, or `None` when empty.
+    /// Entries awaiting integration into the tree structure (diagnostics).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Appends an entry to the overflow buffer, compacting the tree when the
+    /// overlay (tombstones + overflow) outgrows its budget. O(1) amortized
+    /// plus the scheduled rebuilds.
+    pub fn insert(&mut self, id: usize, point: Point) {
+        self.overflow.push((id, point));
+        self.maybe_compact();
+    }
+
+    /// Removes one live entry matching `(id, point)` exactly: a tree entry is
+    /// tombstoned, an overflow entry is dropped in place. Returns `true` if
+    /// an entry was removed. The tree half is an `O(log K)` descent along the
+    /// same splitting planes the build used (both sides are explored only on
+    /// coordinate ties).
+    pub fn remove(&mut self, id: usize, point: &Point) -> bool {
+        let found = match self.root.as_ref() {
+            Some(root) => self.find_entry(root, id, point),
+            None => None,
+        };
+        if let Some(pos) = found {
+            self.removed[pos] = true;
+            self.removed_count += 1;
+            self.maybe_compact();
+            return true;
+        }
+        if let Some(pos) = self
+            .overflow
+            .iter()
+            .position(|(eid, ep)| *eid == id && ep == point)
+        {
+            self.overflow.remove(pos);
+            return true;
+        }
+        false
+    }
+
+    /// Locates a live tree entry matching `(id, point)` exactly, descending
+    /// by the splitting planes: the median build puts strictly-smaller keys
+    /// left and strictly-larger keys right, so only equal keys require
+    /// visiting both subtrees.
+    fn find_entry(&self, node: &KdNode, id: usize, point: &Point) -> Option<usize> {
+        let (eid, ep) = self.entries[node.entry];
+        if !self.removed[node.entry] && eid == id && ep == *point {
+            return Some(node.entry);
+        }
+        let (pc, nc) = if node.axis == 0 {
+            (point.x, ep.x)
+        } else {
+            (point.y, ep.y)
+        };
+        if pc <= nc {
+            if let Some(found) = node
+                .left
+                .as_ref()
+                .and_then(|n| self.find_entry(n, id, point))
+            {
+                return Some(found);
+            }
+        }
+        if pc >= nc {
+            if let Some(found) = node
+                .right
+                .as_ref()
+                .and_then(|n| self.find_entry(n, id, point))
+            {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    /// Rebuilds the tree from the live entries once the overlay exceeds a
+    /// quarter of the live size (with a floor so small trees don't thrash).
+    fn maybe_compact(&mut self) {
+        let live = self.len();
+        if self.removed_count + self.overflow.len() > (live / 4).max(32) {
+            self.compact();
+        }
+    }
+
+    /// Immediately rebuilds the balanced tree from the live entries (tree
+    /// order first, then overflow order).
+    pub fn compact(&mut self) {
+        let mut live: Vec<(usize, Point)> = Vec::with_capacity(self.len());
+        for (i, e) in self.entries.iter().enumerate() {
+            if !self.removed[i] {
+                live.push(*e);
+            }
+        }
+        live.append(&mut self.overflow);
+        *self = Self::build(live);
+    }
+
+    /// The id and point of the live entry nearest to `query`, or `None` when
+    /// empty.
     pub fn nearest(&self, query: &Point) -> Option<(usize, Point)> {
-        let root = self.root.as_ref()?;
-        let mut best = (f64::INFINITY, 0usize);
-        self.nearest_rec(root, query, &mut best);
-        let (id, p) = self.entries[best.1];
-        Some((id, p))
+        let mut best: Option<(f64, usize, Point)> = None;
+        if let Some(root) = self.root.as_ref() {
+            self.nearest_rec(root, query, &mut best);
+        }
+        for &(id, p) in &self.overflow {
+            let d2 = p.dist2(query);
+            if best.map(|(bd2, _, _)| d2 < bd2).unwrap_or(true) {
+                best = Some((d2, id, p));
+            }
+        }
+        best.map(|(_, id, p)| (id, p))
     }
 
-    fn nearest_rec(&self, node: &KdNode, query: &Point, best: &mut (f64, usize)) {
-        let point = &self.entries[node.entry].1;
-        let d2 = point.dist2(query);
-        if d2 < best.0 {
-            *best = (d2, node.entry);
+    fn nearest_rec(&self, node: &KdNode, query: &Point, best: &mut Option<(f64, usize, Point)>) {
+        let (id, point) = self.entries[node.entry];
+        if !self.removed[node.entry] {
+            let d2 = point.dist2(query);
+            if best.map(|(bd2, _, _)| d2 < bd2).unwrap_or(true) {
+                *best = Some((d2, id, point));
+            }
         }
         let diff = if node.axis == 0 {
             query.x - point.x
@@ -113,45 +247,10 @@ impl KdTree {
         }
         // Only descend the far side if the splitting plane is closer than the
         // best distance found so far.
-        if diff * diff < best.0 {
+        if best.map(|(bd2, _, _)| diff * diff < bd2).unwrap_or(true) {
             if let Some(f) = far {
                 self.nearest_rec(f, query, best);
             }
-        }
-    }
-
-    /// All entries within Euclidean distance `radius` of `query`.
-    ///
-    /// Thin wrapper over [`query_radius_into`](Self::query_radius_into); hot
-    /// paths should use the buffer or visitor form to avoid the per-call
-    /// allocation.
-    pub fn query_radius(&self, query: &Point, radius: f64) -> Vec<(usize, Point)> {
-        let mut out = Vec::new();
-        self.query_radius_into(query, radius, &mut out);
-        out
-    }
-
-    /// Writes all entries within `radius` of `query` into `out`, clearing it
-    /// first. The buffer's capacity is retained across calls, so a reused
-    /// buffer makes the query allocation-free in the steady state.
-    ///
-    /// Entries are produced in the same order as [`query_radius`](Self::query_radius).
-    pub fn query_radius_into(&self, query: &Point, radius: f64, out: &mut Vec<(usize, Point)>) {
-        out.clear();
-        self.for_each_in_radius(query, radius, |id, p| out.push((id, *p)));
-    }
-
-    /// Calls `visit(id, point)` for every entry within Euclidean distance
-    /// `radius` of `query`, in the same deterministic traversal order as
-    /// [`query_radius`](Self::query_radius), without allocating.
-    pub fn for_each_in_radius(
-        &self,
-        query: &Point,
-        radius: f64,
-        mut visit: impl FnMut(usize, &Point),
-    ) {
-        if let Some(root) = self.root.as_ref() {
-            self.radius_rec(root, query, radius, radius * radius, &mut visit);
         }
     }
 
@@ -161,11 +260,14 @@ impl KdTree {
         query: &Point,
         radius: f64,
         r2: f64,
-        visit: &mut impl FnMut(usize, &Point),
+        visit: &mut impl FnMut(usize, &Point, f64),
     ) {
         let (id, point) = self.entries[node.entry];
-        if point.dist2(query) <= r2 {
-            visit(id, &point);
+        if !self.removed[node.entry] {
+            let d2 = point.dist2(query);
+            if d2 <= r2 {
+                visit(id, &point, d2);
+            }
         }
         let diff = if node.axis == 0 {
             query.x - point.x
@@ -187,10 +289,15 @@ impl KdTree {
         }
     }
 
-    /// Bounding box of all stored points.
+    /// Bounding box of all live points.
     pub fn bounds(&self) -> BoundingBox {
         let mut bb = BoundingBox::EMPTY;
-        for (_, p) in &self.entries {
+        for (i, (_, p)) in self.entries.iter().enumerate() {
+            if !self.removed[i] {
+                bb.extend(p);
+            }
+        }
+        for (_, p) in &self.overflow {
             bb.extend(p);
         }
         bb
@@ -206,6 +313,49 @@ impl KdTree {
             }
         }
         depth(&self.root)
+    }
+}
+
+/// The radius-query family (`query_radius`, `query_radius_into`,
+/// `for_each_in_radius`) comes from the [`LocalityIndex`] trait; the k-d tree
+/// supplies only the core visitor traversal.
+impl LocalityIndex for KdTree {
+    fn len(&self) -> usize {
+        KdTree::len(self)
+    }
+
+    /// Drops every entry; the k-d tree has no radius-dependent geometry, so
+    /// the hint is ignored.
+    fn reset(&mut self, _radius_hint: f64) {
+        *self = KdTree::new();
+    }
+
+    fn insert(&mut self, id: usize, point: Point) {
+        KdTree::insert(self, id, point);
+    }
+
+    fn remove(&mut self, id: usize, point: &Point) -> bool {
+        KdTree::remove(self, id, point)
+    }
+
+    /// Visits live tree entries in deterministic depth-first traversal order,
+    /// then the overflow buffer in insertion order.
+    fn for_each_in_radius_with_dist2(
+        &self,
+        query: &Point,
+        radius: f64,
+        mut visit: impl FnMut(usize, &Point, f64),
+    ) {
+        let r2 = radius * radius;
+        if let Some(root) = self.root.as_ref() {
+            self.radius_rec(root, query, radius, r2, &mut visit);
+        }
+        for &(id, ref p) in &self.overflow {
+            let d2 = p.dist2(query);
+            if d2 <= r2 {
+                visit(id, p, d2);
+            }
+        }
     }
 }
 
@@ -340,5 +490,93 @@ mod tests {
         for p in &pts {
             assert!(bb.contains(p));
         }
+    }
+
+    #[test]
+    fn removal_tombstones_hide_entries_everywhere() {
+        let pts = random_points(200, 6);
+        let mut t = KdTree::from_points(&pts);
+        assert!(t.remove(17, &pts[17]));
+        assert_eq!(t.len(), 199);
+        // Tombstoned entries vanish from every query family.
+        assert!(!t
+            .query_radius(&pts[17], 1e-9)
+            .iter()
+            .any(|(id, _)| *id == 17));
+        let (nid, _) = t.nearest(&pts[17]).unwrap();
+        assert_ne!(nid, 17);
+        // Removing again fails.
+        assert!(!t.remove(17, &pts[17]));
+    }
+
+    #[test]
+    fn inserted_entries_are_visible_before_and_after_compaction() {
+        let pts = random_points(100, 7);
+        let mut t = KdTree::from_points(&pts);
+        t.insert(500, Point::new(0.1, 0.2));
+        assert!(t.overflow_len() > 0);
+        assert!(t
+            .query_radius(&Point::new(0.1, 0.2), 1e-6)
+            .iter()
+            .any(|(id, _)| *id == 500));
+        assert_eq!(t.nearest(&Point::new(0.1, 0.2)).unwrap().0, 500);
+        t.compact();
+        assert_eq!(t.overflow_len(), 0);
+        assert!(t
+            .query_radius(&Point::new(0.1, 0.2), 1e-6)
+            .iter()
+            .any(|(id, _)| *id == 500));
+    }
+
+    #[test]
+    fn interleaved_insert_remove_matches_brute_force() {
+        // The Interchange access pattern: constant insert/remove churn
+        // crossing many automatic compactions.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut t = KdTree::new();
+        let mut reference: Vec<(usize, Point)> = Vec::new();
+        let mut next_id = 0usize;
+        for step in 0..2_000 {
+            if reference.is_empty() || rng.gen_bool(0.6) {
+                let p = Point::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0));
+                t.insert(next_id, p);
+                reference.push((next_id, p));
+                next_id += 1;
+            } else {
+                let idx = rng.gen_range(0..reference.len());
+                let (id, p) = reference.swap_remove(idx);
+                assert!(t.remove(id, &p), "step {step}: remove failed");
+            }
+            assert_eq!(t.len(), reference.len(), "length diverged at step {step}");
+        }
+        let center = Point::new(0.0, 0.0);
+        let mut got: Vec<usize> = t
+            .query_radius(&center, 25.0)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        got.sort_unstable();
+        let mut expected: Vec<usize> = reference
+            .iter()
+            .filter(|(_, p)| p.dist(&center) <= 25.0)
+            .map(|(id, _)| *id)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        // Churn kept the overlay bounded, so the tree is still balanced-ish.
+        assert!(t.overflow_len() <= (t.len() / 4).max(32) + 1);
+    }
+
+    #[test]
+    fn grow_from_empty_via_inserts_only() {
+        let mut t = KdTree::new();
+        for i in 0..300 {
+            t.insert(i, Point::new((i % 17) as f64, (i % 23) as f64));
+        }
+        assert_eq!(t.len(), 300);
+        // Compaction has integrated most entries into the balanced tree.
+        assert!(t.overflow_len() < 300);
+        let all = t.query_radius(&Point::new(8.0, 11.0), 1_000.0);
+        assert_eq!(all.len(), 300);
     }
 }

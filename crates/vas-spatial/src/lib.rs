@@ -2,16 +2,26 @@
 //!
 //! Spatial index substrates used throughout the VAS reproduction.
 //!
-//! The paper relies on two classical spatial data structures:
+//! The fixed-radius neighbourhood query at the heart of the `ES+Loc`
+//! Interchange variant (Section IV-B, "Speed-Up using the Locality of
+//! Proximity function") is abstracted behind the [`LocalityIndex`] trait,
+//! with three interchangeable backends:
 //!
-//! * an **R-tree** used to exploit the *locality* of the proximity kernel in
-//!   the `ES+Loc` variant of the Interchange algorithm (Section IV-B,
-//!   "Speed-Up using the Locality of Proximity function"), and
-//! * a **k-d tree** used for the nearest-neighbour pass of the density
-//!   embedding extension (Section V).
+//! * an **R-tree** — the paper's original choice, also serving region and
+//!   nearest-neighbour queries,
+//! * a **k-d tree** — used for the nearest-neighbour pass of the density
+//!   embedding extension (Section V), made dynamic by a tombstone/overflow
+//!   overlay, and
+//! * a **spatial hash** ([`HashGrid`]) — cutoff-sized cells in an
+//!   open-addressed table, the fastest backend for the Interchange loop's
+//!   fixed-radius churn workload (and the default).
 //!
-//! We also provide a **uniform grid** index, which backs stratified sampling
-//! (the paper's strongest baseline) and the rendering-perception models.
+//! Runtime backend selection goes through [`LocalityBackend`] /
+//! [`AnyLocalityIndex`].
+//!
+//! We also provide a **uniform grid** over a fixed extent, which backs
+//! stratified sampling (the paper's strongest baseline) and the
+//! rendering-perception models.
 //!
 //! All structures are dynamic or cheaply rebuildable, hold `(id, Point)`
 //! entries where `id` is an opaque `usize` chosen by the caller, and contain
@@ -21,9 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod grid;
+pub mod hashgrid;
 pub mod kdtree;
+pub mod locality;
 pub mod rtree;
 
 pub use grid::UniformGrid;
+pub use hashgrid::HashGrid;
 pub use kdtree::KdTree;
+pub use locality::{AnyLocalityIndex, LocalityBackend, LocalityIndex};
 pub use rtree::RTree;

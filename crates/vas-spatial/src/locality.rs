@@ -1,0 +1,358 @@
+//! The [`LocalityIndex`] trait: a pluggable fixed-radius neighbourhood
+//! backend.
+//!
+//! The `ES+Loc` variant of the Interchange algorithm (paper Section IV-B)
+//! only ever asks one spatial question: *"which sample points lie within the
+//! kernel's effective radius of this location?"* — millions of times, against
+//! an index that churns under constant insert/remove replacement traffic.
+//! This module captures that access pattern as a trait so the Interchange
+//! loop (and the loss estimator in `vas-eval`) can be compiled against any
+//! backend:
+//!
+//! * [`RTree`] — the paper's original choice; good all-rounder, also serves
+//!   region and nearest-neighbour queries.
+//! * [`KdTree`] — balanced median-split tree with a small dynamic overlay
+//!   (tombstones + an insertion buffer, compacted periodically).
+//! * [`HashGrid`] — a dynamic spatial hash over cutoff-sized cells; the
+//!   fastest backend for the fixed-radius query the Interchange loop performs
+//!   (see `results/BENCH_interchange.json`).
+//!
+//! Every backend must produce a **deterministic visitation order** for a
+//! given operation history: the Interchange determinism contract
+//! (`tests/determinism.rs`) compares optimized and legacy inner loops
+//! bit-for-bit, which only holds when both observe neighbours in the same
+//! order.
+//!
+//! The visitor methods take `impl FnMut`, so the trait is not object-safe;
+//! runtime backend selection goes through the [`AnyLocalityIndex`] enum
+//! instead of trait objects (the dispatch cost is one `match` per query call,
+//! not per visited entry).
+
+use crate::{HashGrid, KdTree, RTree};
+use vas_data::Point;
+
+/// A dynamic index over `(id, Point)` entries answering fixed-radius
+/// neighbourhood queries.
+///
+/// Duplicate ids and duplicate points are permitted (the index is a
+/// multiset); [`remove`](Self::remove) deletes one matching entry.
+pub trait LocalityIndex {
+    /// Number of stored entries.
+    fn len(&self) -> usize;
+
+    /// `true` when the index holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every entry and re-tunes internal geometry to `radius_hint`,
+    /// the radius that future [`for_each_in_radius`](Self::for_each_in_radius)
+    /// calls will typically use (the [`HashGrid`] sizes its cells from it;
+    /// tree backends ignore it). A non-finite or non-positive hint is
+    /// replaced by a backend default.
+    fn reset(&mut self, radius_hint: f64);
+
+    /// Inserts an entry.
+    fn insert(&mut self, id: usize, point: Point);
+
+    /// Removes one entry matching `(id, point)` exactly. Returns `true` if an
+    /// entry was removed.
+    fn remove(&mut self, id: usize, point: &Point) -> bool;
+
+    /// Calls `visit(id, point, dist2)` for every entry within Euclidean
+    /// distance `radius` of `center`, without allocating, handing the visitor
+    /// the squared distance the traversal already computed for its filter.
+    ///
+    /// The visitation order is implementation-defined but deterministic for a
+    /// given operation history.
+    fn for_each_in_radius_with_dist2(
+        &self,
+        center: &Point,
+        radius: f64,
+        visit: impl FnMut(usize, &Point, f64),
+    );
+
+    /// Clears the index (see [`reset`](Self::reset)) and bulk-loads
+    /// `entries`.
+    fn rebuild(&mut self, radius_hint: f64, entries: &[(usize, Point)]) {
+        self.reset(radius_hint);
+        for &(id, p) in entries {
+            self.insert(id, p);
+        }
+    }
+
+    /// Calls `visit(id, point)` for every entry within Euclidean distance
+    /// `radius` of `center`, in the order of
+    /// [`for_each_in_radius_with_dist2`](Self::for_each_in_radius_with_dist2),
+    /// without allocating.
+    fn for_each_in_radius(
+        &self,
+        center: &Point,
+        radius: f64,
+        mut visit: impl FnMut(usize, &Point),
+    ) {
+        self.for_each_in_radius_with_dist2(center, radius, |id, p, _| visit(id, p));
+    }
+
+    /// Writes all entries within `radius` of `center` into `out`, clearing it
+    /// first. The buffer's capacity is retained across calls, so a reused
+    /// buffer makes the query allocation-free in the steady state.
+    fn query_radius_into(&self, center: &Point, radius: f64, out: &mut Vec<(usize, Point)>) {
+        out.clear();
+        self.for_each_in_radius(center, radius, |id, p| out.push((id, *p)));
+    }
+
+    /// All entries within Euclidean distance `radius` of `center`. Thin
+    /// allocating wrapper over [`query_radius_into`](Self::query_radius_into);
+    /// hot paths should use the buffer or visitor form.
+    fn query_radius(&self, center: &Point, radius: f64) -> Vec<(usize, Point)> {
+        let mut out = Vec::new();
+        self.query_radius_into(center, radius, &mut out);
+        out
+    }
+}
+
+/// Which [`LocalityIndex`] implementation a runtime-configured consumer (the
+/// Interchange sampler, the benchmark harness) should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LocalityBackend {
+    /// Guttman R-tree ([`RTree`]): the paper's original ES+Loc index.
+    RTree,
+    /// Median-split k-d tree with a dynamic overlay ([`KdTree`]).
+    KdTree,
+    /// Dynamic spatial hash over cutoff-sized cells ([`HashGrid`]) — the
+    /// default, fastest on the Interchange fixed-radius workload.
+    #[default]
+    HashGrid,
+}
+
+impl LocalityBackend {
+    /// Every selectable backend, in benchmark-sweep order.
+    pub const ALL: [LocalityBackend; 3] = [
+        LocalityBackend::RTree,
+        LocalityBackend::KdTree,
+        LocalityBackend::HashGrid,
+    ];
+
+    /// Stable lower-case label used in CLI flags and benchmark reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LocalityBackend::RTree => "rtree",
+            LocalityBackend::KdTree => "kdtree",
+            LocalityBackend::HashGrid => "hashgrid",
+        }
+    }
+}
+
+impl std::fmt::Display for LocalityBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for LocalityBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "rtree" | "r-tree" => Ok(LocalityBackend::RTree),
+            "kdtree" | "kd-tree" => Ok(LocalityBackend::KdTree),
+            "hashgrid" | "hash-grid" | "grid" => Ok(LocalityBackend::HashGrid),
+            other => Err(format!(
+                "unknown locality backend {other:?} (expected rtree, kdtree or hashgrid)"
+            )),
+        }
+    }
+}
+
+/// Runtime-selected [`LocalityIndex`]: one `match` per query call dispatches
+/// to the concrete backend, after which the inner loop is monomorphic.
+#[derive(Debug, Clone)]
+pub enum AnyLocalityIndex {
+    /// R-tree backend.
+    RTree(RTree),
+    /// k-d tree backend.
+    KdTree(KdTree),
+    /// Spatial-hash backend.
+    HashGrid(HashGrid),
+}
+
+impl AnyLocalityIndex {
+    /// Creates an empty index of the chosen backend.
+    pub fn new(backend: LocalityBackend) -> Self {
+        match backend {
+            LocalityBackend::RTree => AnyLocalityIndex::RTree(RTree::new()),
+            LocalityBackend::KdTree => AnyLocalityIndex::KdTree(KdTree::new()),
+            LocalityBackend::HashGrid => AnyLocalityIndex::HashGrid(HashGrid::new()),
+        }
+    }
+
+    /// The backend this index dispatches to.
+    pub fn backend(&self) -> LocalityBackend {
+        match self {
+            AnyLocalityIndex::RTree(_) => LocalityBackend::RTree,
+            AnyLocalityIndex::KdTree(_) => LocalityBackend::KdTree,
+            AnyLocalityIndex::HashGrid(_) => LocalityBackend::HashGrid,
+        }
+    }
+}
+
+impl Default for AnyLocalityIndex {
+    fn default() -> Self {
+        Self::new(LocalityBackend::default())
+    }
+}
+
+impl LocalityIndex for AnyLocalityIndex {
+    fn len(&self) -> usize {
+        match self {
+            AnyLocalityIndex::RTree(t) => LocalityIndex::len(t),
+            AnyLocalityIndex::KdTree(t) => LocalityIndex::len(t),
+            AnyLocalityIndex::HashGrid(g) => LocalityIndex::len(g),
+        }
+    }
+
+    fn reset(&mut self, radius_hint: f64) {
+        match self {
+            AnyLocalityIndex::RTree(t) => t.reset(radius_hint),
+            AnyLocalityIndex::KdTree(t) => t.reset(radius_hint),
+            AnyLocalityIndex::HashGrid(g) => g.reset(radius_hint),
+        }
+    }
+
+    fn insert(&mut self, id: usize, point: Point) {
+        match self {
+            AnyLocalityIndex::RTree(t) => LocalityIndex::insert(t, id, point),
+            AnyLocalityIndex::KdTree(t) => LocalityIndex::insert(t, id, point),
+            AnyLocalityIndex::HashGrid(g) => LocalityIndex::insert(g, id, point),
+        }
+    }
+
+    fn remove(&mut self, id: usize, point: &Point) -> bool {
+        match self {
+            AnyLocalityIndex::RTree(t) => LocalityIndex::remove(t, id, point),
+            AnyLocalityIndex::KdTree(t) => LocalityIndex::remove(t, id, point),
+            AnyLocalityIndex::HashGrid(g) => LocalityIndex::remove(g, id, point),
+        }
+    }
+
+    fn for_each_in_radius_with_dist2(
+        &self,
+        center: &Point,
+        radius: f64,
+        visit: impl FnMut(usize, &Point, f64),
+    ) {
+        match self {
+            AnyLocalityIndex::RTree(t) => t.for_each_in_radius_with_dist2(center, radius, visit),
+            AnyLocalityIndex::KdTree(t) => t.for_each_in_radius_with_dist2(center, radius, visit),
+            AnyLocalityIndex::HashGrid(g) => g.for_each_in_radius_with_dist2(center, radius, visit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)))
+            .collect()
+    }
+
+    #[test]
+    fn backend_labels_round_trip() {
+        for backend in LocalityBackend::ALL {
+            let parsed: LocalityBackend = backend.label().parse().unwrap();
+            assert_eq!(parsed, backend);
+            assert_eq!(backend.to_string(), backend.label());
+        }
+        assert!("voronoi".parse::<LocalityBackend>().is_err());
+        assert_eq!(LocalityBackend::default(), LocalityBackend::HashGrid);
+    }
+
+    #[test]
+    fn every_backend_answers_radius_queries_identically_as_a_set() {
+        let pts = random_points(400, 9);
+        let center = Point::new(3.0, -7.0);
+        let radius = 12.0;
+        let mut expected: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist(&center) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        assert!(!expected.is_empty());
+        for backend in LocalityBackend::ALL {
+            let mut index = AnyLocalityIndex::new(backend);
+            assert_eq!(index.backend(), backend);
+            index.rebuild(radius, &pts.iter().copied().enumerate().collect::<Vec<_>>());
+            assert_eq!(index.len(), pts.len());
+            let mut got: Vec<usize> = index
+                .query_radius(&center, radius)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, expected, "backend {backend}");
+        }
+    }
+
+    #[test]
+    fn every_backend_supports_churn_and_reset() {
+        let pts = random_points(200, 11);
+        for backend in LocalityBackend::ALL {
+            let mut index = AnyLocalityIndex::new(backend);
+            for (i, p) in pts.iter().enumerate() {
+                index.insert(i, *p);
+            }
+            // Remove half the entries.
+            for (i, p) in pts.iter().enumerate() {
+                if i % 2 == 0 {
+                    assert!(index.remove(i, p), "backend {backend}: remove {i}");
+                }
+            }
+            assert_eq!(index.len(), pts.len() / 2, "backend {backend}");
+            // Removed entries are gone, kept entries still found.
+            let found: Vec<usize> = index
+                .query_radius(&Point::new(0.0, 0.0), 1_000.0)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            assert!(found.iter().all(|id| id % 2 == 1), "backend {backend}");
+            assert_eq!(found.len(), pts.len() / 2, "backend {backend}");
+            // Reset empties the index and it stays usable.
+            index.reset(5.0);
+            assert!(index.is_empty(), "backend {backend}");
+            index.insert(7, Point::new(1.0, 1.0));
+            assert_eq!(index.len(), 1, "backend {backend}");
+        }
+    }
+
+    #[test]
+    fn visitor_buffer_and_allocating_queries_agree_per_backend() {
+        let pts = random_points(300, 13);
+        let center = Point::new(-4.0, 4.0);
+        for backend in LocalityBackend::ALL {
+            let mut index = AnyLocalityIndex::new(backend);
+            index.rebuild(8.0, &pts.iter().copied().enumerate().collect::<Vec<_>>());
+            let allocated = index.query_radius(&center, 8.0);
+            let mut buf = Vec::new();
+            index.query_radius_into(&center, 8.0, &mut buf);
+            assert_eq!(buf, allocated, "backend {backend}");
+            let mut visited = Vec::new();
+            index.for_each_in_radius(&center, 8.0, |id, p| visited.push((id, *p)));
+            assert_eq!(visited, allocated, "backend {backend}");
+            let mut with_d2 = Vec::new();
+            index.for_each_in_radius_with_dist2(&center, 8.0, |id, p, d2| {
+                assert!((d2 - p.dist2(&center)).abs() < 1e-12);
+                with_d2.push((id, *p));
+            });
+            assert_eq!(with_d2, allocated, "backend {backend}");
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! a condense-and-reinsert deletion path. Entries are `(id, Point)` pairs; the
 //! tree never inspects `Point::value`.
 
+use crate::LocalityIndex;
 use vas_data::{BoundingBox, Point};
 
 /// Maximum number of entries per node before a split.
@@ -301,61 +302,6 @@ impl RTree {
         }
     }
 
-    /// All entries within Euclidean distance `radius` of `center`.
-    ///
-    /// This is the query used by the `ES+Loc` Interchange variant: only
-    /// sample points within the kernel's effective support take part in the
-    /// responsibility update. Thin wrapper over
-    /// [`query_radius_into`](Self::query_radius_into); hot paths should use
-    /// the buffer or visitor form to avoid the per-call allocation.
-    pub fn query_radius(&self, center: &Point, radius: f64) -> Vec<(usize, Point)> {
-        let mut out = Vec::new();
-        self.query_radius_into(center, radius, &mut out);
-        out
-    }
-
-    /// Writes all entries within `radius` of `center` into `out`, clearing it
-    /// first. The buffer's capacity is retained across calls, so a reused
-    /// buffer makes the query allocation-free in the steady state.
-    ///
-    /// Entries are produced in the same order as [`query_radius`](Self::query_radius).
-    pub fn query_radius_into(&self, center: &Point, radius: f64, out: &mut Vec<(usize, Point)>) {
-        out.clear();
-        self.for_each_in_radius(center, radius, |id, p| out.push((id, *p)));
-    }
-
-    /// Calls `visit(id, point)` for every entry within Euclidean distance
-    /// `radius` of `center`, in the same deterministic traversal order as
-    /// [`query_radius`](Self::query_radius), without allocating.
-    pub fn for_each_in_radius(
-        &self,
-        center: &Point,
-        radius: f64,
-        mut visit: impl FnMut(usize, &Point),
-    ) {
-        self.for_each_in_radius_with_dist2(center, radius, |id, p, _| visit(id, p));
-    }
-
-    /// Like [`for_each_in_radius`](Self::for_each_in_radius), but also hands
-    /// the visitor the squared distance to `center` that the traversal
-    /// already computed for its filter — kernel-evaluation hot loops reuse it
-    /// instead of recomputing the subtraction per neighbour.
-    pub fn for_each_in_radius_with_dist2(
-        &self,
-        center: &Point,
-        radius: f64,
-        mut visit: impl FnMut(usize, &Point, f64),
-    ) {
-        let r2 = radius * radius;
-        let region = BoundingBox::new(
-            center.x - radius,
-            center.y - radius,
-            center.x + radius,
-            center.y + radius,
-        );
-        Self::query_radius_rec(&self.root, &region, center, r2, &mut visit);
-    }
-
     fn query_radius_rec(
         node: &Node,
         region: &BoundingBox,
@@ -440,6 +386,49 @@ impl RTree {
             }
         }
         depth(&self.root)
+    }
+}
+
+/// The radius-query family (`query_radius`, `query_radius_into`,
+/// `for_each_in_radius`) comes from the [`LocalityIndex`] trait; the R-tree
+/// supplies only the core visitor traversal. This is the query used by the
+/// `ES+Loc` Interchange variant: only sample points within the kernel's
+/// effective support take part in the responsibility update.
+impl LocalityIndex for RTree {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Drops every entry; the R-tree has no radius-dependent geometry, so the
+    /// hint is ignored.
+    fn reset(&mut self, _radius_hint: f64) {
+        *self = RTree::new();
+    }
+
+    fn insert(&mut self, id: usize, point: Point) {
+        RTree::insert(self, id, point);
+    }
+
+    fn remove(&mut self, id: usize, point: &Point) -> bool {
+        RTree::remove(self, id, point)
+    }
+
+    /// Visits entries in deterministic depth-first traversal order, handing
+    /// the visitor the squared distance the pruning filter already computed.
+    fn for_each_in_radius_with_dist2(
+        &self,
+        center: &Point,
+        radius: f64,
+        mut visit: impl FnMut(usize, &Point, f64),
+    ) {
+        let r2 = radius * radius;
+        let region = BoundingBox::new(
+            center.x - radius,
+            center.y - radius,
+            center.x + radius,
+            center.y + radius,
+        );
+        Self::query_radius_rec(&self.root, &region, center, r2, &mut visit);
     }
 }
 
@@ -539,6 +528,16 @@ mod tests {
         (0..n)
             .map(|_| Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)))
             .collect()
+    }
+
+    #[test]
+    fn locality_reset_empties_the_tree() {
+        let pts = random_points(100, 99);
+        let mut t = RTree::from_entries(pts.iter().copied().enumerate());
+        LocalityIndex::reset(&mut t, 5.0);
+        assert!(t.is_empty());
+        t.insert(3, Point::new(1.0, 2.0));
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

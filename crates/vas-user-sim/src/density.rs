@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vas_data::{BoundingBox, Dataset, Point, ZoomLevel, ZoomWorkload};
 use vas_sampling::Sample;
+use vas_spatial::UniformGrid;
 use vas_viz::{Color, PlotStyle, ScatterRenderer, SizeEncoding, Viewport};
 
 /// One density-estimation question.
@@ -52,6 +53,21 @@ impl DensityTask {
         let workload = ZoomWorkload::new(seed ^ 0x44454e54);
         let regions = workload.regions(dataset, ZoomLevel::Medium, n_questions);
 
+        // Ground-truth counting indexes the dataset into a uniform grid once;
+        // each marker then scans only the cells its radius window touches,
+        // through a buffer reused across every marker of every question
+        // (the query-per-frame pattern `query_region_cells_into` exists for).
+        let grid = UniformGrid::build(&dataset.points, 128, 128);
+        let mut cell_ids: Vec<usize> = Vec::new();
+        let mut count_near = |m: &Point, radius: f64| {
+            let window = BoundingBox::new(m.x - radius, m.y - radius, m.x + radius, m.y + radius);
+            grid.query_region_cells_into(&window, &mut cell_ids);
+            cell_ids
+                .iter()
+                .filter(|&&i| dataset.points[i].dist(m) <= radius)
+                .count()
+        };
+
         let mut questions = Vec::with_capacity(regions.len());
         for r in regions {
             let region = r.viewport;
@@ -60,16 +76,7 @@ impl DensityTask {
             let mut chosen: Option<DensityQuestion> = None;
             for _attempt in 0..20 {
                 let markers = quadrant_markers(&region, &mut rng);
-                let counts: Vec<usize> = markers
-                    .iter()
-                    .map(|m| {
-                        dataset
-                            .points
-                            .iter()
-                            .filter(|p| p.dist(m) <= radius)
-                            .count()
-                    })
-                    .collect();
+                let counts: Vec<usize> = markers.iter().map(|m| count_near(m, radius)).collect();
                 let densest = argmax(&counts);
                 let sparsest = argmin(&counts);
                 let unique_max = counts.iter().filter(|&&c| c == counts[densest]).count() == 1;

@@ -15,6 +15,7 @@ use crate::perception::visible_points;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vas_data::{BoundingBox, Dataset, Point, ZoomLevel, ZoomWorkload};
+use vas_spatial::UniformGrid;
 
 /// One multiple-choice regression question.
 #[derive(Debug, Clone)]
@@ -58,6 +59,12 @@ impl RegressionTask {
         let values: Vec<f64> = dataset.points.iter().map(|p| p.value).collect();
         let value_std = std_dev(&values).max(1e-9);
 
+        // Every candidate mark probes a small neighbourhood of the dataset;
+        // a uniform grid plus one id buffer reused across all probes replaces
+        // the full-dataset scan per probe.
+        let grid = UniformGrid::build(&dataset.points, 128, 128);
+        let mut cell_ids: Vec<usize> = Vec::new();
+
         let questions = regions
             .into_iter()
             .map(|r| {
@@ -75,14 +82,22 @@ impl RegressionTask {
                         rng.gen_range(r.viewport.min_x..=r.viewport.max_x),
                         rng.gen_range(r.viewport.min_y..=r.viewport.max_y),
                     );
-                    let has_ground_truth =
-                        dataset.points.iter().any(|p| p.dist(&candidate) <= radius);
+                    let window = BoundingBox::new(
+                        candidate.x - radius,
+                        candidate.y - radius,
+                        candidate.x + radius,
+                        candidate.y + radius,
+                    );
+                    grid.query_region_cells_into(&window, &mut cell_ids);
+                    let has_ground_truth = cell_ids
+                        .iter()
+                        .any(|&i| dataset.points[i].dist(&candidate) <= radius);
                     if has_ground_truth {
                         query = candidate;
                         break;
                     }
                 }
-                let truth = local_average_value(dataset, &query, radius);
+                let truth = local_average_value(dataset, &grid, &mut cell_ids, &query, radius);
                 let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
                 let decoys = [truth + sign * value_std, truth - sign * 2.0 * value_std];
                 RegressionQuestion {
@@ -159,10 +174,29 @@ impl RegressionTask {
 
 /// Average `value` of the dataset points within `radius` of `center`
 /// (falls back to the nearest point's value if the neighbourhood is empty).
-fn local_average_value(dataset: &Dataset, center: &Point, radius: f64) -> f64 {
+///
+/// Candidate ids come from `grid` through the reusable `cell_ids` buffer and
+/// are summed in ascending index order, so the result is bit-identical to
+/// the full scan in dataset order this replaced.
+fn local_average_value(
+    dataset: &Dataset,
+    grid: &UniformGrid,
+    cell_ids: &mut Vec<usize>,
+    center: &Point,
+    radius: f64,
+) -> f64 {
+    let window = BoundingBox::new(
+        center.x - radius,
+        center.y - radius,
+        center.x + radius,
+        center.y + radius,
+    );
+    grid.query_region_cells_into(&window, cell_ids);
+    cell_ids.sort_unstable();
     let mut sum = 0.0;
     let mut count = 0usize;
-    for p in dataset.iter() {
+    for &i in cell_ids.iter() {
+        let p = &dataset.points[i];
         if p.dist(center) <= radius {
             sum += p.value;
             count += 1;

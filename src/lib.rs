@@ -12,7 +12,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`data`] | dataset generators (Geolife-like GPS traces, SPLOM, Gaussian mixtures), points, zoom workloads |
-//! | [`spatial`] | R-tree, k-d tree and grid substrates |
+//! | [`spatial`] | the `LocalityIndex` trait with R-tree, k-d tree and spatial-hash backends, plus grid substrates |
 //! | [`sampling`] | the [`Sampler`](sampling::Sampler) trait and the uniform / stratified baselines |
 //! | [`core`] | the VAS objective, the Interchange algorithm, density embedding |
 //! | [`exact`] | exact (branch-and-bound) solvers for small instances |
@@ -74,7 +74,9 @@ pub mod prelude {
     pub use vas_sampling::{
         PoissonDiskSampler, Sample, Sampler, StratifiedSampler, UniformSampler,
     };
-    pub use vas_spatial::{KdTree, RTree, UniformGrid};
+    pub use vas_spatial::{
+        AnyLocalityIndex, HashGrid, KdTree, LocalityBackend, LocalityIndex, RTree, UniformGrid,
+    };
     pub use vas_storage::{SampleCatalog, Table, VizEngine, VizQuery};
     pub use vas_user_sim::{ClusteringTask, DensityTask, RegressionTask, WorkerPopulation};
     pub use vas_viz::{

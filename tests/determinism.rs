@@ -63,19 +63,25 @@ fn stratified_sampler_is_deterministic_per_seed() {
 fn vas_sampler_is_deterministic() {
     // The Interchange algorithm is seedless (fully determined by the input
     // stream), so two runs over the same dataset must agree exactly — for
-    // every strategy, including the R-tree locality variant.
+    // every strategy and every locality backend.
     let data = GeolifeGenerator::with_size(10_000, 21).generate();
-    for strategy in [
+    let mut cases = vec![(
         InterchangeStrategy::ExpandShrink,
-        InterchangeStrategy::ExpandShrinkLocality,
-    ] {
-        let config = VasConfig::new(300).with_strategy(strategy);
+        LocalityBackend::default(),
+    )];
+    for backend in LocalityBackend::ALL {
+        cases.push((InterchangeStrategy::ExpandShrinkLocality, backend));
+    }
+    for (strategy, backend) in cases {
+        let config = VasConfig::new(300)
+            .with_strategy(strategy)
+            .with_locality_backend(backend);
         let a = VasSampler::from_dataset(&data, config.clone()).sample_dataset(&data);
         let b = VasSampler::from_dataset(&data, config).sample_dataset(&data);
         assert_points_bitwise_equal(
             &a.points,
             &b.points,
-            &format!("VasSampler ({})", strategy.label()),
+            &format!("VasSampler ({}, {backend})", strategy.label()),
         );
     }
 }
@@ -91,11 +97,17 @@ fn optimized_inner_loop_is_bit_identical_to_the_legacy_implementation() {
     // for the `fig10_inner_loop` benchmark baseline.
     for seed in [21u64, 99] {
         let data = GeolifeGenerator::with_size(10_000, seed).generate();
-        for strategy in [
+        let mut cases = vec![(
             InterchangeStrategy::ExpandShrink,
-            InterchangeStrategy::ExpandShrinkLocality,
-        ] {
-            let config = VasConfig::new(300).with_strategy(strategy);
+            LocalityBackend::default(),
+        )];
+        for backend in LocalityBackend::ALL {
+            cases.push((InterchangeStrategy::ExpandShrinkLocality, backend));
+        }
+        for (strategy, backend) in cases {
+            let config = VasConfig::new(300)
+                .with_strategy(strategy)
+                .with_locality_backend(backend);
             let optimized = VasSampler::from_dataset(&data, config.clone()).sample_dataset(&data);
             let legacy = VasSampler::from_dataset(&data, config.with_legacy_inner_loop(true))
                 .sample_dataset(&data);
@@ -103,12 +115,45 @@ fn optimized_inner_loop_is_bit_identical_to_the_legacy_implementation() {
                 &optimized.points,
                 &legacy.points,
                 &format!(
-                    "VasSampler optimized vs legacy ({}, seed {seed})",
+                    "VasSampler optimized vs legacy ({}, {backend}, seed {seed})",
                     strategy.label()
                 ),
             );
         }
     }
+}
+
+#[test]
+fn es_loc_over_hashgrid_is_bit_identical_to_the_legacy_loop_per_tuple() {
+    // The PR 3 contract, the same one PR 2 pinned for the R-tree: switching
+    // the locality backend to the spatial hash is a pure speed-up. Lock-step
+    // the optimized and legacy samplers over the HashGrid backend and compare
+    // the full sample bit-for-bit after *every* observation.
+    let data = GeolifeGenerator::with_size(6_000, 47).generate();
+    let config = VasConfig::new(200)
+        .with_strategy(InterchangeStrategy::ExpandShrinkLocality)
+        .with_locality_backend(LocalityBackend::HashGrid);
+    let mut optimized = VasSampler::from_dataset(&data, config.clone());
+    let mut legacy = VasSampler::from_dataset(&data, config.with_legacy_inner_loop(true));
+    for (t, p) in data.iter().enumerate() {
+        optimized.observe(*p);
+        legacy.observe(*p);
+        assert_points_bitwise_equal(
+            optimized.current_sample(),
+            legacy.current_sample(),
+            &format!("ES+Loc over HashGrid at tuple {t}"),
+        );
+        assert_eq!(
+            optimized.replacements(),
+            legacy.replacements(),
+            "replacement count diverged at tuple {t}"
+        );
+    }
+    assert_eq!(
+        optimized.current_objective().to_bits(),
+        legacy.current_objective().to_bits(),
+        "objective bits diverged"
+    );
 }
 
 #[test]
