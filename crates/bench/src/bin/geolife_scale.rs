@@ -1,0 +1,321 @@
+//! Paper-scale out-of-core run: generate, spill and VAS-sample a
+//! multi-million-point synthetic Geolife workload in bounded memory.
+//!
+//! This is the capstone of the streaming ingestion subsystem. The pipeline
+//! never materializes the dataset:
+//!
+//! 1. **Ingest** — a streaming Geolife generator source emits chunks that go
+//!    straight into a chunked columnar spill file (`vas-stream`'s
+//!    `.vaschunk` format). Resident points: one generator chunk + one staged
+//!    writer chunk.
+//! 2. **Sample** — `VasSampler::build_from_source` streams the spill back
+//!    through the Interchange loop. The kernel bandwidth comes from the
+//!    spill header's provenance bounds (bit-identical to what an in-memory
+//!    build would derive). Resident points: the K sample slots + one read
+//!    chunk.
+//!
+//! The peak resident point count is *measured* (via `TrackingSource` and the
+//! writer's staged-chunk bound) and asserted against the contract
+//! `K + 2 × chunk_size`; the run aborts if the bound is ever exceeded.
+//! In `--smoke` mode the dataset is additionally materialized the classic
+//! way and the streaming sample is asserted bit-identical to `build()` over
+//! it — the same contract `tests/determinism.rs` pins, re-checked here on
+//! every CI run.
+//!
+//! Output: a human-readable table on stdout plus machine-readable
+//! `results/BENCH_streaming.json` (ingest throughput, sampler throughput,
+//! peak resident points).
+//!
+//! Usage:
+//! ```text
+//! geolife_scale [--smoke] [--n <points>] [--k <K>] [--chunk-size <points>]
+//!               [--keep-spill]
+//! ```
+//! * `--smoke`      — CI-sized run (60K points, K = 500) + in-memory
+//!   verification.
+//! * `--n`, `--k`, `--chunk-size` — override the workload shape.
+//! * `--keep-spill` — leave the spill file on disk for inspection.
+
+use bench::{emit, fmt3, results_dir, ReportTable};
+use serde::Serialize;
+use std::time::Instant;
+use vas_core::{GaussianKernel, Kernel, VasConfig, VasSampler};
+use vas_data::GeolifeGenerator;
+use vas_stream::{ChunkedReader, ChunkedWriter, GeolifeSource, PointSource, TrackingSource};
+
+/// Seed shared with the in-memory verification path.
+const SEED: u64 = 20_160_519;
+
+#[derive(Debug, Clone, Serialize)]
+struct IngestReport {
+    points: u64,
+    secs: f64,
+    points_per_sec: f64,
+    chunks: u64,
+    file_bytes: u64,
+    /// Measured: largest generator chunk + the writer's staged-chunk bound.
+    peak_resident_points: u64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct SamplerReport {
+    tuples: u64,
+    secs: f64,
+    tuples_per_sec: f64,
+    sample_len: usize,
+    epsilon: f64,
+    /// Measured: K sample slots + largest read chunk.
+    peak_resident_points: u64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct StreamingReport {
+    bench: String,
+    mode: String,
+    n: u64,
+    k: usize,
+    chunk_size: usize,
+    seed: u64,
+    ingest: IngestReport,
+    sampler: SamplerReport,
+    /// Max of the two phases — the whole pipeline's resident footprint.
+    peak_resident_points: u64,
+    /// The contract: `k + 2 × chunk_size`. The run aborts if exceeded.
+    resident_bound_points: u64,
+    /// `Some(true)` when the smoke verification ran and the streaming sample
+    /// was bit-identical to the in-memory build; `None` on full runs (which
+    /// exist precisely because materializing is impractical).
+    streaming_matches_in_memory: Option<bool>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let keep_spill = args.iter().any(|a| a == "--keep-spill");
+    let (mut n, mut k, mut chunk_size) = if smoke {
+        (60_000u64, 500usize, 4_096usize)
+    } else {
+        (10_000_000u64, 10_000usize, 65_536usize)
+    };
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" | "--keep-spill" => {}
+            "--n" | "--k" | "--chunk-size" => {
+                let flag = args[i].clone();
+                i += 1;
+                let value = args.get(i).and_then(|v| v.parse::<u64>().ok());
+                match value {
+                    Some(v) if v > 0 => match flag.as_str() {
+                        "--n" => n = v,
+                        "--k" => k = v as usize,
+                        _ => chunk_size = v as usize,
+                    },
+                    _ => {
+                        eprintln!("{flag} needs a positive integer value");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            unknown => {
+                eprintln!(
+                    "unknown argument {unknown}; usage: geolife_scale [--smoke] [--n <points>] \
+                     [--k <K>] [--chunk-size <points>] [--keep-spill]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let mode = if smoke { "smoke" } else { "full" };
+    let spill_path = results_dir().join(format!("geolife_scale_{n}.vaschunk"));
+
+    // ---- Phase 1: streaming generation → chunked columnar spill. ----
+    eprintln!("[geolife_scale] ingest: generating + spilling {n} points (chunk {chunk_size})");
+    let generator = GeolifeGenerator::with_size(n as usize, SEED);
+    let mut source = TrackingSource::new(GeolifeSource::new(generator, chunk_size));
+    let ingest_start = Instant::now();
+    let mut writer = ChunkedWriter::create(&spill_path, source.name(), source.kind(), chunk_size)
+        .expect("create spill file");
+    let mut buf = Vec::new();
+    let mut max_staged = 0usize;
+    loop {
+        let got = source.next_chunk(&mut buf).expect("generator chunk");
+        if got == 0 {
+            break;
+        }
+        writer.write_points(&buf).expect("spill chunk");
+        max_staged = max_staged.max(writer.staged_len()).max(chunk_size.min(got));
+    }
+    let summary = writer.finish().expect("finish spill");
+    let ingest_secs = ingest_start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(summary.count, n, "spill must hold every generated point");
+    let ingest_peak = (source.max_chunk_len() + max_staged) as u64;
+    let ingest = IngestReport {
+        points: n,
+        secs: ingest_secs,
+        points_per_sec: n as f64 / ingest_secs,
+        chunks: summary.chunks,
+        file_bytes: summary.bytes,
+        peak_resident_points: ingest_peak,
+    };
+    eprintln!(
+        "[geolife_scale] ingest: {} points/s, {} chunks, {:.1} MiB",
+        fmt3(ingest.points_per_sec),
+        ingest.chunks,
+        ingest.file_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // ---- Phase 2: stream the spill through the Interchange sampler. ----
+    let reader = ChunkedReader::open(&spill_path).expect("open spill");
+    // The spill header carries the stream-order bounds, so the bandwidth is
+    // resolved without a stats rescan — bit-identical to what an in-memory
+    // build would derive from the materialized dataset.
+    let epsilon = GaussianKernel::for_bounds(&reader.header().bounds).bandwidth();
+    let mut tracked = TrackingSource::new(reader);
+    let mut sampler = VasSampler::new(VasConfig::new(k).with_epsilon(epsilon));
+    eprintln!("[geolife_scale] sampling: K = {k}, epsilon = {epsilon:.6}");
+    let sample_start = Instant::now();
+    let sample = sampler
+        .build_from_source(&mut tracked)
+        .expect("streaming build");
+    let sample_secs = sample_start.elapsed().as_secs_f64().max(1e-9);
+    let sample_peak = (k.min(n as usize) + tracked.max_chunk_len()) as u64;
+    let sampler_report = SamplerReport {
+        tuples: tracked.points_streamed(),
+        secs: sample_secs,
+        tuples_per_sec: tracked.points_streamed() as f64 / sample_secs,
+        sample_len: sample.len(),
+        epsilon,
+        peak_resident_points: sample_peak,
+    };
+    eprintln!(
+        "[geolife_scale] sampler: {} tuples/s over {} tuples",
+        fmt3(sampler_report.tuples_per_sec),
+        sampler_report.tuples
+    );
+    assert_eq!(sampler_report.tuples, n, "sampler must see every tuple");
+    assert_eq!(sample.len(), k.min(n as usize));
+
+    // ---- The bounded-memory contract. ----
+    let peak_resident = ingest_peak.max(sample_peak);
+    let bound = (k + 2 * chunk_size) as u64;
+    assert!(
+        peak_resident <= bound,
+        "peak resident points {peak_resident} exceeded the K + 2*chunk bound {bound}"
+    );
+
+    // ---- Smoke verification: streaming == in-memory, bit for bit. ----
+    let streaming_matches_in_memory = if smoke {
+        eprintln!("[geolife_scale] smoke: verifying against the in-memory build");
+        let dataset = GeolifeGenerator::with_size(n as usize, SEED).generate();
+        let reference = VasSampler::from_dataset(&dataset, VasConfig::new(k)).build(&dataset);
+        let identical = sample.points.len() == reference.points.len()
+            && sample.points.iter().zip(&reference.points).all(|(a, b)| {
+                a.x.to_bits() == b.x.to_bits()
+                    && a.y.to_bits() == b.y.to_bits()
+                    && a.value.to_bits() == b.value.to_bits()
+            });
+        if !identical {
+            emit_report(
+                mode,
+                n,
+                k,
+                chunk_size,
+                ingest.clone(),
+                sampler_report.clone(),
+                peak_resident,
+                bound,
+                Some(false),
+            );
+            eprintln!("[geolife_scale] FAIL: streaming sample differs from the in-memory build");
+            std::process::exit(1);
+        }
+        eprintln!("[geolife_scale] smoke: streaming sample is bit-identical to build()");
+        Some(true)
+    } else {
+        None
+    };
+
+    if !keep_spill {
+        std::fs::remove_file(&spill_path).ok();
+    } else {
+        eprintln!("[geolife_scale] spill kept at {}", spill_path.display());
+    }
+
+    emit_report(
+        mode,
+        n,
+        k,
+        chunk_size,
+        ingest,
+        sampler_report,
+        peak_resident,
+        bound,
+        streaming_matches_in_memory,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_report(
+    mode: &str,
+    n: u64,
+    k: usize,
+    chunk_size: usize,
+    ingest: IngestReport,
+    sampler: SamplerReport,
+    peak_resident: u64,
+    bound: u64,
+    streaming_matches_in_memory: Option<bool>,
+) {
+    let mut table = ReportTable::new(
+        format!("Out-of-core Geolife pipeline ({mode}: n = {n}, K = {k}, chunk = {chunk_size})"),
+        &[
+            "phase",
+            "points",
+            "time (s)",
+            "throughput (pts/s)",
+            "peak resident pts",
+        ],
+    );
+    table.push_row(vec![
+        "ingest (generate + spill)".to_string(),
+        ingest.points.to_string(),
+        fmt3(ingest.secs),
+        fmt3(ingest.points_per_sec),
+        ingest.peak_resident_points.to_string(),
+    ]);
+    table.push_row(vec![
+        "sample (stream spill)".to_string(),
+        sampler.tuples.to_string(),
+        fmt3(sampler.secs),
+        fmt3(sampler.tuples_per_sec),
+        sampler.peak_resident_points.to_string(),
+    ]);
+    table.push_row(vec![
+        format!("pipeline (bound K+2c = {bound})"),
+        n.to_string(),
+        fmt3(ingest.secs + sampler.secs),
+        "-".to_string(),
+        peak_resident.to_string(),
+    ]);
+    emit("geolife_scale", &[table]);
+
+    let report = StreamingReport {
+        bench: "geolife_scale".to_string(),
+        mode: mode.to_string(),
+        n,
+        k,
+        chunk_size,
+        seed: SEED,
+        ingest,
+        sampler,
+        peak_resident_points: peak_resident,
+        resident_bound_points: bound,
+        streaming_matches_in_memory,
+    };
+    let path = results_dir().join("BENCH_streaming.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize streaming report");
+    std::fs::write(&path, json).expect("write BENCH_streaming.json");
+    eprintln!("[machine-readable report written to {}]", path.display());
+}

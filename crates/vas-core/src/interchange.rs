@@ -34,10 +34,12 @@
 use crate::kernel::{GaussianKernel, Kernel};
 use crate::max_tracker::MaxTracker;
 use crate::objective::objective;
+use std::io;
 use std::time::{Duration, Instant};
 use vas_data::{BoundingBox, Dataset, Point};
 use vas_sampling::{Sample, Sampler};
 use vas_spatial::{AnyLocalityIndex, LocalityBackend, LocalityIndex};
+use vas_stream::PointSource;
 
 /// Which inner-loop implementation the Interchange algorithm uses.
 ///
@@ -329,6 +331,80 @@ impl<L: LocalityIndex> VasSampler<L> {
             }
         }
         self.finalize()
+    }
+
+    /// Streaming counterpart of [`build`](Self::build): runs the configured
+    /// number of passes over any [`PointSource`] and returns the final
+    /// sample, holding at most the sample (`K` slots) plus one source chunk
+    /// in memory.
+    ///
+    /// If no bandwidth was fixed in the config, a one-pass bounds scan over
+    /// the source resolves ε by the paper's rule first — folding the extent
+    /// in stream order, so the resolved kernel is **bit-identical** to the
+    /// one [`build`](Self::build) derives from the materialized dataset.
+    /// Because the source contract guarantees a stable point order across
+    /// `reset`s, the whole run is then bit-identical to `build` over the
+    /// equivalent in-memory dataset (pinned in `tests/determinism.rs`).
+    ///
+    /// Errors from the underlying source (I/O, malformed rows) abort the
+    /// build and are passed through; the sampler is left mid-stream and
+    /// should be discarded or finalized.
+    pub fn build_from_source<S: PointSource>(&mut self, source: &mut S) -> io::Result<Sample> {
+        if self.kernel.is_none() {
+            source.reset()?;
+            let stats = vas_stream::scan_stats(source)?;
+            self.install_kernel(GaussianKernel::for_bounds(&stats.bounds));
+        }
+        let mut buf = Vec::new();
+        for _ in 0..self.config.passes.max(1) {
+            source.reset()?;
+            while source.next_chunk(&mut buf)? > 0 {
+                for p in &buf {
+                    self.observe(*p);
+                }
+            }
+        }
+        Ok(self.finalize())
+    }
+
+    /// Streaming counterpart of
+    /// [`build_until_converged`](Self::build_until_converged): rescans the
+    /// source until a full pass performs no valid replacement or
+    /// `max_passes` is reached. Returns the sample and the passes made.
+    pub fn build_from_source_until_converged<S: PointSource>(
+        &mut self,
+        source: &mut S,
+        max_passes: usize,
+    ) -> io::Result<(Sample, usize)> {
+        if self.kernel.is_none() {
+            source.reset()?;
+            let stats = vas_stream::scan_stats(source)?;
+            self.install_kernel(GaussianKernel::for_bounds(&stats.bounds));
+        }
+        let mut buf = Vec::new();
+        let mut passes = 0usize;
+        loop {
+            let before = self.replacements;
+            source.reset()?;
+            let mut streamed = 0u64;
+            while source.next_chunk(&mut buf)? > 0 {
+                streamed += buf.len() as u64;
+                for p in &buf {
+                    self.observe(*p);
+                }
+            }
+            passes += 1;
+            let replacements_this_pass = self.replacements - before;
+            // Mirrors `build_until_converged`: the first pass also fills the
+            // sample, so convergence requires a full sample and at least one
+            // complete refinement pass.
+            let filled = self.points.len() as u64 >= (self.config.k as u64).min(streamed);
+            if (passes > 1 && replacements_this_pass == 0 && filled) || passes >= max_passes.max(1)
+            {
+                break;
+            }
+        }
+        Ok((self.finalize(), passes))
     }
 
     /// Runs passes over `dataset` until a full pass performs **no** valid
@@ -1345,5 +1421,73 @@ mod tests {
             VasConfig::new(10).locality_backend,
             LocalityBackend::HashGrid
         );
+    }
+
+    fn assert_samples_bitwise_equal(a: &[Point], b: &[Point], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: lengths differ");
+        for (i, (p, q)) in a.iter().zip(b).enumerate() {
+            assert!(
+                p.x.to_bits() == q.x.to_bits() && p.y.to_bits() == q.y.to_bits(),
+                "{what}: slot {i} diverged: {p:?} vs {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_from_source_is_bit_identical_to_build() {
+        // The streaming entry point must not change a single replacement
+        // decision, including the ε resolution pre-pass (no epsilon in the
+        // config → both paths must derive the same bandwidth).
+        let d = GeolifeGenerator::with_size(4_000, 83).generate();
+        for k in [0usize, 150] {
+            let config = VasConfig::new(k);
+            let reference = VasSampler::from_dataset(&d, config.clone()).build(&d);
+            let mut streaming = VasSampler::new(config);
+            let mut source = vas_stream::DatasetSource::with_chunk_size(&d, 257);
+            let sample = streaming.build_from_source(&mut source).unwrap();
+            assert_samples_bitwise_equal(&sample.points, &reference.points, "stream vs build");
+        }
+    }
+
+    #[test]
+    fn build_from_source_multi_pass_matches_build() {
+        let d = GeolifeGenerator::with_size(1_500, 7).generate();
+        let config = VasConfig::new(90).with_passes(3);
+        let reference = VasSampler::from_dataset(&d, config.clone()).build(&d);
+        let mut streaming = VasSampler::new(config);
+        let mut source = vas_stream::DatasetSource::with_chunk_size(&d, 64);
+        let sample = streaming.build_from_source(&mut source).unwrap();
+        assert_samples_bitwise_equal(&sample.points, &reference.points, "multi-pass");
+    }
+
+    #[test]
+    fn build_from_source_until_converged_matches_in_memory() {
+        let d = GeolifeGenerator::with_size(800, 23).generate();
+        let eps = GaussianKernel::for_dataset(&d).bandwidth();
+        let config = VasConfig::new(40)
+            .with_strategy(InterchangeStrategy::ExpandShrink)
+            .with_epsilon(eps);
+        let (reference, ref_passes) =
+            VasSampler::from_dataset(&d, config.clone()).build_until_converged(&d, 20);
+        let mut streaming = VasSampler::new(config);
+        let mut source = vas_stream::DatasetSource::with_chunk_size(&d, 100);
+        let (sample, passes) = streaming
+            .build_from_source_until_converged(&mut source, 20)
+            .unwrap();
+        assert_eq!(passes, ref_passes);
+        assert_samples_bitwise_equal(&sample.points, &reference.points, "until converged");
+    }
+
+    #[test]
+    fn build_from_source_propagates_source_errors() {
+        // A CSV with a malformed row mid-stream must surface the error.
+        let path =
+            std::env::temp_dir().join(format!("vas-core-badsource-{}.csv", std::process::id()));
+        std::fs::write(&path, "1.0,2.0\n3.0,4.0\nbroken,row,here\n").unwrap();
+        let mut source = vas_stream::CsvSource::open(&path, "bad").unwrap();
+        let mut sampler = VasSampler::new(VasConfig::new(10));
+        let err = sampler.build_from_source(&mut source).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
     }
 }

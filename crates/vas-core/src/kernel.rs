@@ -93,7 +93,17 @@ impl GaussianKernel {
 
     /// Same as [`for_dataset`](Self::for_dataset) for a raw point slice.
     pub fn for_points(points: &[Point]) -> Self {
-        let diag = vas_data::BoundingBox::from_points(points).diagonal();
+        Self::for_bounds(&vas_data::BoundingBox::from_points(points))
+    }
+
+    /// Same as [`for_dataset`](Self::for_dataset) for a pre-computed extent.
+    ///
+    /// This is the entry point the streaming pipeline uses: a one-pass
+    /// bounds scan over a `PointSource` folds the extent in stream order
+    /// (bit-identical to `BoundingBox::from_points`), so streaming and
+    /// in-memory builds resolve bit-identical bandwidths.
+    pub fn for_bounds(bounds: &vas_data::BoundingBox) -> Self {
+        let diag = bounds.diagonal();
         if diag.is_finite() && diag > 0.0 {
             Self::new(diag / 100.0)
         } else {

@@ -29,7 +29,11 @@
 //! * [`interchange`] — the Interchange algorithm in its three variants
 //!   (`Naive`, `ExpandShrink`, `ExpandShrinkLocality`) behind the
 //!   [`VasSampler`](interchange::VasSampler) type, which implements the common
-//!   [`Sampler`](vas_sampling::Sampler) trait.
+//!   [`Sampler`](vas_sampling::Sampler) trait. Out-of-core datasets stream
+//!   through
+//!   [`VasSampler::build_from_source`](interchange::VasSampler::build_from_source),
+//!   which drives the same loop from any `vas_stream::PointSource` in
+//!   `K + one-chunk` memory, bit-identical to an in-memory build.
 //! * [`density`] — the density-embedding second pass (Section V).
 //! * [`outlier`] — outlier-preserving sample augmentation (the paper's
 //!   future-work discussion on outlier-detection tasks).

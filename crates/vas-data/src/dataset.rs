@@ -1,9 +1,16 @@
 //! The [`Dataset`] container: an ordered collection of [`Point`]s plus
 //! provenance metadata.
 //!
-//! Datasets are deliberately simple — a `Vec<Point>` — because every sampler
-//! in this reproduction is single-pass and order-insensitive, matching the
-//! offline sample-construction model in Section II-B of the paper.
+//! A `Dataset` is the *fully materialized* form — a `Vec<Point>` — and stays
+//! deliberately simple because every sampler in this reproduction is
+//! single-pass and order-insensitive, matching the offline
+//! sample-construction model in Section II-B of the paper. It is no longer
+//! the only form: workloads too large to materialize flow through the
+//! `vas-stream` crate instead, whose `PointSource` trait streams the same
+//! points chunk-by-chunk in bounded memory (from the chunked columnar spill
+//! format, CSV, or the streaming generator iterators such as
+//! [`GeolifeGenerator::points`](crate::geolife::GeolifeGenerator::points)),
+//! with an in-memory adapter wrapping any `Dataset`.
 
 use crate::point::{BoundingBox, Point};
 use serde::{Deserialize, Serialize};

@@ -125,37 +125,12 @@ impl GaussianMixtureGenerator {
         &self.clusters
     }
 
-    /// Generates the dataset. Each point's `value` records the index of the
-    /// component it was drawn from, providing ground-truth labels for
-    /// evaluation (renderers ignore it unless asked to color by value).
+    /// Generates the dataset by materializing [`points`](Self::points). Each
+    /// point's `value` records the index of the component it was drawn from,
+    /// providing ground-truth labels for evaluation (renderers ignore it
+    /// unless asked to color by value).
     pub fn generate(&self) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let std_normal = Normal::new(0.0, 1.0).expect("valid normal");
-        let total_weight: f64 = self.clusters.iter().map(|c| c.weight).sum();
-
-        let mut points = Vec::with_capacity(self.n_points);
-        for _ in 0..self.n_points {
-            let cluster_idx = {
-                let mut target = rng.gen_range(0.0..total_weight);
-                let mut chosen = self.clusters.len() - 1;
-                for (i, c) in self.clusters.iter().enumerate() {
-                    if target < c.weight {
-                        chosen = i;
-                        break;
-                    }
-                    target -= c.weight;
-                }
-                chosen
-            };
-            let c = self.clusters[cluster_idx];
-            let u = std_normal.sample(&mut rng) * c.sigma_x;
-            let v = std_normal.sample(&mut rng) * c.sigma_y;
-            let (sin, cos) = c.rotation.sin_cos();
-            let x = c.cx + u * cos - v * sin;
-            let y = c.cy + u * sin + v * cos;
-            points.push(Point::with_value(x, y, cluster_idx as f64));
-        }
-
+        let points: Vec<Point> = self.points().collect();
         Dataset::new(
             format!(
                 "gaussian-mixture-{}c-{}",
@@ -166,7 +141,68 @@ impl GaussianMixtureGenerator {
             points,
         )
     }
+
+    /// Streaming variant of [`generate`](Self::generate): yields the exact
+    /// same `n_points` points (bit-for-bit, same RNG draws) one at a time
+    /// without materializing the dataset. `generate` collects this iterator.
+    pub fn points(&self) -> GaussianMixturePoints {
+        GaussianMixturePoints {
+            rng: StdRng::seed_from_u64(self.seed),
+            std_normal: Normal::new(0.0, 1.0).expect("valid normal"),
+            total_weight: self.clusters.iter().map(|c| c.weight).sum(),
+            emitted: 0,
+            generator: self.clone(),
+        }
+    }
 }
+
+/// Streaming point iterator behind [`GaussianMixtureGenerator::points`].
+#[derive(Debug, Clone)]
+pub struct GaussianMixturePoints {
+    generator: GaussianMixtureGenerator,
+    rng: StdRng,
+    std_normal: Normal,
+    total_weight: f64,
+    emitted: usize,
+}
+
+impl Iterator for GaussianMixturePoints {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        if self.emitted >= self.generator.n_points {
+            return None;
+        }
+        let clusters = &self.generator.clusters;
+        let cluster_idx = {
+            let mut target = self.rng.gen_range(0.0..self.total_weight);
+            let mut chosen = clusters.len() - 1;
+            for (i, c) in clusters.iter().enumerate() {
+                if target < c.weight {
+                    chosen = i;
+                    break;
+                }
+                target -= c.weight;
+            }
+            chosen
+        };
+        let c = clusters[cluster_idx];
+        let u = self.std_normal.sample(&mut self.rng) * c.sigma_x;
+        let v = self.std_normal.sample(&mut self.rng) * c.sigma_y;
+        let (sin, cos) = c.rotation.sin_cos();
+        let x = c.cx + u * cos - v * sin;
+        let y = c.cy + u * sin + v * cos;
+        self.emitted += 1;
+        Some(Point::with_value(x, y, cluster_idx as f64))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.generator.n_points - self.emitted;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for GaussianMixturePoints {}
 
 #[cfg(test)]
 mod tests {
@@ -230,6 +266,23 @@ mod tests {
         let var_x = d.points.iter().map(|p| p.x * p.x).sum::<f64>() / d.len() as f64;
         let var_y = d.points.iter().map(|p| p.y * p.y).sum::<f64>() / d.len() as f64;
         assert!(var_x > 10.0 * var_y, "var_x {var_x} var_y {var_y}");
+    }
+
+    #[test]
+    fn streaming_iterator_matches_generate_bitwise() {
+        let g = GaussianMixtureGenerator::paper_clustering_dataset(3, 4_321, 17);
+        let materialized = g.generate();
+        let streamed: Vec<Point> = g.points().collect();
+        assert_eq!(streamed.len(), materialized.len());
+        for (i, (a, b)) in streamed.iter().zip(&materialized.points).enumerate() {
+            assert!(
+                a.x.to_bits() == b.x.to_bits()
+                    && a.y.to_bits() == b.y.to_bits()
+                    && a.value.to_bits() == b.value.to_bits(),
+                "point {i} diverged: {a:?} vs {b:?}"
+            );
+        }
+        assert_eq!(g.points().len(), 4_321);
     }
 
     #[test]

@@ -168,73 +168,24 @@ impl GeolifeGenerator {
         &self.config
     }
 
-    /// Generates the dataset.
+    /// Generates the dataset by materializing [`GeolifeGenerator::points`].
     pub fn generate(&self) -> Dataset {
-        let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut points = Vec::with_capacity(cfg.n_points);
-
-        let step = Normal::new(0.0, cfg.step_sigma).expect("valid sigma");
-        let noise = Normal::new(0.0, cfg.gps_noise).expect("valid sigma");
-
-        let total_weight: f64 = cfg.hotspots.iter().map(|h| h.weight).sum();
-
-        while points.len() < cfg.n_points {
-            let start_idx = self.pick_hotspot(&mut rng, total_weight);
-            let start = cfg.hotspots[start_idx];
-
-            // Trip length: geometric-ish around the configured mean.
-            let trip_len = 1 + rng.gen_range(cfg.mean_trip_len / 2..=cfg.mean_trip_len * 3 / 2);
-
-            let mut x = start.x + step.sample(&mut rng) * (start.spread / cfg.step_sigma);
-            let mut y = start.y + step.sample(&mut rng) * (start.spread / cfg.step_sigma);
-
-            // Long trips head towards another hotspot; local trips wander.
-            let destination = if rng.gen_bool(cfg.long_trip_prob) {
-                let mut dest = self.pick_hotspot(&mut rng, total_weight);
-                if dest == start_idx {
-                    dest = (dest + 1) % cfg.hotspots.len();
-                }
-                Some(cfg.hotspots[dest])
-            } else {
-                None
-            };
-
-            // A persistent per-trip heading makes local trips look like road
-            // segments rather than Brownian blobs.
-            let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
-
-            for step_idx in 0..trip_len {
-                if points.len() >= cfg.n_points {
-                    break;
-                }
-                match destination {
-                    Some(dest) => {
-                        // Move a fixed fraction of the remaining way plus noise.
-                        let frac = 1.0 / (trip_len - step_idx) as f64;
-                        x += (dest.x - x) * frac + step.sample(&mut rng) * 0.3;
-                        y += (dest.y - y) * frac + step.sample(&mut rng) * 0.3;
-                    }
-                    None => {
-                        // Slowly-turning correlated random walk.
-                        heading += rng.gen_range(-0.35..0.35);
-                        let len = cfg.step_sigma * (1.0 + rng.gen_range(0.0..1.0));
-                        x += heading.cos() * len;
-                        y += heading.sin() * len;
-                    }
-                }
-                let px = x + noise.sample(&mut rng);
-                let py = y + noise.sample(&mut rng);
-                let altitude = self.altitude_at(px, py, &mut rng);
-                points.push(Point::with_value(px, py, altitude));
-            }
-        }
-
+        let points: Vec<Point> = self.points().collect();
         Dataset::new(
-            format!("geolife-sim-{}", cfg.n_points),
+            format!("geolife-sim-{}", self.config.n_points),
             DatasetKind::GeolifeSim,
             points,
         )
+    }
+
+    /// Streaming variant of [`generate`](Self::generate): an iterator that
+    /// yields the exact same `n_points` points (bit-for-bit, same RNG draws)
+    /// one at a time, so callers can spill or sample arbitrarily large
+    /// trajectory streams without ever holding the dataset in memory.
+    /// `generate` itself collects this iterator, so the two paths cannot
+    /// drift apart.
+    pub fn points(&self) -> GeolifePoints {
+        GeolifePoints::new(self.clone())
     }
 
     /// Samples a hotspot index proportionally to weight.
@@ -270,6 +221,127 @@ impl GeolifeGenerator {
         base + undulation + rng.gen_range(-2.0..2.0)
     }
 }
+
+/// Streaming point iterator behind [`GeolifeGenerator::points`].
+///
+/// Holds only the RNG and the state of the trip currently being walked, so
+/// the memory footprint is constant regardless of `n_points`. Yields exactly
+/// `config.n_points` points and then ends.
+#[derive(Debug, Clone)]
+pub struct GeolifePoints {
+    generator: GeolifeGenerator,
+    rng: StdRng,
+    step: Normal,
+    noise: Normal,
+    total_weight: f64,
+    emitted: usize,
+    // State of the trip currently being emitted. `step_idx >= trip_len`
+    // means "no active trip"; the next call starts one.
+    x: f64,
+    y: f64,
+    heading: f64,
+    destination: Option<Hotspot>,
+    trip_len: usize,
+    step_idx: usize,
+}
+
+impl GeolifePoints {
+    fn new(generator: GeolifeGenerator) -> Self {
+        let cfg = generator.config();
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            step: Normal::new(0.0, cfg.step_sigma).expect("valid sigma"),
+            noise: Normal::new(0.0, cfg.gps_noise).expect("valid sigma"),
+            total_weight: cfg.hotspots.iter().map(|h| h.weight).sum(),
+            emitted: 0,
+            x: 0.0,
+            y: 0.0,
+            heading: 0.0,
+            destination: None,
+            trip_len: 0,
+            step_idx: 0,
+            generator,
+        }
+    }
+
+    /// Performs the trip-start draws, in the exact order the materializing
+    /// loop performed them.
+    fn begin_trip(&mut self) {
+        let start_idx = self
+            .generator
+            .pick_hotspot(&mut self.rng, self.total_weight);
+        let cfg = &self.generator.config;
+        let start = cfg.hotspots[start_idx];
+
+        // Trip length: geometric-ish around the configured mean.
+        self.trip_len = 1 + self
+            .rng
+            .gen_range(cfg.mean_trip_len / 2..=cfg.mean_trip_len * 3 / 2);
+        self.step_idx = 0;
+
+        self.x = start.x + self.step.sample(&mut self.rng) * (start.spread / cfg.step_sigma);
+        self.y = start.y + self.step.sample(&mut self.rng) * (start.spread / cfg.step_sigma);
+
+        // Long trips head towards another hotspot; local trips wander.
+        self.destination = if self.rng.gen_bool(cfg.long_trip_prob) {
+            let mut dest = self
+                .generator
+                .pick_hotspot(&mut self.rng, self.total_weight);
+            if dest == start_idx {
+                dest = (dest + 1) % self.generator.config.hotspots.len();
+            }
+            Some(self.generator.config.hotspots[dest])
+        } else {
+            None
+        };
+
+        // A persistent per-trip heading makes local trips look like road
+        // segments rather than Brownian blobs.
+        self.heading = self.rng.gen_range(0.0..std::f64::consts::TAU);
+    }
+}
+
+impl Iterator for GeolifePoints {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        if self.emitted >= self.generator.config.n_points {
+            return None;
+        }
+        if self.step_idx >= self.trip_len {
+            self.begin_trip();
+        }
+        let cfg = &self.generator.config;
+        match self.destination {
+            Some(dest) => {
+                // Move a fixed fraction of the remaining way plus noise.
+                let frac = 1.0 / (self.trip_len - self.step_idx) as f64;
+                self.x += (dest.x - self.x) * frac + self.step.sample(&mut self.rng) * 0.3;
+                self.y += (dest.y - self.y) * frac + self.step.sample(&mut self.rng) * 0.3;
+            }
+            None => {
+                // Slowly-turning correlated random walk.
+                self.heading += self.rng.gen_range(-0.35..0.35);
+                let len = cfg.step_sigma * (1.0 + self.rng.gen_range(0.0..1.0));
+                self.x += self.heading.cos() * len;
+                self.y += self.heading.sin() * len;
+            }
+        }
+        self.step_idx += 1;
+        let px = self.x + self.noise.sample(&mut self.rng);
+        let py = self.y + self.noise.sample(&mut self.rng);
+        let altitude = self.generator.altitude_at(px, py, &mut self.rng);
+        self.emitted += 1;
+        Some(Point::with_value(px, py, altitude))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.generator.config.n_points - self.emitted;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for GeolifePoints {}
 
 #[cfg(test)]
 mod tests {
@@ -355,6 +427,35 @@ mod tests {
             .map(|p| p.value)
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(max - min > 50.0, "altitude range too small: {}", max - min);
+    }
+
+    #[test]
+    fn streaming_iterator_matches_generate_bitwise() {
+        let gen = GeolifeGenerator::with_size(7_123, 13);
+        let materialized = gen.generate();
+        let streamed: Vec<Point> = gen.points().collect();
+        assert_eq!(streamed.len(), materialized.len());
+        for (i, (a, b)) in streamed.iter().zip(&materialized.points).enumerate() {
+            assert!(
+                a.x.to_bits() == b.x.to_bits()
+                    && a.y.to_bits() == b.y.to_bits()
+                    && a.value.to_bits() == b.value.to_bits(),
+                "point {i} diverged: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_iterator_reports_exact_length() {
+        let gen = GeolifeGenerator::with_size(500, 2);
+        let mut iter = gen.points();
+        assert_eq!(iter.len(), 500);
+        for consumed in 1..=500 {
+            assert!(iter.next().is_some());
+            assert_eq!(iter.len(), 500 - consumed);
+        }
+        assert!(iter.next().is_none());
+        assert_eq!(iter.len(), 0);
     }
 
     #[test]

@@ -22,21 +22,31 @@ pub fn write_csv(dataset: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads a dataset from `x,y[,value]` CSV. A header row is detected and
-/// skipped automatically; malformed rows produce an error naming the line.
+/// Reads a dataset from `x,y[,value]` CSV.
+///
+/// Header detection is explicit: the first non-blank line is skipped as a
+/// header if and only if its first field does not parse as a number (e.g.
+/// `x,y,value`). Every other malformed row — including a malformed *data*
+/// row on line 1, which an earlier version silently swallowed as a
+/// "header" — produces an error naming the line.
 pub fn read_csv(path: impl AsRef<Path>, name: impl Into<String>) -> io::Result<Dataset> {
     let file = File::open(path)?;
     let reader = BufReader::new(file);
     let mut points = Vec::new();
+    let mut seen_content = false;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
-        match parse_line(trimmed) {
+        let first_content = !seen_content;
+        seen_content = true;
+        if first_content && is_header_line(trimmed) {
+            continue;
+        }
+        match parse_point_line(trimmed) {
             Some(p) => points.push(p),
-            None if lineno == 0 => continue, // header
             None => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -48,8 +58,19 @@ pub fn read_csv(path: impl AsRef<Path>, name: impl Into<String>) -> io::Result<D
     Ok(Dataset::new(name, DatasetKind::External, points))
 }
 
-/// Parses one `x,y[,value]` row; `None` if any field is not a number.
-fn parse_line(line: &str) -> Option<Point> {
+/// Returns `true` when `line` looks like a CSV header row: its first field is
+/// non-empty and does not parse as a number. Shared by [`read_csv`] and the
+/// streaming CSV source in `vas-stream` so both agree on what a header is.
+pub fn is_header_line(line: &str) -> bool {
+    match line.split(',').next().map(str::trim) {
+        Some(first) if !first.is_empty() => first.parse::<f64>().is_err(),
+        _ => false,
+    }
+}
+
+/// Parses one `x,y[,value]` row; `None` if a coordinate is missing or any
+/// present field is not a number.
+pub fn parse_point_line(line: &str) -> Option<Point> {
     let mut fields = line.split(',').map(str::trim);
     let x: f64 = fields.next()?.parse().ok()?;
     let y: f64 = fields.next()?.parse().ok()?;
@@ -121,5 +142,60 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(read_csv("/nonexistent/definitely/not/here.csv", "x").is_err());
+    }
+
+    #[test]
+    fn malformed_first_data_row_is_an_error_not_a_header() {
+        // "1.0,oops" starts with a number, so it is a (broken) data row, not
+        // a header — the old implementation silently skipped it.
+        let path = temp_path("bad-first.csv");
+        {
+            let mut f = File::create(&path).unwrap();
+            writeln!(f, "1.0,oops").unwrap();
+            writeln!(f, "2.0,3.0").unwrap();
+        }
+        let err = read_csv(&path, "bad-first").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 1"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn header_after_leading_blank_lines_is_still_skipped() {
+        let path = temp_path("blank-then-header.csv");
+        {
+            let mut f = File::create(&path).unwrap();
+            writeln!(f).unwrap();
+            writeln!(f, "x,y,value").unwrap();
+            writeln!(f, "1.0,2.0,3.0").unwrap();
+        }
+        let d = read_csv(&path, "blank").unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.points[0], Point::with_value(1.0, 2.0, 3.0));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn header_detection_is_first_field_based() {
+        assert!(is_header_line("x,y,value"));
+        assert!(is_header_line("lon,lat"));
+        assert!(!is_header_line("1.0,y"));
+        assert!(!is_header_line("-3.5,2.0,1.0"));
+        assert!(!is_header_line(""));
+        assert!(!is_header_line(",y"));
+    }
+
+    #[test]
+    fn headerless_malformed_later_row_names_its_line() {
+        let path = temp_path("bad-middle.csv");
+        {
+            let mut f = File::create(&path).unwrap();
+            writeln!(f, "1.0,2.0").unwrap();
+            writeln!(f, "not,a,row").unwrap();
+        }
+        let err = read_csv(&path, "bad-middle").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(path).ok();
     }
 }

@@ -32,8 +32,8 @@ pub mod splom;
 pub mod workload;
 
 pub use dataset::{Dataset, DatasetKind};
-pub use gaussian::{GaussianCluster, GaussianMixtureGenerator};
-pub use geolife::{GeolifeConfig, GeolifeGenerator};
+pub use gaussian::{GaussianCluster, GaussianMixtureGenerator, GaussianMixturePoints};
+pub use geolife::{GeolifeConfig, GeolifeGenerator, GeolifePoints};
 pub use point::{BoundingBox, Point};
-pub use splom::{SplomConfig, SplomGenerator};
+pub use splom::{SplomConfig, SplomGenerator, SplomPoints, SplomRows};
 pub use workload::{ZoomLevel, ZoomRegion, ZoomWorkload};

@@ -125,26 +125,15 @@ impl SplomGenerator {
         &self.config
     }
 
-    /// Generates the full five-column table.
+    /// Generates the full five-column table by materializing
+    /// [`rows`](Self::rows).
     pub fn generate_table(&self) -> SplomTable {
-        let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let std_normal = Normal::new(0.0, 1.0).expect("valid normal");
-
         let mut columns: Vec<Vec<f64>> = (0..SPLOM_COLUMNS)
-            .map(|_| Vec::with_capacity(cfg.n_rows))
+            .map(|_| Vec::with_capacity(self.config.n_rows))
             .collect();
-
-        let rho = cfg.correlation;
-        let independent_scale = (1.0 - rho * rho).sqrt();
-
-        for _ in 0..cfg.n_rows {
-            // Shared latent factor injects correlation between columns.
-            let latent = std_normal.sample(&mut rng);
+        for row in self.rows() {
             for (c, column) in columns.iter_mut().enumerate() {
-                let own = std_normal.sample(&mut rng);
-                let z = rho * latent + independent_scale * own;
-                column.push(cfg.means[c] + cfg.sigmas[c] * z);
+                column.push(row[c]);
             }
         }
         SplomTable { columns }
@@ -155,7 +144,103 @@ impl SplomGenerator {
     pub fn generate(&self) -> Dataset {
         self.generate_table().project(0, 1)
     }
+
+    /// Streaming row iterator: yields each five-column row (bit-for-bit the
+    /// same draws as [`generate_table`](Self::generate_table), which collects
+    /// this iterator) without materializing the table.
+    pub fn rows(&self) -> SplomRows {
+        SplomRows {
+            rng: StdRng::seed_from_u64(self.config.seed),
+            std_normal: Normal::new(0.0, 1.0).expect("valid normal"),
+            emitted: 0,
+            generator: self.clone(),
+        }
+    }
+
+    /// Streaming variant of `generate_table().project(cx, cy)`: yields the
+    /// exact same projected points one at a time in bounded memory.
+    ///
+    /// # Panics
+    /// Panics if `cx` or `cy` is out of range or if `cx == cy`.
+    pub fn points(&self, cx: usize, cy: usize) -> SplomPoints {
+        assert!(
+            cx < SPLOM_COLUMNS && cy < SPLOM_COLUMNS,
+            "column out of range"
+        );
+        assert_ne!(cx, cy, "projection requires two distinct columns");
+        let value_col = (0..SPLOM_COLUMNS).find(|&c| c != cx && c != cy).unwrap();
+        SplomPoints {
+            rows: self.rows(),
+            cx,
+            cy,
+            value_col,
+        }
+    }
 }
+
+/// Streaming row iterator behind [`SplomGenerator::rows`].
+#[derive(Debug, Clone)]
+pub struct SplomRows {
+    generator: SplomGenerator,
+    rng: StdRng,
+    std_normal: Normal,
+    emitted: usize,
+}
+
+impl Iterator for SplomRows {
+    type Item = [f64; SPLOM_COLUMNS];
+
+    fn next(&mut self) -> Option<[f64; SPLOM_COLUMNS]> {
+        let cfg = &self.generator.config;
+        if self.emitted >= cfg.n_rows {
+            return None;
+        }
+        let rho = cfg.correlation;
+        let independent_scale = (1.0 - rho * rho).sqrt();
+        // Shared latent factor injects correlation between columns.
+        let latent = self.std_normal.sample(&mut self.rng);
+        let mut row = [0.0; SPLOM_COLUMNS];
+        for (c, cell) in row.iter_mut().enumerate() {
+            let own = self.std_normal.sample(&mut self.rng);
+            let z = rho * latent + independent_scale * own;
+            *cell = cfg.means[c] + cfg.sigmas[c] * z;
+        }
+        self.emitted += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.generator.config.n_rows - self.emitted;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SplomRows {}
+
+/// Streaming projected-point iterator behind [`SplomGenerator::points`].
+#[derive(Debug, Clone)]
+pub struct SplomPoints {
+    rows: SplomRows,
+    cx: usize,
+    cy: usize,
+    value_col: usize,
+}
+
+impl Iterator for SplomPoints {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        self.rows
+            .next()
+            .map(|row| Point::with_value(row[self.cx], row[self.cy], row[self.value_col]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.rows.size_hint()
+    }
+}
+
+impl ExactSizeIterator for SplomPoints {}
 
 #[cfg(test)]
 mod tests {
@@ -232,6 +317,25 @@ mod tests {
         assert_eq!(d.len(), 100);
         // value column is column 2 (first column that is neither 0 nor 1)
         assert_eq!(d.points[10].value, t.columns[2][10]);
+    }
+
+    #[test]
+    fn streaming_points_match_projection_bitwise() {
+        let g = SplomGenerator::with_size(2_345, 11);
+        for (cx, cy) in [(0usize, 1usize), (3, 2)] {
+            let materialized = g.generate_table().project(cx, cy);
+            let streamed: Vec<Point> = g.points(cx, cy).collect();
+            assert_eq!(streamed.len(), materialized.len());
+            for (i, (a, b)) in streamed.iter().zip(&materialized.points).enumerate() {
+                assert!(
+                    a.x.to_bits() == b.x.to_bits()
+                        && a.y.to_bits() == b.y.to_bits()
+                        && a.value.to_bits() == b.value.to_bits(),
+                    "({cx},{cy}) point {i} diverged: {a:?} vs {b:?}"
+                );
+            }
+        }
+        assert_eq!(g.points(0, 1).len(), 2_345);
     }
 
     #[test]

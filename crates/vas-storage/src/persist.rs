@@ -3,21 +3,56 @@
 //! The paper treats VAS samples as an *offline index*: built once, stored in
 //! the database and queried many times (Section II-B/D). This module gives
 //! the catalog a durable form so the expensive construction step does not
-//! have to be repeated across process restarts: each catalog is written as a
-//! small JSON manifest plus one compact binary file of little-endian `f64`
-//! triples (x, y, value) — and optional `u64` density counters — per sample.
+//! have to be repeated across process restarts.
+//!
+//! Format version 2: each catalog is a small JSON manifest plus one
+//! **chunked columnar file** (`vas-stream`'s `.vaschunk` spill format —
+//! provenance header, then `x`/`y`/`value` column chunks) per sample, with
+//! density counters in a raw little-endian `u64` sidecar when present.
+//! Catalog persistence and dataset spill therefore share a single codec:
+//! one set of round-trip/corruption guarantees, one place to evolve the
+//! on-disk layout. Version-1 catalogs (headerless `f64` triples with
+//! densities appended in the same file) remain readable.
 
 use crate::catalog::SampleCatalog;
 use serde::{Deserialize, Serialize};
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
-use vas_data::Point;
+use vas_data::{DatasetKind, Point};
 use vas_sampling::Sample;
+use vas_stream::{ChunkedReader, ChunkedWriter};
 
-/// Manifest entry describing one persisted sample.
+/// Manifest entry describing one persisted sample (format version 2).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ManifestEntry {
+    method: String,
+    target_size: usize,
+    len: usize,
+    /// Chunked columnar file holding the sample points.
+    file: String,
+    /// Raw little-endian `u64` sidecar holding the density counters, when
+    /// the density-embedding pass has been run.
+    density_file: Option<String>,
+}
+
+/// Manifest describing a persisted catalog (format version 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Manifest {
+    version: u32,
+    samples: Vec<ManifestEntry>,
+}
+
+/// Just the version field, parsed first so the right reader can be chosen.
+#[derive(Debug, Clone, Deserialize)]
+struct ManifestProbe {
+    version: u32,
+}
+
+/// Manifest entry of the legacy (version 1) format: one headerless binary
+/// file of `f64` (x, y, value) triples, densities appended in-file.
+#[derive(Debug, Clone, Deserialize)]
+struct LegacyManifestEntry {
     method: String,
     target_size: usize,
     len: usize,
@@ -25,34 +60,84 @@ struct ManifestEntry {
     file: String,
 }
 
-/// Manifest describing a persisted catalog.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct Manifest {
-    version: u32,
-    samples: Vec<ManifestEntry>,
+#[derive(Debug, Clone, Deserialize)]
+struct LegacyManifest {
+    samples: Vec<LegacyManifestEntry>,
 }
 
-const MANIFEST_VERSION: u32 = 1;
+const MANIFEST_VERSION: u32 = 2;
+const LEGACY_MANIFEST_VERSION: u32 = 1;
 const MANIFEST_FILE: &str = "catalog.json";
+/// Chunk size used for persisted samples. Samples are `K`-sized (10⁴-ish),
+/// so a few chunks per file; small enough that partial reads stay cheap.
+const SAMPLE_CHUNK_SIZE: usize = 4_096;
+
+/// Deletes every sample file referenced by an existing manifest in `dir`
+/// (either format version), so a re-save never strands orphaned sample data
+/// from a previous — possibly differently-named or legacy-format — catalog.
+/// Unreadable or unparsable manifests are ignored: the save then simply
+/// overwrites what it can.
+fn remove_previous_catalog_files(dir: &Path) {
+    let Ok(text) = fs::read_to_string(dir.join(MANIFEST_FILE)) else {
+        return;
+    };
+    let mut stale: Vec<String> = Vec::new();
+    if let Ok(manifest) = serde_json::from_str::<Manifest>(&text) {
+        for entry in manifest.samples {
+            stale.push(entry.file);
+            stale.extend(entry.density_file);
+        }
+    } else if let Ok(manifest) = serde_json::from_str::<LegacyManifest>(&text) {
+        for entry in manifest.samples {
+            stale.push(entry.file);
+        }
+    }
+    for file in stale {
+        fs::remove_file(dir.join(file)).ok();
+    }
+}
 
 /// Writes a catalog into `dir` (created if needed). Any previous catalog in
-/// the same directory is overwritten.
+/// the same directory is overwritten — including its sample files, which are
+/// removed first so stale data cannot accumulate across saves or format
+/// migrations. Always writes the current (version 2, chunked columnar)
+/// format.
 pub fn save_catalog(catalog: &SampleCatalog, dir: impl AsRef<Path>) -> io::Result<()> {
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
+    remove_previous_catalog_files(dir);
     let mut manifest = Manifest {
         version: MANIFEST_VERSION,
         samples: Vec::new(),
     };
     for (i, sample) in catalog.samples().iter().enumerate() {
-        let file = format!("sample_{i:03}_{}.bin", sample.len());
-        write_sample(sample, &dir.join(&file))?;
+        let file = format!("sample_{i:03}_{}.vaschunk", sample.len());
+        let mut writer = ChunkedWriter::create(
+            dir.join(&file),
+            &sample.method,
+            DatasetKind::External,
+            SAMPLE_CHUNK_SIZE,
+        )?;
+        writer.write_points(&sample.points)?;
+        writer.finish()?;
+        let density_file = match &sample.densities {
+            Some(densities) => {
+                let name = format!("sample_{i:03}_{}.density.bin", sample.len());
+                let mut w = BufWriter::new(File::create(dir.join(&name))?);
+                for d in densities {
+                    w.write_all(&d.to_le_bytes())?;
+                }
+                w.flush()?;
+                Some(name)
+            }
+            None => None,
+        };
         manifest.samples.push(ManifestEntry {
             method: sample.method.clone(),
             target_size: sample.target_size,
             len: sample.len(),
-            has_densities: sample.has_densities(),
             file,
+            density_file,
         });
     }
     let json = serde_json::to_string_pretty(&manifest)
@@ -60,23 +145,37 @@ pub fn save_catalog(catalog: &SampleCatalog, dir: impl AsRef<Path>) -> io::Resul
     fs::write(dir.join(MANIFEST_FILE), json)
 }
 
-/// Loads a catalog previously written by [`save_catalog`].
+/// Loads a catalog previously written by [`save_catalog`] — either the
+/// current chunked columnar format or the legacy version-1 triple files.
 pub fn load_catalog(dir: impl AsRef<Path>) -> io::Result<SampleCatalog> {
     let dir = dir.as_ref();
-    let manifest: Manifest = serde_json::from_str(&fs::read_to_string(dir.join(MANIFEST_FILE))?)
+    let manifest_text = fs::read_to_string(dir.join(MANIFEST_FILE))?;
+    let probe: ManifestProbe = serde_json::from_str(&manifest_text)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    if manifest.version != MANIFEST_VERSION {
-        return Err(io::Error::new(
+    match probe.version {
+        MANIFEST_VERSION => {
+            let manifest: Manifest = serde_json::from_str(&manifest_text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let mut catalog = SampleCatalog::new();
+            for entry in &manifest.samples {
+                catalog.insert(read_sample(dir, entry)?);
+            }
+            Ok(catalog)
+        }
+        LEGACY_MANIFEST_VERSION => {
+            let manifest: LegacyManifest = serde_json::from_str(&manifest_text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let mut catalog = SampleCatalog::new();
+            for entry in &manifest.samples {
+                catalog.insert(read_sample_v1(&dir.join(&entry.file), entry)?);
+            }
+            Ok(catalog)
+        }
+        other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("unsupported catalog version {}", manifest.version),
-        ));
+            format!("unsupported catalog version {other}"),
+        )),
     }
-    let mut catalog = SampleCatalog::new();
-    for entry in &manifest.samples {
-        let sample = read_sample(&dir.join(&entry.file), entry)?;
-        catalog.insert(sample);
-    }
-    Ok(catalog)
 }
 
 /// Path of the manifest inside a catalog directory (exposed for tooling).
@@ -84,22 +183,48 @@ pub fn manifest_path(dir: impl AsRef<Path>) -> PathBuf {
     dir.as_ref().join(MANIFEST_FILE)
 }
 
-fn write_sample(sample: &Sample, path: &Path) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    for p in &sample.points {
-        w.write_all(&p.x.to_le_bytes())?;
-        w.write_all(&p.y.to_le_bytes())?;
-        w.write_all(&p.value.to_le_bytes())?;
+fn read_sample(dir: &Path, entry: &ManifestEntry) -> io::Result<Sample> {
+    let path = dir.join(&entry.file);
+    let dataset = ChunkedReader::open(&path)?.read_dataset()?;
+    if dataset.len() != entry.len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "sample file {} holds {} points but the manifest promises {}",
+                path.display(),
+                dataset.len(),
+                entry.len
+            ),
+        ));
     }
-    if let Some(densities) = &sample.densities {
-        for d in densities {
-            w.write_all(&d.to_le_bytes())?;
+    let mut sample = Sample::new(entry.method.clone(), entry.target_size, dataset.points);
+    if let Some(density_file) = &entry.density_file {
+        let path = dir.join(density_file);
+        let mut r = BufReader::new(File::open(&path)?);
+        let mut densities = Vec::with_capacity(entry.len);
+        let mut buf = [0u8; 8];
+        for _ in 0..entry.len {
+            r.read_exact(&mut buf)?;
+            densities.push(u64::from_le_bytes(buf));
         }
+        if r.read(&mut buf)? != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "density sidecar {} is larger than its manifest entry",
+                    path.display()
+                ),
+            ));
+        }
+        sample = sample.with_densities(densities);
     }
-    w.flush()
+    Ok(sample)
 }
 
-fn read_sample(path: &Path, entry: &ManifestEntry) -> io::Result<Sample> {
+/// Reader for the legacy (version 1) sample files: `entry.len` little-endian
+/// `f64` (x, y, value) triples, then `entry.len` `u64` density counters when
+/// `has_densities` is set.
+fn read_sample_v1(path: &Path, entry: &LegacyManifestEntry) -> io::Result<Sample> {
     let mut r = BufReader::new(File::open(path)?);
     let mut points = Vec::with_capacity(entry.len);
     let mut buf = [0u8; 8];
@@ -176,6 +301,27 @@ mod tests {
     }
 
     #[test]
+    fn samples_are_stored_in_the_shared_chunked_format() {
+        // The rewire's point: a persisted sample file is a plain .vaschunk
+        // spill, openable by the generic streaming reader.
+        let dir = temp_dir("sharedcodec");
+        let catalog = catalog_with_densities();
+        save_catalog(&catalog, &dir).unwrap();
+        let manifest: Manifest =
+            serde_json::from_str(&fs::read_to_string(manifest_path(&dir)).unwrap()).unwrap();
+        assert_eq!(manifest.version, 2);
+        for entry in &manifest.samples {
+            assert!(entry.file.ends_with(".vaschunk"), "{}", entry.file);
+            let mut reader = ChunkedReader::open(dir.join(&entry.file)).unwrap();
+            assert_eq!(reader.header().count as usize, entry.len);
+            assert_eq!(reader.header().name, entry.method);
+            let points = reader.read_dataset().unwrap().points;
+            assert_eq!(points.len(), entry.len);
+        }
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
     fn save_overwrites_previous_catalog() {
         let dir = temp_dir("overwrite");
         let catalog = catalog_with_densities();
@@ -187,6 +333,46 @@ mod tests {
         save_catalog(&small, &dir).unwrap();
         let loaded = load_catalog(&dir).unwrap();
         assert_eq!(loaded.sizes(), vec![10]);
+        // The previous catalog's sample files (including density sidecars)
+        // must be gone: only the new manifest + one sample file remain.
+        let remaining: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(remaining.len(), 2, "stale files left behind: {remaining:?}");
+        assert!(remaining.contains(&MANIFEST_FILE.to_string()));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn resaving_over_a_legacy_catalog_removes_its_files() {
+        // Migration path: a v1 catalog is loaded, then re-saved in the
+        // chunked format; the old .bin files must not be stranded.
+        let dir = temp_dir("migrate");
+        let d = GeolifeGenerator::with_size(300, 13).generate();
+        let sample = UniformSampler::new(20, 1).sample_dataset(&d);
+        let file = "sample_000_20.bin";
+        {
+            let mut w = BufWriter::new(File::create(dir.join(file)).unwrap());
+            for p in &sample.points {
+                w.write_all(&p.x.to_le_bytes()).unwrap();
+                w.write_all(&p.y.to_le_bytes()).unwrap();
+                w.write_all(&p.value.to_le_bytes()).unwrap();
+            }
+        }
+        fs::write(
+            manifest_path(&dir),
+            format!(
+                r#"{{"version": 1, "samples": [{{"method": "uniform", "target_size": 20, "len": 20, "has_densities": false, "file": "{file}"}}]}}"#
+            ),
+        )
+        .unwrap();
+
+        let legacy = load_catalog(&dir).unwrap();
+        save_catalog(&legacy, &dir).unwrap();
+        assert!(!dir.join(file).exists(), "legacy sample file was stranded");
+        let migrated = load_catalog(&dir).unwrap();
+        assert_eq!(migrated.samples()[0].points, sample.points);
         fs::remove_dir_all(dir).ok();
     }
 
@@ -205,6 +391,15 @@ mod tests {
     }
 
     #[test]
+    fn unsupported_version_is_an_error() {
+        let dir = temp_dir("version");
+        fs::write(manifest_path(&dir), r#"{"version": 99, "samples": []}"#).unwrap();
+        let err = load_catalog(&dir).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
     fn truncated_sample_file_is_an_error() {
         let dir = temp_dir("truncated");
         let catalog = catalog_with_densities();
@@ -216,6 +411,58 @@ mod tests {
         let bytes = fs::read(&victim).unwrap();
         fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
         assert!(load_catalog(&dir).is_err());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn truncated_density_sidecar_is_an_error() {
+        let dir = temp_dir("densitytrunc");
+        let catalog = catalog_with_densities();
+        save_catalog(&catalog, &dir).unwrap();
+        let manifest: Manifest =
+            serde_json::from_str(&fs::read_to_string(manifest_path(&dir)).unwrap()).unwrap();
+        let sidecar = manifest.samples[0].density_file.clone().unwrap();
+        let victim = dir.join(sidecar);
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() - 8]).unwrap();
+        assert!(load_catalog(&dir).is_err());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn legacy_v1_catalogs_remain_readable() {
+        // Hand-write a version-1 catalog (raw f64 triples, densities
+        // appended in the same file) and load it through the compat path.
+        let dir = temp_dir("legacy");
+        let d = GeolifeGenerator::with_size(400, 9).generate();
+        let sample = UniformSampler::new(25, 4).sample_dataset(&d);
+        let counts = vas_core::embed_density(&sample, &d);
+        let sample = sample.with_densities(counts);
+
+        let file = "sample_000_25.bin";
+        {
+            let mut w = BufWriter::new(File::create(dir.join(file)).unwrap());
+            for p in &sample.points {
+                w.write_all(&p.x.to_le_bytes()).unwrap();
+                w.write_all(&p.y.to_le_bytes()).unwrap();
+                w.write_all(&p.value.to_le_bytes()).unwrap();
+            }
+            for c in sample.densities.as_ref().unwrap() {
+                w.write_all(&c.to_le_bytes()).unwrap();
+            }
+        }
+        let manifest = format!(
+            r#"{{"version": 1, "samples": [{{"method": "uniform", "target_size": 25, "len": 25, "has_densities": true, "file": "{file}"}}]}}"#
+        );
+        fs::write(manifest_path(&dir), manifest).unwrap();
+
+        let loaded = load_catalog(&dir).unwrap();
+        assert_eq!(loaded.samples().len(), 1);
+        let back = &loaded.samples()[0];
+        assert_eq!(back.points, sample.points);
+        assert_eq!(back.densities, sample.densities);
+        assert_eq!(back.method, "uniform");
+        assert_eq!(back.target_size, 25);
         fs::remove_dir_all(dir).ok();
     }
 }

@@ -1,0 +1,651 @@
+//! The chunked columnar spill format: `.vaschunk` files.
+//!
+//! A dataset on disk is a small provenance header followed by fixed-size
+//! chunks of column arrays:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"VASCHNK\0"
+//!      8     4  format version (u32 LE, currently 1)
+//!     12     1  dataset kind tag (see DatasetKind mapping below)
+//!     13     3  reserved (zero)
+//!     16     4  chunk size in points (u32 LE)
+//!     20     8  total point count (u64 LE; patched by `finish`)
+//!     28    32  bounding box min_x, min_y, max_x, max_y (4 × f64 LE)
+//!     60     2  dataset name length (u16 LE)
+//!     62     n  dataset name (UTF-8)
+//! data:        chunks, each: m (u32 LE, 1 ≤ m ≤ chunk size),
+//!              then m × f64 x, m × f64 y, m × f64 value (LE)
+//! ```
+//!
+//! Columns beat row-interleaved triples here for the same reason they do in
+//! any scan-heavy store: a consumer that only needs positions (the sampler
+//! never reads `value` during the replacement test) walks two dense arrays,
+//! and per-column compression/mmap become possible later without a format
+//! break. All values are raw IEEE-754 bit patterns, so round-trips are exact
+//! for `-0.0`, subnormals and NaN payloads alike.
+//!
+//! The writer streams: it stages one chunk of columns in memory, flushes it
+//! when full, and back-patches the count and bounds into the fixed-offset
+//! header fields on [`ChunkedWriter::finish`] — so a spill never knows the
+//! total in advance and never holds more than one chunk. A crash before
+//! `finish` leaves `count = 0` with data bytes present, which the reader
+//! rejects as trailing garbage rather than silently serving a truncated
+//! dataset.
+
+use crate::source::PointSource;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use vas_data::{BoundingBox, Dataset, DatasetKind, Point};
+
+const MAGIC: [u8; 8] = *b"VASCHNK\0";
+const FORMAT_VERSION: u32 = 1;
+/// Byte offset of the back-patched `count` field.
+const COUNT_OFFSET: u64 = 20;
+/// Bytes of header before the variable-length name.
+const HEADER_FIXED_LEN: usize = 62;
+
+fn kind_tag(kind: DatasetKind) -> u8 {
+    match kind {
+        DatasetKind::GeolifeSim => 0,
+        DatasetKind::Splom => 1,
+        DatasetKind::GaussianMixture => 2,
+        DatasetKind::External => 3,
+    }
+}
+
+fn tag_kind(tag: u8) -> Option<DatasetKind> {
+    match tag {
+        0 => Some(DatasetKind::GeolifeSim),
+        1 => Some(DatasetKind::Splom),
+        2 => Some(DatasetKind::GaussianMixture),
+        3 => Some(DatasetKind::External),
+        _ => None,
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Parsed header of a chunked columnar file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkedHeader {
+    /// Format version (currently always 1).
+    pub version: u32,
+    /// Provenance of the spilled dataset.
+    pub kind: DatasetKind,
+    /// Nominal chunk size: every chunk but the last holds exactly this many
+    /// points.
+    pub chunk_size: usize,
+    /// Total points in the file.
+    pub count: u64,
+    /// Spatial extent of the spilled points, accumulated in stream order
+    /// (bit-identical to `BoundingBox::from_points` over the same stream).
+    pub bounds: BoundingBox,
+    /// Dataset name.
+    pub name: String,
+}
+
+/// Summary returned by [`ChunkedWriter::finish`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkedSummary {
+    /// Points written.
+    pub count: u64,
+    /// Extent of the written points.
+    pub bounds: BoundingBox,
+    /// Chunks flushed (including the final partial one).
+    pub chunks: u64,
+    /// Total file size in bytes.
+    pub bytes: u64,
+}
+
+/// Streaming writer for the chunked columnar format.
+///
+/// Stages at most one chunk of columns (`3 × chunk_size` f64s) in memory.
+#[derive(Debug)]
+pub struct ChunkedWriter {
+    file: BufWriter<File>,
+    chunk_size: usize,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    vs: Vec<f64>,
+    /// Reusable byte scratch: one column is encoded here and written with a
+    /// single `write_all` (the mirror of the reader's `col_buf`).
+    col_buf: Vec<u8>,
+    count: u64,
+    chunks: u64,
+    bounds: BoundingBox,
+}
+
+impl ChunkedWriter {
+    /// Creates `path` (truncating any existing file) and writes the header.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero or exceeds `u32::MAX`, or if `name` is
+    /// longer than a `u16` length prefix can record.
+    pub fn create(
+        path: impl AsRef<Path>,
+        name: &str,
+        kind: DatasetKind,
+        chunk_size: usize,
+    ) -> io::Result<Self> {
+        assert!(
+            chunk_size > 0 && chunk_size <= u32::MAX as usize,
+            "chunk size must be in 1..=u32::MAX, got {chunk_size}"
+        );
+        assert!(
+            name.len() <= u16::MAX as usize,
+            "dataset name too long for the header ({} bytes)",
+            name.len()
+        );
+        let mut file = BufWriter::new(File::create(path)?);
+        file.write_all(&MAGIC)?;
+        file.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        file.write_all(&[kind_tag(kind), 0, 0, 0])?;
+        file.write_all(&(chunk_size as u32).to_le_bytes())?;
+        // Count and bounds are placeholders until `finish` patches them.
+        file.write_all(&0u64.to_le_bytes())?;
+        for v in [
+            BoundingBox::EMPTY.min_x,
+            BoundingBox::EMPTY.min_y,
+            BoundingBox::EMPTY.max_x,
+            BoundingBox::EMPTY.max_y,
+        ] {
+            file.write_all(&v.to_le_bytes())?;
+        }
+        file.write_all(&(name.len() as u16).to_le_bytes())?;
+        file.write_all(name.as_bytes())?;
+        Ok(Self {
+            file,
+            chunk_size,
+            xs: Vec::with_capacity(chunk_size),
+            ys: Vec::with_capacity(chunk_size),
+            vs: Vec::with_capacity(chunk_size),
+            col_buf: Vec::new(),
+            count: 0,
+            chunks: 0,
+            bounds: BoundingBox::EMPTY,
+        })
+    }
+
+    /// Appends one point, flushing the staged chunk to disk when it fills.
+    pub fn push(&mut self, p: Point) -> io::Result<()> {
+        self.xs.push(p.x);
+        self.ys.push(p.y);
+        self.vs.push(p.value);
+        self.bounds.extend(&p);
+        self.count += 1;
+        if self.xs.len() == self.chunk_size {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a slice of points.
+    pub fn write_points(&mut self, points: &[Point]) -> io::Result<()> {
+        for p in points {
+            self.push(*p)?;
+        }
+        Ok(())
+    }
+
+    /// Points currently staged in memory (bounded by the chunk size).
+    pub fn staged_len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Points written so far (staged included).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.xs.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&(self.xs.len() as u32).to_le_bytes())?;
+        let Self {
+            file,
+            xs,
+            ys,
+            vs,
+            col_buf,
+            ..
+        } = self;
+        for column in [&*xs, &*ys, &*vs] {
+            col_buf.clear();
+            for v in column {
+                col_buf.extend_from_slice(&v.to_le_bytes());
+            }
+            file.write_all(col_buf)?;
+        }
+        self.chunks += 1;
+        self.xs.clear();
+        self.ys.clear();
+        self.vs.clear();
+        Ok(())
+    }
+
+    /// Flushes the final partial chunk and back-patches the header's count
+    /// and bounds fields.
+    pub fn finish(mut self) -> io::Result<ChunkedSummary> {
+        self.flush_chunk()?;
+        self.file.flush()?;
+        let file = self.file.get_mut();
+        let bytes = file.seek(SeekFrom::End(0))?;
+        file.seek(SeekFrom::Start(COUNT_OFFSET))?;
+        file.write_all(&self.count.to_le_bytes())?;
+        for v in [
+            self.bounds.min_x,
+            self.bounds.min_y,
+            self.bounds.max_x,
+            self.bounds.max_y,
+        ] {
+            file.write_all(&v.to_le_bytes())?;
+        }
+        file.sync_data()?;
+        Ok(ChunkedSummary {
+            count: self.count,
+            bounds: self.bounds,
+            chunks: self.chunks,
+            bytes,
+        })
+    }
+}
+
+/// Chunk-iterating reader for the chunked columnar format; also a
+/// [`PointSource`], which is how spilled datasets feed the sampler.
+///
+/// Resident memory per chunk: the caller's point buffer plus one column of
+/// scratch bytes.
+#[derive(Debug)]
+pub struct ChunkedReader {
+    file: BufReader<File>,
+    header: ChunkedHeader,
+    data_offset: u64,
+    read: u64,
+    col_buf: Vec<u8>,
+}
+
+impl ChunkedReader {
+    /// Opens `path` and parses + validates the header.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        let mut file = BufReader::new(File::open(path)?);
+        let mut fixed = [0u8; HEADER_FIXED_LEN];
+        file.read_exact(&mut fixed)
+            .map_err(|_| invalid(format!("{}: file too short for a header", path.display())))?;
+        if fixed[0..8] != MAGIC {
+            return Err(invalid(format!(
+                "{}: not a chunked dataset file (bad magic)",
+                path.display()
+            )));
+        }
+        let version = u32::from_le_bytes(fixed[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(invalid(format!(
+                "{}: unsupported chunked format version {version}",
+                path.display()
+            )));
+        }
+        let kind = tag_kind(fixed[12]).ok_or_else(|| {
+            invalid(format!(
+                "{}: unknown dataset kind tag {}",
+                path.display(),
+                fixed[12]
+            ))
+        })?;
+        let chunk_size = u32::from_le_bytes(fixed[16..20].try_into().unwrap()) as usize;
+        if chunk_size == 0 {
+            return Err(invalid(format!("{}: zero chunk size", path.display())));
+        }
+        let count = u64::from_le_bytes(fixed[20..28].try_into().unwrap());
+        let mut bb = [0.0f64; 4];
+        for (i, v) in bb.iter_mut().enumerate() {
+            *v = f64::from_le_bytes(fixed[28 + 8 * i..36 + 8 * i].try_into().unwrap());
+        }
+        let name_len = u16::from_le_bytes(fixed[60..62].try_into().unwrap()) as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        file.read_exact(&mut name_bytes)
+            .map_err(|_| invalid(format!("{}: truncated header name", path.display())))?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| invalid(format!("{}: header name is not UTF-8", path.display())))?;
+        Ok(Self {
+            file,
+            header: ChunkedHeader {
+                version,
+                kind,
+                chunk_size,
+                count,
+                bounds: BoundingBox::new(bb[0], bb[1], bb[2], bb[3]),
+                name,
+            },
+            data_offset: (HEADER_FIXED_LEN + name_len) as u64,
+            read: 0,
+            col_buf: Vec::new(),
+        })
+    }
+
+    /// The parsed file header.
+    pub fn header(&self) -> &ChunkedHeader {
+        &self.header
+    }
+
+    /// Points consumed so far in the current scan.
+    pub fn points_read(&self) -> u64 {
+        self.read
+    }
+
+    fn read_column(&mut self, m: usize) -> io::Result<()> {
+        self.col_buf.resize(m * 8, 0);
+        self.file.read_exact(&mut self.col_buf).map_err(|_| {
+            invalid(format!(
+                "truncated chunk in {:?}: expected {} column bytes",
+                self.header.name,
+                m * 8
+            ))
+        })
+    }
+
+    /// Reads the next chunk into `buf` (cleared first). `Ok(0)` at end of
+    /// data — at which point the file must hold exactly `count` points and
+    /// no trailing bytes.
+    pub fn next_chunk(&mut self, buf: &mut Vec<Point>) -> io::Result<usize> {
+        buf.clear();
+        let mut len_bytes = [0u8; 4];
+        match self.file.read(&mut len_bytes)? {
+            0 => {
+                // Clean end of file: every promised point must have arrived.
+                if self.read != self.header.count {
+                    return Err(invalid(format!(
+                        "truncated chunked file {:?}: header promises {} points, found {}",
+                        self.header.name, self.header.count, self.read
+                    )));
+                }
+                return Ok(0);
+            }
+            4 => {}
+            n => {
+                self.file
+                    .read_exact(&mut len_bytes[n..])
+                    .map_err(|_| invalid("truncated chunk length"))?;
+            }
+        }
+        let m = u32::from_le_bytes(len_bytes) as usize;
+        if m == 0 || m > self.header.chunk_size {
+            return Err(invalid(format!(
+                "corrupt chunk length {m} (chunk size {})",
+                self.header.chunk_size
+            )));
+        }
+        if self.read + m as u64 > self.header.count {
+            return Err(invalid(format!(
+                "chunked file {:?} holds more points than its header promises ({})",
+                self.header.name, self.header.count
+            )));
+        }
+        self.read_column(m)?;
+        buf.extend(
+            self.col_buf
+                .chunks_exact(8)
+                .map(|b| Point::new(f64::from_le_bytes(b.try_into().unwrap()), 0.0)),
+        );
+        self.read_column(m)?;
+        for (p, b) in buf.iter_mut().zip(self.col_buf.chunks_exact(8)) {
+            p.y = f64::from_le_bytes(b.try_into().unwrap());
+        }
+        self.read_column(m)?;
+        for (p, b) in buf.iter_mut().zip(self.col_buf.chunks_exact(8)) {
+            p.value = f64::from_le_bytes(b.try_into().unwrap());
+        }
+        self.read += m as u64;
+        Ok(m)
+    }
+
+    /// Rewinds to the first chunk.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(self.data_offset))?;
+        self.read = 0;
+        Ok(())
+    }
+
+    /// Materializes the whole file as a [`Dataset`] (tests / small files
+    /// only).
+    pub fn read_dataset(&mut self) -> io::Result<Dataset> {
+        self.reset()?;
+        let mut points = Vec::new();
+        let mut buf = Vec::new();
+        while self.next_chunk(&mut buf)? > 0 {
+            points.extend_from_slice(&buf);
+        }
+        Ok(Dataset::new(
+            self.header.name.clone(),
+            self.header.kind,
+            points,
+        ))
+    }
+}
+
+impl PointSource for ChunkedReader {
+    fn name(&self) -> &str {
+        &self.header.name
+    }
+
+    fn kind(&self) -> DatasetKind {
+        self.header.kind
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.header.count)
+    }
+
+    fn chunk_capacity(&self) -> usize {
+        self.header.chunk_size
+    }
+
+    fn next_chunk(&mut self, buf: &mut Vec<Point>) -> io::Result<usize> {
+        ChunkedReader::next_chunk(self, buf)
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        ChunkedReader::reset(self)
+    }
+}
+
+/// Spills every remaining point of `source` into a chunked file at `path`,
+/// using the source's own name, kind and chunk size. Resident memory: one
+/// source chunk plus one staged writer chunk.
+pub fn spill_source<S: PointSource>(
+    source: &mut S,
+    path: impl AsRef<Path>,
+) -> io::Result<ChunkedSummary> {
+    let mut writer =
+        ChunkedWriter::create(&path, source.name(), source.kind(), source.chunk_capacity())?;
+    let mut buf = Vec::new();
+    while source.next_chunk(&mut buf)? > 0 {
+        writer.write_points(&buf)?;
+    }
+    writer.finish()
+}
+
+/// Spills an in-memory dataset into a chunked file at `path`.
+pub fn spill_dataset(
+    dataset: &Dataset,
+    path: impl AsRef<Path>,
+    chunk_size: usize,
+) -> io::Result<ChunkedSummary> {
+    let mut writer = ChunkedWriter::create(&path, &dataset.name, dataset.kind, chunk_size)?;
+    writer.write_points(&dataset.points)?;
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::DatasetSource;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vas-chunked-{}-{name}", std::process::id()))
+    }
+
+    fn assert_bitwise_equal(a: &[Point], b: &[Point]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (p, q)) in a.iter().zip(b).enumerate() {
+            assert!(
+                p.x.to_bits() == q.x.to_bits()
+                    && p.y.to_bits() == q.y.to_bits()
+                    && p.value.to_bits() == q.value.to_bits(),
+                "point {i}: {p:?} vs {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_points_and_provenance() {
+        let d = vas_data::GeolifeGenerator::with_size(5_000, 7).generate();
+        let path = temp_path("roundtrip.vaschunk");
+        let summary = spill_dataset(&d, &path, 777).unwrap();
+        assert_eq!(summary.count, 5_000);
+        assert_eq!(summary.chunks, 7); // ceil(5000 / 777)
+        assert_eq!(summary.bounds, d.bounds());
+
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        assert_eq!(reader.header().name, d.name);
+        assert_eq!(reader.header().kind, DatasetKind::GeolifeSim);
+        assert_eq!(reader.header().count, 5_000);
+        assert_eq!(reader.header().chunk_size, 777);
+        assert_eq!(reader.header().bounds, d.bounds());
+        let back = reader.read_dataset().unwrap();
+        assert_bitwise_equal(&back.points, &d.points);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn reader_is_a_resettable_point_source() {
+        let d = vas_data::GeolifeGenerator::with_size(1_000, 11).generate();
+        let path = temp_path("source.vaschunk");
+        spill_dataset(&d, &path, 128).unwrap();
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        assert_eq!(PointSource::len_hint(&reader), Some(1_000));
+        assert_eq!(PointSource::chunk_capacity(&reader), 128);
+        assert_eq!(PointSource::kind(&reader), DatasetKind::GeolifeSim);
+        let first = reader.read_all().unwrap();
+        PointSource::reset(&mut reader).unwrap();
+        let second = reader.read_all().unwrap();
+        assert_bitwise_equal(&first, &second);
+        assert_bitwise_equal(&first, &d.points);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn spill_source_matches_spill_dataset() {
+        let d = vas_data::GeolifeGenerator::with_size(2_000, 3).generate();
+        let via_dataset = temp_path("direct.vaschunk");
+        let via_source = temp_path("streamed.vaschunk");
+        spill_dataset(&d, &via_dataset, 256).unwrap();
+        let mut source = DatasetSource::with_chunk_size(&d, 256);
+        spill_source(&mut source, &via_source).unwrap();
+        let a = std::fs::read(&via_dataset).unwrap();
+        let b = std::fs::read(&via_source).unwrap();
+        assert_eq!(a, b, "streamed spill must be byte-identical");
+        std::fs::remove_file(via_dataset).ok();
+        std::fs::remove_file(via_source).ok();
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let d = Dataset::from_points("empty", vec![]);
+        let path = temp_path("empty.vaschunk");
+        let summary = spill_dataset(&d, &path, 16).unwrap();
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.chunks, 0);
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        assert!(reader.header().bounds.is_empty());
+        assert!(reader.read_dataset().unwrap().is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let d = vas_data::GeolifeGenerator::with_size(500, 5).generate();
+        let path = temp_path("truncated.vaschunk");
+        spill_dataset(&d, &path, 100).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut the file mid-chunk.
+        std::fs::write(&path, &bytes[..bytes.len() - 37]).unwrap();
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        let err = reader.read_dataset().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let d = vas_data::GeolifeGenerator::with_size(50, 5).generate();
+        let path = temp_path("trailing.vaschunk");
+        spill_dataset(&d, &path, 50).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[1, 2, 3, 4, 5]);
+        std::fs::write(&path, &bytes).unwrap();
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        assert!(reader.read_dataset().is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unfinished_spill_is_rejected() {
+        // A writer dropped without `finish` leaves count = 0 in the header
+        // but chunk bytes in the file: the reader must refuse it.
+        let path = temp_path("unfinished.vaschunk");
+        {
+            let mut w = ChunkedWriter::create(&path, "crashy", DatasetKind::External, 4).unwrap();
+            for i in 0..9 {
+                w.push(Point::new(i as f64, 0.0)).unwrap();
+            }
+            // w dropped here without finish(); two full chunks are on disk.
+        }
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        assert_eq!(reader.header().count, 0);
+        assert!(reader.read_dataset().is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_bad_version_are_rejected() {
+        let path = temp_path("badmagic.vaschunk");
+        std::fs::write(
+            &path,
+            b"NOTCHNK\0aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+        )
+        .unwrap();
+        assert!(ChunkedReader::open(&path).is_err());
+
+        let d = Dataset::from_points("v", vec![Point::new(1.0, 2.0)]);
+        spill_dataset(&d, &path, 4).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 99; // version
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ChunkedReader::open(&path).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn special_f64_values_round_trip_bit_exactly() {
+        let weird = vec![
+            Point::with_value(-0.0, 0.0, f64::MIN_POSITIVE),
+            Point::with_value(5e-324, -5e-324, -0.0), // subnormals
+            Point::with_value(f64::MAX, f64::MIN, 1e-308),
+            Point::with_value(f64::INFINITY, f64::NEG_INFINITY, f64::NAN),
+        ];
+        let d = Dataset::from_points("weird", weird.clone());
+        let path = temp_path("weird.vaschunk");
+        spill_dataset(&d, &path, 3).unwrap();
+        let back = ChunkedReader::open(&path).unwrap().read_dataset().unwrap();
+        assert_bitwise_equal(&back.points, &weird);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,206 @@
+//! Streaming CSV ingestion: [`CsvSource`] reads `x,y[,value]` rows chunk by
+//! chunk, holding one line and one chunk in memory.
+//!
+//! This is the streaming counterpart of [`vas_data::io::read_csv`], built on
+//! the same shared line parser and header rule
+//! ([`vas_data::io::parse_point_line`] / [`vas_data::io::is_header_line`]),
+//! so the two can never disagree about what a row means: the first non-blank
+//! line is skipped as a header iff its first field is non-numeric, and every
+//! other malformed line is an error naming the line number.
+
+use crate::source::{PointSource, DEFAULT_CHUNK_SIZE};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use vas_data::io::{is_header_line, parse_point_line};
+use vas_data::Point;
+
+/// Streaming [`PointSource`] over an `x,y[,value]` CSV file.
+#[derive(Debug)]
+pub struct CsvSource {
+    path: PathBuf,
+    name: String,
+    reader: BufReader<File>,
+    chunk_size: usize,
+    /// Zero-based index of the next line to read (for error messages).
+    next_line: u64,
+    /// Whether a non-blank line has been read yet (header detection applies
+    /// only to the first one).
+    seen_content: bool,
+    line_buf: String,
+}
+
+impl CsvSource {
+    /// Opens `path` with the [`DEFAULT_CHUNK_SIZE`].
+    pub fn open(path: impl AsRef<Path>, name: impl Into<String>) -> io::Result<Self> {
+        Self::open_with_chunk_size(path, name, DEFAULT_CHUNK_SIZE)
+    }
+
+    /// Opens `path` with an explicit chunk size.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero.
+    pub fn open_with_chunk_size(
+        path: impl AsRef<Path>,
+        name: impl Into<String>,
+        chunk_size: usize,
+    ) -> io::Result<Self> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let path = path.as_ref().to_path_buf();
+        let reader = BufReader::new(File::open(&path)?);
+        Ok(Self {
+            path,
+            name: name.into(),
+            reader,
+            chunk_size,
+            next_line: 0,
+            seen_content: false,
+            line_buf: String::new(),
+        })
+    }
+}
+
+impl PointSource for CsvSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        None // counting rows would cost the very scan we are trying to avoid
+    }
+
+    fn chunk_capacity(&self) -> usize {
+        self.chunk_size
+    }
+
+    fn next_chunk(&mut self, buf: &mut Vec<Point>) -> io::Result<usize> {
+        buf.clear();
+        while buf.len() < self.chunk_size {
+            self.line_buf.clear();
+            if self.reader.read_line(&mut self.line_buf)? == 0 {
+                break;
+            }
+            let lineno = self.next_line;
+            self.next_line += 1;
+            let trimmed = self.line_buf.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let first_content = !self.seen_content;
+            self.seen_content = true;
+            if first_content && is_header_line(trimmed) {
+                continue;
+            }
+            match parse_point_line(trimmed) {
+                Some(p) => buf.push(p),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "{}: malformed CSV row at line {}: {trimmed:?}",
+                            self.path.display(),
+                            lineno + 1
+                        ),
+                    ))
+                }
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        self.reader.seek(SeekFrom::Start(0))?;
+        self.next_line = 0;
+        self.seen_content = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+    use vas_data::io::{read_csv, write_csv};
+    use vas_data::GeolifeGenerator;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vas-stream-csv-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn streaming_read_matches_materializing_read_csv() {
+        let d = GeolifeGenerator::with_size(2_000, 31).generate();
+        let path = temp_path("match.csv");
+        write_csv(&d, &path).unwrap();
+        let materialized = read_csv(&path, "m").unwrap();
+        let mut source = CsvSource::open_with_chunk_size(&path, "s", 113).unwrap();
+        let streamed = source.read_all().unwrap();
+        assert_eq!(streamed, materialized.points);
+        // And a reset rescans identically.
+        source.reset().unwrap();
+        assert_eq!(source.read_all().unwrap(), materialized.points);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn header_is_skipped_and_errors_name_the_line() {
+        let path = temp_path("header.csv");
+        {
+            let mut f = File::create(&path).unwrap();
+            writeln!(f, "x,y,value").unwrap();
+            writeln!(f, "1.0,2.0,3.0").unwrap();
+            writeln!(f, "oops,not,numbers").unwrap();
+        }
+        let mut source = CsvSource::open(&path, "h").unwrap();
+        let err = source.read_all().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 3"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn header_after_leading_blank_lines_is_still_skipped() {
+        let path = temp_path("blank-header.csv");
+        {
+            let mut f = File::create(&path).unwrap();
+            writeln!(f).unwrap();
+            writeln!(f, "x,y,value").unwrap();
+            writeln!(f, "1.0,2.0,3.0").unwrap();
+        }
+        let mut source = CsvSource::open(&path, "blank").unwrap();
+        let points = source.read_all().unwrap();
+        assert_eq!(points, vec![vas_data::Point::with_value(1.0, 2.0, 3.0)]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_first_data_row_is_not_a_header() {
+        let path = temp_path("badfirst.csv");
+        {
+            let mut f = File::create(&path).unwrap();
+            writeln!(f, "1.0,oops").unwrap();
+        }
+        let mut source = CsvSource::open(&path, "b").unwrap();
+        let err = source.read_all().unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn no_len_hint_and_bounded_chunks() {
+        let d = GeolifeGenerator::with_size(300, 2).generate();
+        let path = temp_path("chunks.csv");
+        write_csv(&d, &path).unwrap();
+        let mut source = CsvSource::open_with_chunk_size(&path, "c", 64).unwrap();
+        assert_eq!(source.len_hint(), None);
+        let mut buf = Vec::new();
+        let mut total = 0;
+        while source.next_chunk(&mut buf).unwrap() > 0 {
+            assert!(buf.len() <= 64);
+            total += buf.len();
+        }
+        assert_eq!(total, 300);
+        std::fs::remove_file(path).ok();
+    }
+}

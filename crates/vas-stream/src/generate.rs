@@ -1,0 +1,260 @@
+//! Streaming generator sources: the `vas-data` synthetic workloads as
+//! [`PointSource`]s that never materialize the dataset.
+//!
+//! Each source wraps the corresponding generator's point iterator
+//! ([`GeolifeGenerator::points`], [`GaussianMixtureGenerator::points`],
+//! [`SplomGenerator::points`]) — the same iterators `generate()` collects —
+//! so a streamed run with a given seed produces bit-for-bit the points a
+//! materialized run would, while holding one chunk. `reset` re-seeds the
+//! iterator, making every source rescannable for multi-pass sampling.
+
+use crate::source::PointSource;
+use std::io;
+use vas_data::{
+    DatasetKind, GaussianMixtureGenerator, GaussianMixturePoints, GeolifeGenerator, GeolifePoints,
+    Point, SplomGenerator, SplomPoints,
+};
+
+macro_rules! fill_chunk {
+    ($self:ident, $buf:ident) => {{
+        $buf.clear();
+        $buf.extend($self.iter.by_ref().take($self.chunk_size));
+        Ok($buf.len())
+    }};
+}
+
+/// Streaming [`PointSource`] over the synthetic Geolife trajectory
+/// generator.
+#[derive(Debug)]
+pub struct GeolifeSource {
+    generator: GeolifeGenerator,
+    iter: GeolifePoints,
+    name: String,
+    chunk_size: usize,
+}
+
+impl GeolifeSource {
+    /// Wraps `generator`, emitting `chunk_size`-point chunks.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero.
+    pub fn new(generator: GeolifeGenerator, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Self {
+            iter: generator.points(),
+            name: format!("geolife-sim-{}", generator.config().n_points),
+            chunk_size,
+            generator,
+        }
+    }
+}
+
+impl PointSource for GeolifeSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> DatasetKind {
+        DatasetKind::GeolifeSim
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.generator.config().n_points as u64)
+    }
+
+    fn chunk_capacity(&self) -> usize {
+        self.chunk_size
+    }
+
+    fn next_chunk(&mut self, buf: &mut Vec<Point>) -> io::Result<usize> {
+        fill_chunk!(self, buf)
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        self.iter = self.generator.points();
+        Ok(())
+    }
+}
+
+/// Streaming [`PointSource`] over a Gaussian-mixture generator.
+#[derive(Debug)]
+pub struct GaussianMixtureSource {
+    generator: GaussianMixtureGenerator,
+    iter: GaussianMixturePoints,
+    name: String,
+    chunk_size: usize,
+    n_points: usize,
+}
+
+impl GaussianMixtureSource {
+    /// Wraps `generator`, emitting `chunk_size`-point chunks.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero.
+    pub fn new(generator: GaussianMixtureGenerator, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let iter = generator.points();
+        let n_points = iter.len();
+        Self {
+            name: format!("gaussian-mixture-{}c-{}", generator.n_clusters(), n_points),
+            iter,
+            chunk_size,
+            n_points,
+            generator,
+        }
+    }
+}
+
+impl PointSource for GaussianMixtureSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> DatasetKind {
+        DatasetKind::GaussianMixture
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.n_points as u64)
+    }
+
+    fn chunk_capacity(&self) -> usize {
+        self.chunk_size
+    }
+
+    fn next_chunk(&mut self, buf: &mut Vec<Point>) -> io::Result<usize> {
+        fill_chunk!(self, buf)
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        self.iter = self.generator.points();
+        Ok(())
+    }
+}
+
+/// Streaming [`PointSource`] over one column-pair projection of the SPLOM
+/// table.
+#[derive(Debug)]
+pub struct SplomSource {
+    generator: SplomGenerator,
+    iter: SplomPoints,
+    name: String,
+    chunk_size: usize,
+    cx: usize,
+    cy: usize,
+}
+
+impl SplomSource {
+    /// Wraps `generator` projected onto columns `(cx, cy)`, emitting
+    /// `chunk_size`-point chunks.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero, a column is out of range, or
+    /// `cx == cy`.
+    pub fn new(generator: SplomGenerator, cx: usize, cy: usize, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Self {
+            iter: generator.points(cx, cy),
+            name: format!("splom-{cx}x{cy}"),
+            chunk_size,
+            cx,
+            cy,
+            generator,
+        }
+    }
+}
+
+impl PointSource for SplomSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> DatasetKind {
+        DatasetKind::Splom
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.generator.config().n_rows as u64)
+    }
+
+    fn chunk_capacity(&self) -> usize {
+        self.chunk_size
+    }
+
+    fn next_chunk(&mut self, buf: &mut Vec<Point>) -> io::Result<usize> {
+        fill_chunk!(self, buf)
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        self.iter = self.generator.points(self.cx, self.cy);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bitwise_equal(a: &[Point], b: &[Point], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: lengths differ");
+        for (i, (p, q)) in a.iter().zip(b).enumerate() {
+            assert!(
+                p.x.to_bits() == q.x.to_bits()
+                    && p.y.to_bits() == q.y.to_bits()
+                    && p.value.to_bits() == q.value.to_bits(),
+                "{what}: point {i} diverged: {p:?} vs {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn geolife_source_matches_generate_and_rescans() {
+        let gen = GeolifeGenerator::with_size(3_000, 41);
+        let materialized = gen.generate();
+        let mut source = GeolifeSource::new(gen, 251);
+        assert_eq!(source.len_hint(), Some(3_000));
+        assert_eq!(source.kind(), DatasetKind::GeolifeSim);
+        assert_eq!(source.name(), materialized.name);
+        let streamed = source.read_all().unwrap();
+        assert_bitwise_equal(&streamed, &materialized.points, "geolife stream");
+        source.reset().unwrap();
+        let again = source.read_all().unwrap();
+        assert_bitwise_equal(&again, &materialized.points, "geolife rescan");
+    }
+
+    #[test]
+    fn gaussian_source_matches_generate() {
+        let gen = GaussianMixtureGenerator::paper_clustering_dataset(2, 2_500, 5);
+        let materialized = gen.generate();
+        let mut source = GaussianMixtureSource::new(gen, 333);
+        assert_eq!(source.name(), materialized.name);
+        let streamed = source.read_all().unwrap();
+        assert_bitwise_equal(&streamed, &materialized.points, "gaussian stream");
+    }
+
+    #[test]
+    fn splom_source_matches_projection() {
+        let gen = SplomGenerator::with_size(1_800, 9);
+        let materialized = gen.generate_table().project(2, 4);
+        let mut source = SplomSource::new(gen, 2, 4, 97);
+        assert_eq!(source.name(), materialized.name);
+        assert_eq!(source.len_hint(), Some(1_800));
+        let streamed = source.read_all().unwrap();
+        assert_bitwise_equal(&streamed, &materialized.points, "splom stream");
+        source.reset().unwrap();
+        let again = source.read_all().unwrap();
+        assert_bitwise_equal(&again, &materialized.points, "splom rescan");
+    }
+
+    #[test]
+    fn chunks_respect_capacity() {
+        let mut source = GeolifeSource::new(GeolifeGenerator::with_size(1_000, 1), 64);
+        let mut buf = Vec::new();
+        let mut total = 0;
+        while source.next_chunk(&mut buf).unwrap() > 0 {
+            assert!(buf.len() <= 64);
+            total += buf.len();
+        }
+        assert_eq!(total, 1_000);
+    }
+}

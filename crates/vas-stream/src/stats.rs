@@ -1,0 +1,198 @@
+//! One-pass streaming statistics over a [`PointSource`].
+//!
+//! The sampler's kernel bandwidth follows the paper's rule — dataset extent
+//! diagonal / 100 — which an in-memory build reads off
+//! `BoundingBox::from_points`. Out-of-core builds get the same number from a
+//! single streaming scan: [`StreamStats`] folds the bounds in stream order
+//! (bit-identical to `from_points` over the same stream) and keeps
+//! Welford-style moments of the `value` attribute as a by-product, so a
+//! normalization pre-pass never needs a second algorithm.
+
+use crate::source::PointSource;
+use std::io;
+use vas_data::{BoundingBox, Point};
+
+/// Accumulated single-pass statistics of a point stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamStats {
+    /// Points seen.
+    pub count: u64,
+    /// Spatial extent, folded with `BoundingBox::extend` in stream order —
+    /// bit-identical to `BoundingBox::from_points` over the same points.
+    pub bounds: BoundingBox,
+    /// Smallest `value` attribute seen (`+∞` before any point).
+    pub value_min: f64,
+    /// Largest `value` attribute seen (`-∞` before any point).
+    pub value_max: f64,
+    /// Points with a non-finite coordinate or value (still folded into
+    /// `bounds`, exactly as `BoundingBox::from_points` would).
+    pub non_finite: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Default for StreamStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            bounds: BoundingBox::EMPTY,
+            value_min: f64::INFINITY,
+            value_max: f64::NEG_INFINITY,
+            non_finite: 0,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    /// Folds one point in.
+    pub fn push(&mut self, p: &Point) {
+        self.count += 1;
+        self.bounds.extend(p);
+        if !(p.is_finite() && p.value.is_finite()) {
+            self.non_finite += 1;
+        }
+        self.value_min = self.value_min.min(p.value);
+        self.value_max = self.value_max.max(p.value);
+        // Welford's online update: numerically stable at any stream length.
+        let delta = p.value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (p.value - self.mean);
+    }
+
+    /// Mean of the `value` attribute (0 for an empty stream, matching
+    /// `Dataset::mean_value`).
+    pub fn value_mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance of the `value` attribute (0 for streams shorter
+    /// than two points).
+    pub fn value_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation of the `value` attribute.
+    pub fn value_std(&self) -> f64 {
+        self.value_variance().sqrt()
+    }
+
+    /// The paper's bandwidth rule applied to the streamed extent: diagonal /
+    /// 100, falling back to 1 for degenerate extents — the exact branch
+    /// `GaussianKernel::for_points` takes, so streaming and in-memory builds
+    /// resolve the same ε.
+    pub fn epsilon_hint(&self) -> f64 {
+        let diag = self.bounds.diagonal();
+        if diag.is_finite() && diag > 0.0 {
+            diag / 100.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Scans every remaining point of `source` into a [`StreamStats`]. The
+/// caller decides the scan window (typically `reset` → `scan_stats` →
+/// `reset`).
+pub fn scan_stats<S: PointSource>(source: &mut S) -> io::Result<StreamStats> {
+    let mut stats = StreamStats::new();
+    source.for_each_point(|p| stats.push(&p))?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::DatasetSource;
+    use vas_data::{Dataset, GeolifeGenerator};
+
+    #[test]
+    fn bounds_match_from_points_bitwise() {
+        let d = GeolifeGenerator::with_size(3_000, 19).generate();
+        let mut source = DatasetSource::with_chunk_size(&d, 97);
+        let stats = scan_stats(&mut source).unwrap();
+        let reference = d.bounds();
+        assert_eq!(stats.count, 3_000);
+        for (a, b) in [
+            (stats.bounds.min_x, reference.min_x),
+            (stats.bounds.min_y, reference.min_y),
+            (stats.bounds.max_x, reference.max_x),
+            (stats.bounds.max_y, reference.max_y),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn welford_moments_match_two_pass_reference() {
+        let d = GeolifeGenerator::with_size(5_000, 23).generate();
+        let mut source = DatasetSource::new(&d);
+        let stats = scan_stats(&mut source).unwrap();
+        let mean = d.mean_value();
+        let var = d
+            .points
+            .iter()
+            .map(|p| (p.value - mean).powi(2))
+            .sum::<f64>()
+            / d.len() as f64;
+        assert!((stats.value_mean() - mean).abs() < 1e-9 * mean.abs().max(1.0));
+        assert!((stats.value_variance() - var).abs() < 1e-6 * var.max(1.0));
+        assert!(stats.value_min <= mean && mean <= stats.value_max);
+        assert_eq!(stats.non_finite, 0);
+    }
+
+    #[test]
+    fn empty_stream_is_degenerate_but_defined() {
+        let d = Dataset::from_points("empty", vec![]);
+        let stats = scan_stats(&mut DatasetSource::new(&d)).unwrap();
+        assert_eq!(stats.count, 0);
+        assert!(stats.bounds.is_empty());
+        assert_eq!(stats.value_mean(), 0.0);
+        assert_eq!(stats.value_variance(), 0.0);
+        assert_eq!(stats.epsilon_hint(), 1.0);
+    }
+
+    #[test]
+    fn epsilon_hint_matches_the_paper_rule() {
+        let d = GeolifeGenerator::with_size(2_000, 29).generate();
+        let stats = scan_stats(&mut DatasetSource::new(&d)).unwrap();
+        let expected = d.bounds().diagonal() / 100.0;
+        assert_eq!(stats.epsilon_hint().to_bits(), expected.to_bits());
+        // Degenerate extent (single repeated position) falls back to 1.
+        let single = Dataset::from_points("one", vec![Point::new(2.0, 3.0); 5]);
+        let s = scan_stats(&mut DatasetSource::new(&single)).unwrap();
+        assert_eq!(s.epsilon_hint(), 1.0);
+    }
+
+    #[test]
+    fn non_finite_points_are_counted_and_folded() {
+        let d = Dataset::from_points(
+            "nf",
+            vec![
+                Point::with_value(0.0, 0.0, 1.0),
+                Point::new(f64::NAN, 1.0),
+                Point::with_value(2.0, 2.0, f64::INFINITY),
+            ],
+        );
+        let stats = scan_stats(&mut DatasetSource::new(&d)).unwrap();
+        assert_eq!(stats.non_finite, 2);
+        // Bounds still folded exactly like BoundingBox::from_points.
+        let reference = d.bounds();
+        assert_eq!(stats.bounds.min_x.to_bits(), reference.min_x.to_bits());
+        assert_eq!(stats.bounds.max_x.to_bits(), reference.max_x.to_bits());
+    }
+}

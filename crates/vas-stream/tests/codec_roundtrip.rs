@@ -1,0 +1,171 @@
+//! Property tests for the chunked columnar codec: every write → read cycle
+//! must reproduce the input bit-for-bit, for any point count, any chunk
+//! size, and the nastiest corners of IEEE-754 — `-0.0`, subnormals, extreme
+//! magnitudes — plus error paths for truncated and corrupted files.
+
+use proptest::prelude::*;
+use vas_data::{Dataset, DatasetKind, Point};
+use vas_stream::{spill_dataset, ChunkedReader};
+
+/// Special values the round trip must preserve exactly. (`PartialEq` would
+/// accept `-0.0 == 0.0`, so all comparisons below are on raw bits.)
+const SPECIAL: [f64; 10] = [
+    0.0,
+    -0.0,
+    5e-324,  // smallest positive subnormal
+    -5e-324, // smallest negative subnormal
+    f64::MIN_POSITIVE,
+    -f64::MIN_POSITIVE,
+    f64::MAX,
+    f64::MIN,
+    1e-308,
+    1.5,
+];
+
+/// Maps a (selector, fallback) draw to either a special value or the random
+/// fallback, so roughly half of all coordinates exercise the special pool.
+fn mix(sel: usize, random: f64) -> f64 {
+    if sel < SPECIAL.len() {
+        SPECIAL[sel]
+    } else {
+        random
+    }
+}
+
+fn unique_path(tag: &str, case: usize) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "vas-codec-prop-{}-{tag}-{case}.vaschunk",
+        std::process::id()
+    ))
+}
+
+fn assert_bits_equal(a: &[Point], b: &[Point], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: lengths differ");
+    for (i, (p, q)) in a.iter().zip(b).enumerate() {
+        assert_eq!(p.x.to_bits(), q.x.to_bits(), "{what}: x of point {i}");
+        assert_eq!(p.y.to_bits(), q.y.to_bits(), "{what}: y of point {i}");
+        assert_eq!(
+            p.value.to_bits(),
+            q.value.to_bits(),
+            "{what}: value of point {i}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn round_trip_is_bit_exact_for_any_points_and_chunk_size(
+        raw in proptest::collection::vec(
+            ((0usize..20, -1.0e6f64..1.0e6), (0usize..20, -1.0e6f64..1.0e6), (0usize..20, -1.0e6f64..1.0e6)),
+            1..200,
+        ),
+        chunk_size in 1usize..64,
+        case in 0usize..1_000_000,
+    ) {
+        let points: Vec<Point> = raw
+            .iter()
+            .map(|((sx, x), (sy, y), (sv, v))| {
+                Point::with_value(mix(*sx, *x), mix(*sy, *y), mix(*sv, *v))
+            })
+            .collect();
+        let dataset = Dataset::from_points("prop", points.clone());
+        let path = unique_path("rt", case);
+        let summary = spill_dataset(&dataset, &path, chunk_size).unwrap();
+        prop_assert_eq!(summary.count, points.len() as u64);
+        let expected_chunks = points.len().div_ceil(chunk_size) as u64;
+        prop_assert_eq!(summary.chunks, expected_chunks);
+
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        prop_assert_eq!(reader.header().count, points.len() as u64);
+        prop_assert_eq!(reader.header().chunk_size, chunk_size);
+        let back = reader.read_dataset().unwrap();
+        assert_bits_equal(&back.points, &points, "round trip");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn chunk_boundary_counts_round_trip(
+        chunk_size in 1usize..16,
+        extra in 0usize..3,
+        multiplier in 0usize..4,
+        case in 0usize..1_000_000,
+    ) {
+        // Counts straddling chunk boundaries: m·c, m·c + 1, m·c + 2 — the
+        // off-by-one territory where a length-prefix bug would hide.
+        let n = chunk_size * multiplier + extra;
+        let points: Vec<Point> = (0..n)
+            .map(|i| Point::with_value(i as f64, -(i as f64), 0.5 * i as f64))
+            .collect();
+        let dataset = Dataset::from_points("boundary", points.clone());
+        let path = unique_path("bd", case);
+        spill_dataset(&dataset, &path, chunk_size).unwrap();
+        let back = ChunkedReader::open(&path).unwrap().read_dataset().unwrap();
+        assert_bits_equal(&back.points, &points, "boundary count");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncating_anywhere_in_the_data_section_is_detected(
+        n in 1usize..60,
+        chunk_size in 1usize..8,
+        cut_frac in 0.0f64..1.0,
+        case in 0usize..1_000_000,
+    ) {
+        let points: Vec<Point> = (0..n).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        let dataset = Dataset::from_points("trunc", points);
+        let path = unique_path("tr", case);
+        spill_dataset(&dataset, &path, chunk_size).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Find where the data section starts (fixed header + name) and cut
+        // the file strictly inside the data bytes.
+        let data_start = 62 + "trunc".len();
+        let data_len = bytes.len() - data_start;
+        prop_assert!(data_len > 0);
+        let keep = data_start + ((data_len - 1) as f64 * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        let err = reader.read_dataset().unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn empty_and_single_point_datasets_round_trip() {
+    for (tag, points) in [
+        ("empty", vec![]),
+        (
+            "single",
+            vec![Point::with_value(-0.0, 5e-324, f64::MIN_POSITIVE)],
+        ),
+    ] {
+        let dataset = Dataset::from_points(tag, points.clone());
+        let path = unique_path(tag, 0);
+        let summary = spill_dataset(&dataset, &path, 8).unwrap();
+        assert_eq!(summary.count, points.len() as u64);
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        assert_eq!(reader.header().kind, DatasetKind::External);
+        let back = reader.read_dataset().unwrap();
+        assert_bits_equal(&back.points, &points, tag);
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn corrupting_a_chunk_length_is_detected() {
+    let points: Vec<Point> = (0..32).map(|i| Point::new(i as f64, 0.0)).collect();
+    let dataset = Dataset::from_points("corrupt", points);
+    let path = unique_path("corrupt", 0);
+    spill_dataset(&dataset, &path, 8).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // First chunk length prefix sits right after the header + name.
+    let len_offset = 62 + "corrupt".len();
+    bytes[len_offset..len_offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    let mut reader = ChunkedReader::open(&path).unwrap();
+    let err = reader.read_dataset().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("chunk length"), "{err}");
+    std::fs::remove_file(path).ok();
+}

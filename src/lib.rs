@@ -20,6 +20,7 @@
 //! | [`viz`] | scatter/map rasterizer, viewports, colormaps, latency model |
 //! | [`user_sim`] | simulated users for the regression / density / clustering studies |
 //! | [`storage`] | columnar store, sample catalog, dynamic-reduction query engine |
+//! | [`stream`] | out-of-core ingestion: the `PointSource` streaming pipeline and the chunked columnar spill format |
 //! | [`binned`] | binned-aggregation (tile pyramid) baseline for comparison |
 //!
 //! ## Quick start
@@ -55,6 +56,7 @@ pub use vas_exact as exact;
 pub use vas_sampling as sampling;
 pub use vas_spatial as spatial;
 pub use vas_storage as storage;
+pub use vas_stream as stream;
 pub use vas_user_sim as user_sim;
 pub use vas_viz as viz;
 
@@ -78,6 +80,10 @@ pub mod prelude {
         AnyLocalityIndex, HashGrid, KdTree, LocalityBackend, LocalityIndex, RTree, UniformGrid,
     };
     pub use vas_storage::{SampleCatalog, Table, VizEngine, VizQuery};
+    pub use vas_stream::{
+        spill_dataset, spill_source, ChunkedReader, ChunkedWriter, CsvSource, DatasetSource,
+        GeolifeSource, PointSource, StreamStats, TrackingSource,
+    };
     pub use vas_user_sim::{ClusteringTask, DensityTask, RegressionTask, WorkerPopulation};
     pub use vas_viz::{
         Canvas, Color, Colormap, LatencyModel, PlotStyle, ScatterRenderer, SizeEncoding, Viewport,

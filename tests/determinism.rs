@@ -157,6 +157,128 @@ fn es_loc_over_hashgrid_is_bit_identical_to_the_legacy_loop_per_tuple() {
 }
 
 #[test]
+fn streaming_generator_sources_match_materializing_generators() {
+    // The out-of-core pipeline's first link: a generator streamed in chunks
+    // must emit bit-for-bit the dataset `generate()` materializes, for every
+    // generator family, across awkward chunk sizes, and again after a reset.
+    let geolife = GeolifeGenerator::with_size(8_000, 77);
+    let reference = geolife.generate();
+    for chunk in [1usize, 997, 8_000, 9_001] {
+        let mut source = GeolifeSource::new(geolife.clone(), chunk);
+        let streamed = source.read_all().unwrap();
+        assert_points_bitwise_equal(
+            &streamed,
+            &reference.points,
+            &format!("GeolifeSource chunk {chunk}"),
+        );
+        source.reset().unwrap();
+        let rescanned = source.read_all().unwrap();
+        assert_points_bitwise_equal(
+            &rescanned,
+            &reference.points,
+            &format!("GeolifeSource rescan chunk {chunk}"),
+        );
+    }
+
+    let gaussian = GaussianMixtureGenerator::paper_clustering_dataset(1, 5_000, 9);
+    let reference = gaussian.generate();
+    let streamed = vas::stream::GaussianMixtureSource::new(gaussian, 613)
+        .read_all()
+        .unwrap();
+    assert_points_bitwise_equal(&streamed, &reference.points, "GaussianMixtureSource");
+
+    let splom = SplomGenerator::with_size(5_000, 3);
+    let reference = splom.generate();
+    let streamed = vas::stream::SplomSource::new(splom, 0, 1, 613)
+        .read_all()
+        .unwrap();
+    assert_points_bitwise_equal(&streamed, &reference.points, "SplomSource");
+}
+
+#[test]
+fn chunked_spill_round_trip_is_bit_exact() {
+    // Generator → spill file → reader must reproduce the stream exactly;
+    // this is the link that turns the codec's per-value bit-exactness into a
+    // whole-pipeline guarantee.
+    let data = GeolifeGenerator::with_size(10_000, 21).generate();
+    let path = std::env::temp_dir().join(format!(
+        "vas-determinism-spill-{}.vaschunk",
+        std::process::id()
+    ));
+    spill_dataset(&data, &path, 777).unwrap();
+    let restored = ChunkedReader::open(&path).unwrap().read_dataset().unwrap();
+    assert_points_bitwise_equal(&restored.points, &data.points, "chunked spill round trip");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn build_from_source_over_chunked_spill_is_bit_identical_to_build() {
+    // The out-of-core contract: spilling a dataset to the chunked columnar
+    // format and streaming it through `build_from_source` must reproduce
+    // `build()` over the in-memory dataset bit-for-bit — same seed, every
+    // locality backend's default (optimized) path, plus plain ES. The kernel
+    // bandwidth is left unset so the streaming ε-resolution pre-pass is part
+    // of the pinned contract too.
+    let data = GeolifeGenerator::with_size(10_000, 21).generate();
+    let path = std::env::temp_dir().join(format!(
+        "vas-determinism-bfs-{}.vaschunk",
+        std::process::id()
+    ));
+    spill_dataset(&data, &path, 1_024).unwrap();
+
+    let mut cases = vec![(
+        InterchangeStrategy::ExpandShrink,
+        LocalityBackend::default(),
+    )];
+    for backend in LocalityBackend::ALL {
+        cases.push((InterchangeStrategy::ExpandShrinkLocality, backend));
+    }
+    for (strategy, backend) in cases {
+        let config = VasConfig::new(300)
+            .with_strategy(strategy)
+            .with_locality_backend(backend);
+        let reference = VasSampler::from_dataset(&data, config.clone()).build(&data);
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        let streamed = VasSampler::new(config)
+            .build_from_source(&mut reader)
+            .unwrap();
+        assert_points_bitwise_equal(
+            &streamed.points,
+            &reference.points,
+            &format!(
+                "build_from_source vs build ({}, {backend})",
+                strategy.label()
+            ),
+        );
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn streaming_pipeline_end_to_end_is_deterministic() {
+    // Full out-of-core path, twice: streaming generator → spill → streaming
+    // sampler. Two independent runs over two independent spill files must
+    // agree exactly.
+    let run = |tag: &str| {
+        let path = std::env::temp_dir().join(format!(
+            "vas-determinism-e2e-{}-{tag}.vaschunk",
+            std::process::id()
+        ));
+        let mut generator = GeolifeSource::new(GeolifeGenerator::with_size(12_000, 5), 2_048);
+        spill_source(&mut generator, &path).unwrap();
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        let sample = VasSampler::new(VasConfig::new(200))
+            .build_from_source(&mut reader)
+            .unwrap();
+        std::fs::remove_file(path).ok();
+        sample
+    };
+    let a = run("a");
+    let b = run("b");
+    assert_points_bitwise_equal(&a.points, &b.points, "end-to-end streaming pipeline");
+}
+
+#[test]
 fn density_embedding_is_deterministic() {
     let data = GeolifeGenerator::with_size(10_000, 33).generate();
     let sample = VasSampler::from_dataset(&data, VasConfig::new(200)).sample_dataset(&data);
