@@ -30,6 +30,15 @@
 //! cells — the fastest backend on this fixed-radius churn workload) are
 //! interchangeable via [`VasConfig::with_locality_backend`], and
 //! [`VasSampler::with_index`] accepts any statically-typed backend.
+//!
+//! With [`VasConfig::with_threads`] above 1, the chunked entry points
+//! ([`VasSampler::observe_chunk`] and the `build*` drivers) run the
+//! locality strategy's candidate phase behind a **speculative kernel
+//! pre-evaluation** front: scoped workers compute each candidate's
+//! neighbourhood kernel sums against a sample-epoch snapshot, and the
+//! sequential accept/reject consumer replays them in stream order,
+//! recomputing only candidates invalidated by an accepted replacement —
+//! bit-identical to the sequential loop at every thread count.
 
 use crate::kernel::{GaussianKernel, Kernel};
 use crate::max_tracker::MaxTracker;
@@ -100,6 +109,19 @@ pub struct VasConfig {
     /// [`VasSampler::from_dataset`]); statically-typed samplers built with
     /// [`VasSampler::with_index`] bring their own backend.
     pub locality_backend: LocalityBackend,
+    /// Worker threads for the chunked entry points
+    /// ([`VasSampler::observe_chunk`] and the `build*` drivers built on it).
+    /// `1` (the default) is the plain sequential loop; above 1 the
+    /// `ExpandShrinkLocality` strategy runs its **speculative kernel
+    /// pre-evaluation** front: per-chunk workers compute each candidate's
+    /// neighbourhood kernel sums against a sample-epoch snapshot while the
+    /// accept/reject decision stays on the calling thread, consuming the
+    /// pre-evaluated deltas in stream order — bit-identical to the
+    /// sequential path at every thread count (pinned in
+    /// `tests/determinism.rs`). `0` asks the OS for the available
+    /// parallelism. Strategies without locality fall back to the sequential
+    /// loop.
+    pub threads: usize,
 }
 
 impl VasConfig {
@@ -114,6 +136,7 @@ impl VasConfig {
             progress_every: 0,
             legacy_inner_loop: false,
             locality_backend: LocalityBackend::default(),
+            threads: 1,
         }
     }
 
@@ -162,6 +185,13 @@ impl VasConfig {
         self.locality_backend = backend;
         self
     }
+
+    /// Sets the worker-thread count for the chunked entry points (see
+    /// [`threads`](Self::threads); `0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 /// A snapshot of Interchange progress, reported periodically while scanning.
@@ -183,6 +213,89 @@ pub struct ProgressEvent {
 
 /// Callback receiving [`ProgressEvent`]s.
 pub type ProgressSink = Box<dyn FnMut(ProgressEvent) + Send>;
+
+/// Largest speculative pre-evaluation batch (see [`VasConfig::threads`]).
+/// One batch is snapshot → fan-out → ordered apply; the cap bounds the
+/// delta-buffer footprint (~`m·16` bytes per candidate for neighbourhood
+/// size `m`). The *actual* batch size adapts to the observed accept
+/// spacing — an accept throws away the remainder's pre-evaluated deltas,
+/// so batches aim for ≈ 1 accept each: early in the hill climb (accept
+/// spacing below [`MIN_PRE_EVAL_BATCH`], rate `≈ K/t` on a shuffled
+/// stream) candidates run sequentially, and batches grow with the spacing
+/// up to this cap.
+const PRE_EVAL_BATCH: usize = 2_048;
+
+/// Smallest batch worth a fan-out (a few scoped-thread spawns, ~10–30µs
+/// each, against `MIN_PRE_EVAL_BATCH · m` kernel evaluations); doubles as
+/// the speculation gate — accept spacings below this mean the fan-out
+/// would mostly compute deltas an accept throws away.
+const MIN_PRE_EVAL_BATCH: usize = 128;
+
+/// When an accept invalidates a batch remainder at least this long, the
+/// remainder is **re-speculated** (a fresh fan-out against the new epoch)
+/// instead of finished sequentially — the recompute work stays on the
+/// workers. Shorter remainders are cheaper to finish live than to re-spawn
+/// for.
+const RESPECULATE_MIN_REMAINDER: usize = 192;
+
+/// At most this many re-speculations per batch; a batch that keeps
+/// accepting past it finishes sequentially (the adaptive batch sizing in
+/// [`VasSampler::observe_chunk`] then shrinks the next batches until the
+/// accept rate settles).
+const MAX_RESPECULATIONS: usize = 8;
+
+/// Per-worker output buffers of the speculative pre-evaluation front.
+///
+/// Worker `w` writes its candidates' deltas into `deltas[w]` as one flat
+/// `(slot, κ̃)` array in candidate-then-visitation order, with per-candidate
+/// `(delta_count, cand_rsp)` records in `meta[w]`; `ranges` records the
+/// stripe split of the last fan-out. The consumer walks worker stripes in
+/// range order, which is exactly stream order.
+#[derive(Debug, Default)]
+struct PreEvalScratch {
+    deltas: Vec<Vec<(usize, f64)>>,
+    meta: Vec<Vec<(u32, f64)>>,
+    ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl PreEvalScratch {
+    /// Makes sure `workers` buffer pairs exist (capacity is kept across
+    /// batches).
+    fn ensure_workers(&mut self, workers: usize) {
+        self.deltas
+            .resize_with(workers.max(self.deltas.len()), Vec::new);
+        self.meta
+            .resize_with(workers.max(self.meta.len()), Vec::new);
+    }
+}
+
+/// The worker body of the speculative pre-evaluation front: for every
+/// candidate in `candidates`, evaluate the kernel against its neighbourhood
+/// in the frozen `index` snapshot — the identical query, evaluation and
+/// summation order the sequential Expand step performs, so a pre-evaluated
+/// delta block substitutes for the live computation bit-for-bit as long as
+/// the snapshot is still valid.
+fn pre_eval_range<L: LocalityIndex>(
+    index: &L,
+    kernel: GaussianKernel,
+    cutoff: f64,
+    candidates: &[Point],
+    deltas: &mut Vec<(usize, f64)>,
+    meta: &mut Vec<(u32, f64)>,
+) {
+    deltas.clear();
+    meta.clear();
+    for p in candidates {
+        let start = deltas.len();
+        let mut cand_rsp = 0.0;
+        index.for_each_in_radius_with_dist2(p, cutoff, |i, _, d2| {
+            let v = kernel.eval_dist2(d2);
+            deltas.push((i, v));
+            cand_rsp += v;
+        });
+        meta.push(((deltas.len() - start) as u32, cand_rsp));
+    }
+}
 
 /// The VAS sampler: Interchange over a stream of points.
 ///
@@ -215,6 +328,14 @@ pub struct VasSampler<L: LocalityIndex = AnyLocalityIndex> {
     /// Reusable buffer for the per-candidate `(slot, κ̃(t, s_i))` deltas, so
     /// the steady-state replacement test performs no allocation.
     scratch_deltas: Vec<(usize, f64)>,
+    /// Per-worker buffers of the speculative pre-evaluation front, reused
+    /// across batches so the steady-state parallel path allocates nothing.
+    pre_eval: PreEvalScratch,
+    /// Running estimate of the candidate-stream accept spacing (candidates
+    /// per accept), driving the adaptive speculation batch size. Starts at
+    /// 0 so the earliest (hottest) candidates run sequentially while the
+    /// spacing is measured.
+    accept_spacing: u64,
     /// Running objective value (½ of the responsibility sum, maintained
     /// incrementally).
     objective: f64,
@@ -270,6 +391,8 @@ impl<L: LocalityIndex> VasSampler<L> {
             max_tracker: MaxTracker::new(),
             tracker_fresh: false,
             scratch_deltas: Vec::new(),
+            pre_eval: PreEvalScratch::default(),
+            accept_spacing: 0,
             objective: 0.0,
             seen: 0,
             replacements: 0,
@@ -326,9 +449,7 @@ impl<L: LocalityIndex> VasSampler<L> {
             self.install_kernel(GaussianKernel::for_dataset(dataset));
         }
         for _ in 0..self.config.passes.max(1) {
-            for p in dataset.iter() {
-                self.observe(*p);
-            }
+            self.observe_chunk(&dataset.points);
         }
         self.finalize()
     }
@@ -359,9 +480,7 @@ impl<L: LocalityIndex> VasSampler<L> {
         for _ in 0..self.config.passes.max(1) {
             source.reset()?;
             while source.next_chunk(&mut buf)? > 0 {
-                for p in &buf {
-                    self.observe(*p);
-                }
+                self.observe_chunk(&buf);
             }
         }
         Ok(self.finalize())
@@ -389,9 +508,7 @@ impl<L: LocalityIndex> VasSampler<L> {
             let mut streamed = 0u64;
             while source.next_chunk(&mut buf)? > 0 {
                 streamed += buf.len() as u64;
-                for p in &buf {
-                    self.observe(*p);
-                }
+                self.observe_chunk(&buf);
             }
             passes += 1;
             let replacements_this_pass = self.replacements - before;
@@ -426,9 +543,7 @@ impl<L: LocalityIndex> VasSampler<L> {
         let mut passes = 0usize;
         loop {
             let before = self.replacements;
-            for p in dataset.iter() {
-                self.observe(*p);
-            }
+            self.observe_chunk(&dataset.points);
             passes += 1;
             let replacements_this_pass = self.replacements - before;
             // The very first pass also fills the sample, so "no replacements"
@@ -441,6 +556,190 @@ impl<L: LocalityIndex> VasSampler<L> {
             }
         }
         (self.finalize(), passes)
+    }
+
+    /// Observes every point of `chunk` in order — the chunked counterpart of
+    /// [`observe`](Sampler::observe), and the entry point of the parallel
+    /// execution path.
+    ///
+    /// With [`VasConfig::threads`] ≤ 1 (or a strategy the parallel front
+    /// does not cover) this is exactly the sequential `observe` loop. Above
+    /// 1, `ExpandShrinkLocality` candidates run through **speculative kernel
+    /// pre-evaluation**: the chunk is cut into batches of at most
+    /// [`PRE_EVAL_BATCH`] candidates; for each batch, scoped workers
+    /// partition the candidates into contiguous ranges and compute every
+    /// candidate's neighbourhood `(slot, κ̃)` deltas against the *frozen*
+    /// sample index (the batch's epoch snapshot); the calling thread then
+    /// replays the batch **in stream order**, feeding each pre-evaluated
+    /// block to the unchanged Shrink/accept logic. An accepted replacement
+    /// mutates the sample and thereby invalidates the remaining pre-evaluated
+    /// blocks of the batch — a long remainder is **re-speculated** (fresh
+    /// fan-out against the new epoch), a short one finishes on the live
+    /// index, and batches are only speculated at all while the accept rate
+    /// is low (the adaptive gate below) — so at steady state, where accepts
+    /// are ≪1% of candidates, almost all kernel work leaves the critical
+    /// thread while the output stays bit-identical at every thread count
+    /// (pinned in `tests/determinism.rs`).
+    pub fn observe_chunk(&mut self, chunk: &[Point]) {
+        let threads = vas_par::effective_threads(self.config.threads);
+        let speculative = threads > 1
+            && self.config.strategy == InterchangeStrategy::ExpandShrinkLocality
+            && !self.config.legacy_inner_loop
+            && self.config.k > 0
+            && self.kernel.is_some();
+        if !speculative {
+            for p in chunk {
+                self.observe(*p);
+            }
+            return;
+        }
+        let mut rest = chunk;
+        // The fill phase (and a possible mid-chunk fill → candidate
+        // transition) stays sequential: it mutates the index per point.
+        if self.points.len() < self.config.k {
+            let fill = (self.config.k - self.points.len()).min(rest.len());
+            for p in &rest[..fill] {
+                self.observe(*p);
+            }
+            rest = &rest[fill..];
+        }
+        while !rest.is_empty() {
+            // Adaptive batch sizing: aim for ≈ 1 accept per batch. The
+            // estimator is the accept spacing observed over recent batches
+            // — a pure function of the stream, so the sizing (like
+            // everything else here) is deterministic, and both paths
+            // produce identical output anyway. Below the minimum spacing
+            // the hill climb is too hot to speculate on at all (the
+            // fan-out would mostly compute deltas an accept throws away)
+            // and candidates run sequentially while the spacing keeps
+            // being measured.
+            let spacing = self.accept_spacing;
+            let take = rest
+                .len()
+                .min((spacing as usize).clamp(MIN_PRE_EVAL_BATCH, PRE_EVAL_BATCH));
+            let (batch, tail) = rest.split_at(take);
+            let before = self.replacements;
+            // `take` can undershoot the minimum at a chunk tail — such a
+            // sliver is cheaper to run sequentially than to fan out for.
+            if spacing >= MIN_PRE_EVAL_BATCH as u64 && take >= MIN_PRE_EVAL_BATCH {
+                self.observe_candidates_speculative(batch, threads);
+            } else {
+                for p in batch {
+                    self.observe(*p);
+                }
+            }
+            let accepts = self.replacements - before;
+            self.accept_spacing = if accepts == 0 {
+                self.accept_spacing.saturating_add(take as u64)
+            } else {
+                take as u64 / (accepts + 1)
+            };
+            rest = tail;
+        }
+    }
+
+    /// One speculative batch: snapshot → parallel pre-evaluation → ordered
+    /// sequential apply; on invalidation, **re-speculate** what is left. See
+    /// [`observe_chunk`](Self::observe_chunk).
+    fn observe_candidates_speculative(&mut self, batch: &[Point], threads: usize) {
+        let mut rest = batch;
+        let mut respeculations = 0usize;
+        while !rest.is_empty() {
+            // The epoch snapshot: the index only changes when a replacement
+            // is accepted, so "no accept since the fan-out" ⟺ "the
+            // pre-evaluated deltas are exactly what a live Expand would
+            // compute now".
+            let snapshot = self.replacements;
+            self.pre_evaluate(rest, threads);
+            let applied = self.apply_pre_evaluated(rest, snapshot);
+            rest = &rest[applied..];
+            if rest.is_empty() {
+                return;
+            }
+            // `applied < len` means an accept invalidated the remainder's
+            // pre-evaluations. A large remainder is worth a fresh fan-out
+            // (the loop re-speculates it against the new epoch); a small
+            // one — or a batch that keeps accepting — is cheaper to finish
+            // on the live index directly.
+            respeculations += 1;
+            if rest.len() < RESPECULATE_MIN_REMAINDER || respeculations > MAX_RESPECULATIONS {
+                for p in rest {
+                    self.seen += 1;
+                    self.observe_candidate(*p);
+                    self.maybe_report_progress();
+                }
+                return;
+            }
+        }
+    }
+
+    /// Fans `candidates` out over `threads` scoped workers, each computing
+    /// its contiguous stripe's neighbourhood deltas against the frozen
+    /// index, into the reusable per-worker buffers.
+    fn pre_evaluate(&mut self, candidates: &[Point], threads: usize) {
+        let kernel = self.kernel.expect("kernel resolved");
+        let cutoff = self.cutoff;
+        let ranges = vas_par::split_ranges(candidates.len(), threads);
+        let workers = ranges.len();
+        self.pre_eval.ensure_workers(workers);
+        self.pre_eval.ranges.clear();
+        self.pre_eval.ranges.extend(ranges.iter().cloned());
+        // Split the borrows: workers share the frozen index (`&L` is
+        // `Sync`) and each owns one disjoint output buffer pair.
+        let Self {
+            index, pre_eval, ..
+        } = &mut *self;
+        let index = &*index;
+        let delta_bufs = &mut pre_eval.deltas[..workers];
+        let meta_bufs = &mut pre_eval.meta[..workers];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers.saturating_sub(1));
+            let mut stripes = ranges
+                .iter()
+                .cloned()
+                .zip(delta_bufs.iter_mut().zip(meta_bufs.iter_mut()));
+            let first = stripes.next().expect("at least one range");
+            for (range, (deltas, meta)) in stripes {
+                let stripe = &candidates[range];
+                handles.push(scope.spawn(move || {
+                    pre_eval_range(index, kernel, cutoff, stripe, deltas, meta);
+                }));
+            }
+            // The calling thread is worker 0.
+            let (range, (deltas, meta)) = first;
+            pre_eval_range(index, kernel, cutoff, &candidates[range], deltas, meta);
+            for h in handles {
+                h.join().expect("pre-evaluation worker panicked");
+            }
+        });
+    }
+
+    /// Replays pre-evaluated candidates **in stream order** until the batch
+    /// is exhausted or the epoch goes stale (the candidate that *causes* the
+    /// accept still consumes its own valid pre-evaluation). Returns how many
+    /// candidates were consumed. Worker stripes are contiguous ranges in
+    /// ascending order, so walking them in order is walking the batch in
+    /// stream order.
+    fn apply_pre_evaluated(&mut self, batch: &[Point], snapshot: u64) -> usize {
+        let scratch = std::mem::take(&mut self.pre_eval);
+        let mut applied = 0usize;
+        'stripes: for (w, range) in scratch.ranges.iter().enumerate() {
+            let mut cursor = 0usize;
+            for (j, &(len, cand_rsp)) in scratch.meta[w].iter().enumerate() {
+                if self.replacements != snapshot {
+                    break 'stripes;
+                }
+                let point = batch[range.start + j];
+                let deltas = &scratch.deltas[w][cursor..cursor + len as usize];
+                cursor += len as usize;
+                self.seen += 1;
+                self.shrink_apply_es_locality(point, deltas, cand_rsp);
+                self.maybe_report_progress();
+                applied += 1;
+            }
+        }
+        self.pre_eval = scratch;
+        applied
     }
 
     fn install_kernel(&mut self, kernel: GaussianKernel) {
@@ -681,6 +980,17 @@ impl<L: LocalityIndex> VasSampler<L> {
                 cand_rsp += v;
             });
 
+        self.shrink_apply_es_locality(point, &deltas, cand_rsp);
+        self.scratch_deltas = deltas;
+    }
+
+    /// The Shrink + accept half of the "ES+Loc" replacement test, fed either
+    /// by the live Expand above or by a **pre-evaluated** delta block from
+    /// the speculative front ([`VasSampler::observe_chunk`]); both produce
+    /// the identical `(slot, κ̃)` sequence, so this path is shared verbatim.
+    fn shrink_apply_es_locality(&mut self, point: Point, deltas: &[(usize, f64)], cand_rsp: f64) {
+        let kernel = self.kernel.expect("kernel resolved");
+
         // --- Shrink: the expanded-set maximum is either the candidate, a
         // neighbour slot raised by its delta, or the standing maximum over
         // all base responsibilities — which the tournament hands over in
@@ -695,7 +1005,7 @@ impl<L: LocalityIndex> VasSampler<L> {
                 max_idx = i;
             }
         }
-        for &(i, v) in &deltas {
+        for &(i, v) in deltas {
             let r = self.rsp[i] + v;
             if r > max_val {
                 max_val = r;
@@ -704,7 +1014,6 @@ impl<L: LocalityIndex> VasSampler<L> {
         }
 
         if max_idx == usize::MAX {
-            self.scratch_deltas = deltas;
             return; // candidate is the most redundant element: reject
         }
 
@@ -718,7 +1027,7 @@ impl<L: LocalityIndex> VasSampler<L> {
         let removed_rsp = self.rsp[max_idx];
 
         // Add the candidate's contributions to its neighbours.
-        for &(i, v) in &deltas {
+        for &(i, v) in deltas {
             if i != max_idx {
                 self.rsp[i] += v;
                 self.max_tracker.set_deferred(i, self.rsp[i]);
@@ -755,7 +1064,6 @@ impl<L: LocalityIndex> VasSampler<L> {
         self.max_tracker.flush();
         self.objective += new_rsp - removed_rsp;
         self.replacements += 1;
-        self.scratch_deltas = deltas;
     }
 
     /// The pre-optimization "ES" / "ES+Loc" inner loop, retained verbatim as
@@ -891,6 +1199,8 @@ impl<L: LocalityIndex> VasSampler<L> {
         self.max_tracker = MaxTracker::new();
         self.tracker_fresh = false;
         self.scratch_deltas = Vec::new();
+        self.pre_eval = PreEvalScratch::default();
+        self.accept_spacing = 0;
         self.objective = 0.0;
         self.seen = 0;
         self.replacements = 0;
@@ -1476,6 +1786,115 @@ mod tests {
             .unwrap();
         assert_eq!(passes, ref_passes);
         assert_samples_bitwise_equal(&sample.points, &reference.points, "until converged");
+    }
+
+    #[test]
+    fn speculative_pre_evaluation_is_bit_identical_to_sequential() {
+        // The tentpole contract of the parallel execution subsystem: the
+        // speculative pre-evaluation front must not change a single
+        // replacement decision at any thread count, on any locality backend,
+        // single- and multi-pass.
+        let d = GeolifeGenerator::with_size(4_000, 91).generate();
+        let k = 150;
+        for backend in LocalityBackend::ALL {
+            for passes in [1usize, 2] {
+                let config = VasConfig::new(k)
+                    .with_locality_backend(backend)
+                    .with_passes(passes);
+                let reference = VasSampler::from_dataset(&d, config.clone()).build(&d);
+                for threads in [2usize, 3, 4] {
+                    let parallel =
+                        VasSampler::from_dataset(&d, config.clone().with_threads(threads))
+                            .build(&d);
+                    assert_samples_bitwise_equal(
+                        &parallel.points,
+                        &reference.points,
+                        &format!("threads {threads} vs 1 ({backend}, {passes} passes)"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_path_matches_sequential_through_build_from_source() {
+        // Same contract through the streaming entry point, including the
+        // ε-resolution pre-pass, across awkward chunk sizes (chunks smaller,
+        // equal to and larger than the pre-evaluation batch).
+        let d = GeolifeGenerator::with_size(5_000, 97).generate();
+        let reference = VasSampler::from_dataset(&d, VasConfig::new(200)).build(&d);
+        for chunk in [128usize, 2_048, 5_000] {
+            let mut streaming = VasSampler::new(VasConfig::new(200).with_threads(4));
+            let mut source = vas_stream::DatasetSource::with_chunk_size(&d, chunk);
+            let sample = streaming.build_from_source(&mut source).unwrap();
+            assert_samples_bitwise_equal(
+                &sample.points,
+                &reference.points,
+                &format!("parallel stream chunk {chunk}"),
+            );
+        }
+    }
+
+    #[test]
+    fn observe_chunk_equals_observe_loop_sequentially() {
+        // threads = 1 must be *the* sequential loop, not a near-copy.
+        let d = GeolifeGenerator::with_size(2_000, 101).generate();
+        let config = VasConfig::new(100);
+        let mut chunked = VasSampler::from_dataset(&d, config.clone());
+        let mut plain = VasSampler::from_dataset(&d, config);
+        for chunk in d.points.chunks(333) {
+            chunked.observe_chunk(chunk);
+        }
+        for p in d.iter() {
+            plain.observe(*p);
+        }
+        assert_samples_bitwise_equal(
+            chunked.current_sample(),
+            plain.current_sample(),
+            "observe_chunk vs observe",
+        );
+        assert_eq!(chunked.replacements(), plain.replacements());
+        assert_eq!(chunked.seen, plain.seen);
+    }
+
+    #[test]
+    fn speculative_path_emits_identical_progress_events() {
+        let d = GeolifeGenerator::with_size(3_000, 107).generate();
+        let collect = |threads: usize| {
+            let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            let sink = events.clone();
+            let mut s = VasSampler::from_dataset(
+                &d,
+                VasConfig::new(100)
+                    .with_progress_every(250)
+                    .with_threads(threads),
+            );
+            s.set_progress_sink(Box::new(move |e| sink.lock().unwrap().push(e)));
+            let _ = s.build(&d);
+            let events = events.lock().unwrap();
+            events
+                .iter()
+                .map(|e| (e.tuples_processed, e.replacements, e.objective.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(1), collect(4));
+    }
+
+    #[test]
+    fn sampler_crosses_threads() {
+        // The audit the parallel drivers rely on: a sampler (any backend)
+        // can be moved to a worker thread wholesale.
+        fn assert_send<T: Send>() {}
+        assert_send::<VasSampler>();
+        assert_send::<VasSampler<vas_spatial::HashGrid>>();
+        assert_send::<VasSampler<vas_spatial::RTree>>();
+        assert_send::<VasSampler<vas_spatial::KdTree>>();
+        let d = GeolifeGenerator::with_size(500, 3).generate();
+        let handle = std::thread::spawn(move || {
+            let mut s = VasSampler::from_dataset(&d, VasConfig::new(50));
+            s.sample_dataset(&d).len()
+        });
+        assert_eq!(handle.join().unwrap(), 50);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod max_tracker;
 pub mod objective;
 pub mod outlier;
 
-pub use density::embed_density;
+pub use density::{density_counts_threaded, embed_density};
 pub use interchange::{InterchangeStrategy, ProgressEvent, VasConfig, VasSampler};
 pub use kernel::{GaussianKernel, Kernel, KernelKind};
 pub use max_tracker::MaxTracker;

@@ -36,6 +36,11 @@ pub struct LossConfig {
     /// Point-losses are clamped to this value to avoid infinities when a
     /// probe is far from every sampled point.
     pub max_point_loss: f64,
+    /// Worker threads for the M-probe loop of [`LossEstimator::evaluate`]
+    /// (`1` = sequential, `0` = available parallelism). Probes are
+    /// independent and fan in by probe index, so the estimate is
+    /// **bit-identical** at every thread count.
+    pub threads: usize,
 }
 
 impl Default for LossConfig {
@@ -45,7 +50,17 @@ impl Default for LossConfig {
             domain_radius_fraction: 0.03,
             seed: 7,
             max_point_loss: 1e300,
+            threads: 1,
         }
+    }
+}
+
+impl LossConfig {
+    /// Sets the worker-thread count for the probe loop (see
+    /// [`threads`](Self::threads)).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -154,21 +169,25 @@ impl LossEstimator {
         // locality subsystem the Interchange loop uses.
         let radius = kernel.effective_radius(1e-12).min(f64::MAX);
         let grid = HashGrid::from_entries(radius, sample.iter().copied().enumerate());
-        let mut losses: Vec<f64> = Vec::with_capacity(self.probes.len());
-        for probe in &self.probes {
-            let mut total = 0.0;
-            // Visitor form of the radius query: summing M probe
-            // neighbourhoods allocates nothing.
-            grid.for_each_in_radius(probe, radius, |_, p| {
-                total += kernel.eval(probe, p);
+        // Probes are mutually independent, so the M-probe loop fans out over
+        // scoped workers sharing the frozen grid; the ordered fan-in returns
+        // the losses in probe order, making the estimate bit-identical to
+        // the sequential loop at any thread count (mean folds the same
+        // vector left-to-right; median sorts the same multiset).
+        let losses: Vec<f64> =
+            vas_par::par_map_ordered(self.config.threads, &self.probes, |_, probe| {
+                let mut total = 0.0;
+                // Visitor form of the radius query: summing M probe
+                // neighbourhoods allocates nothing.
+                grid.for_each_in_radius(probe, radius, |_, p| {
+                    total += kernel.eval(probe, p);
+                });
+                if total > 0.0 {
+                    (1.0 / total).min(self.config.max_point_loss)
+                } else {
+                    self.config.max_point_loss
+                }
             });
-            let loss = if total > 0.0 {
-                (1.0 / total).min(self.config.max_point_loss)
-            } else {
-                self.config.max_point_loss
-            };
-            losses.push(loss);
-        }
         let mean = losses.iter().sum::<f64>() / losses.len() as f64;
         let median = crate::stats::median(&losses);
         LossReport {
@@ -270,6 +289,37 @@ mod tests {
     }
 
     #[test]
+    fn parallel_probe_loop_is_bit_identical_to_sequential() {
+        let d = dataset();
+        let kernel = GaussianKernel::for_dataset(&d);
+        let sample = UniformSampler::new(400, 9).sample_dataset(&d);
+        let sequential = LossEstimator::new(&d, &kernel, LossConfig::default());
+        let seq = sequential.evaluate(&kernel, &sample.points);
+        for threads in [2usize, 4] {
+            let parallel =
+                LossEstimator::new(&d, &kernel, LossConfig::default().with_threads(threads));
+            assert_eq!(parallel.probes(), sequential.probes());
+            assert_eq!(
+                parallel.full_dataset_loss().to_bits(),
+                sequential.full_dataset_loss().to_bits(),
+                "threads {threads}: full-dataset loss diverged"
+            );
+            let par = parallel.evaluate(&kernel, &sample.points);
+            assert_eq!(par.mean.to_bits(), seq.mean.to_bits(), "threads {threads}");
+            assert_eq!(
+                par.median.to_bits(),
+                seq.median.to_bits(),
+                "threads {threads}"
+            );
+            assert_eq!(
+                parallel.log_loss_ratio(&kernel, &sample.points).to_bits(),
+                sequential.log_loss_ratio(&kernel, &sample.points).to_bits(),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let d = dataset();
         let kernel = GaussianKernel::for_dataset(&d);
@@ -277,6 +327,13 @@ mod tests {
         let b = LossEstimator::new(&d, &kernel, LossConfig::default());
         assert_eq!(a.probes(), b.probes());
         assert_eq!(a.full_dataset_loss(), b.full_dataset_loss());
+    }
+
+    #[test]
+    fn estimator_crosses_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LossEstimator>();
+        assert_send_sync::<LossConfig>();
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! Ordered fan-out/fan-in combinators over scoped threads.
+//!
+//! All combinators share one structure: the input is split into contiguous
+//! index ranges with [`split_ranges`], each range is processed by one worker
+//! (the calling thread takes the first range itself, so `threads = 1` spawns
+//! nothing and is exactly the sequential loop), and the per-range results are
+//! combined **in range order**. Because the split depends only on
+//! `(len, threads)` and the fan-in order is fixed, a deterministic per-item
+//! function gives a combined result that is bit-identical to the sequential
+//! left-to-right evaluation — the property the determinism suite pins.
+
+use std::ops::Range;
+
+/// Resolves a requested worker count: `0` means "ask the OS"
+/// ([`std::thread::available_parallelism`]), anything else is taken
+/// literally. Always at least 1.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+    .max(1)
+}
+
+/// Splits `0..len` into at most `parts` contiguous, near-equal, non-empty
+/// ranges covering every index exactly once, in ascending order.
+///
+/// The first `len % parts` ranges are one element longer, so range sizes
+/// differ by at most one. Depends only on `(len, parts)` — the split is the
+/// deterministic backbone of every combinator in this module.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(len);
+    if len == 0 {
+        return Vec::new();
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+/// Maps `f(index, &item)` over a slice with up to `threads` scoped workers,
+/// returning the results **in input order** — bit-identical to
+/// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()` whenever `f`
+/// is deterministic.
+///
+/// The slice is split into contiguous ranges ([`split_ranges`]); each worker
+/// fills a private vector for its range and the vectors are concatenated in
+/// range order. With `threads <= 1` (or a single-range split) no thread is
+/// spawned.
+///
+/// A panic in `f` propagates to the caller after all workers have joined.
+pub fn par_map_ordered<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let ranges = split_ranges(items.len(), effective_threads(threads));
+    if ranges.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut per_range: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ranges[1..]
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                scope.spawn(move || {
+                    items[range.clone()]
+                        .iter()
+                        .zip(range)
+                        .map(|(t, i)| f(i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        // The calling thread is worker 0.
+        let first: Vec<R> = items[ranges[0].clone()]
+            .iter()
+            .zip(ranges[0].clone())
+            .map(|(t, i)| f(i, t))
+            .collect();
+        let mut out = Vec::with_capacity(ranges.len());
+        out.push(first);
+        for h in handles {
+            out.push(h.join().expect("vas-par worker panicked"));
+        }
+        out
+    });
+    let mut result = Vec::with_capacity(items.len());
+    for v in &mut per_range {
+        result.append(v);
+    }
+    result
+}
+
+/// Owned-input variant of [`par_map_ordered`]: consumes `items`, hands each
+/// element to exactly one worker, and returns `f(index, item)` results in
+/// input order. Used where the mapped values cannot be borrowed (e.g. running
+/// a ladder of independently-owned samplers).
+pub fn par_map_vec_ordered<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let ranges = split_ranges(items.len(), effective_threads(threads));
+    if ranges.len() <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    // Carve the owned input into one sub-vector per range, preserving order.
+    let mut stripes: Vec<(Range<usize>, Vec<T>)> = Vec::with_capacity(ranges.len());
+    let mut rest = items;
+    for range in ranges.iter().rev() {
+        let tail = rest.split_off(range.start);
+        stripes.push((range.clone(), tail));
+    }
+    stripes.reverse();
+    let mut per_range: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let f = &f;
+        let mut stripes = stripes.into_iter();
+        let (first_range, first_items) = stripes.next().expect("at least one range");
+        let handles: Vec<_> = stripes
+            .map(|(range, stripe)| {
+                scope.spawn(move || {
+                    stripe
+                        .into_iter()
+                        .zip(range)
+                        .map(|(t, i)| f(i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let first: Vec<R> = first_items
+            .into_iter()
+            .zip(first_range)
+            .map(|(t, i)| f(i, t))
+            .collect();
+        let mut out = Vec::with_capacity(1 + handles.len());
+        out.push(first);
+        for h in handles {
+            out.push(h.join().expect("vas-par worker panicked"));
+        }
+        out
+    });
+    let mut result = Vec::new();
+    for v in &mut per_range {
+        result.append(v);
+    }
+    result
+}
+
+/// Fans a slice out as fixed-size chunks (`items.chunks(chunk_size)`), maps
+/// every chunk to an accumulator with `map`, and folds the accumulators
+/// **left-to-right in chunk order** with `fold` — the "ordered-index
+/// reduction" shape, used by the density-embedding pass
+/// (`vas_core::density_counts_threaded`) and available to any map-reduce
+/// over a slice. (Per-item fan-outs like the loss estimator's probe loop
+/// use [`par_map_ordered`] directly.)
+///
+/// The chunk split is fixed by `(len, chunk_size)` and the reduction order is
+/// fixed by chunk index, so the result is independent of the thread count:
+/// `par_chunk_fold_ordered(1, ..)` and `par_chunk_fold_ordered(8, ..)` agree
+/// bit-for-bit for deterministic `map`/`fold`. Returns `None` for an empty
+/// input.
+///
+/// # Panics
+/// Panics if `chunk_size` is zero.
+pub fn par_chunk_fold_ordered<T, A, M, F>(
+    threads: usize,
+    items: &[T],
+    chunk_size: usize,
+    map: M,
+    fold: F,
+) -> Option<A>
+where
+    T: Sync,
+    A: Send,
+    M: Fn(usize, &[T]) -> A + Sync,
+    F: FnMut(A, A) -> A,
+{
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    let mapped = par_map_ordered(threads, &chunks, |i, chunk| map(i, chunk));
+    mapped.into_iter().reduce(fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(3), 3);
+        assert_eq!(effective_threads(1), 1);
+        assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for (len, parts) in [(0usize, 4usize), (1, 4), (7, 3), (8, 3), (9, 3), (100, 1)] {
+            let ranges = split_ranges(len, parts);
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next, "len {len} parts {parts}");
+                assert!(!r.is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, len);
+            assert!(ranges.len() <= parts.max(1));
+            if len > 0 {
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced split: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map_at_any_thread_count() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let reference: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * 3 + i as u64)
+            .collect();
+        for threads in [1usize, 2, 3, 4, 7, 16] {
+            let got = par_map_ordered(threads, &items, |i, v| v * 3 + i as u64);
+            assert_eq!(got, reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_vec_preserves_order_and_ownership() {
+        let items: Vec<String> = (0..57).map(|i| format!("item-{i}")).collect();
+        let reference: Vec<String> = items.iter().map(|s| format!("{s}!")).collect();
+        for threads in [1usize, 2, 5, 8] {
+            let got = par_map_vec_ordered(threads, items.clone(), |_, s| format!("{s}!"));
+            assert_eq!(got, reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_ordered(4, &empty, |_, v| *v).is_empty());
+        assert!(par_map_vec_ordered(4, empty.clone(), |_, v| v).is_empty());
+        let folded = par_chunk_fold_ordered(4, &empty, 8, |_, c: &[u32]| c.len(), |a, b| a + b);
+        assert_eq!(folded, None);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn ordered_chunk_fold_equals_sequential_fold_for_arbitrary_splits(
+            values in proptest::collection::vec(-1.0e3f64..1.0e3, 1..400),
+            chunk in 1usize..64,
+            threads in 1usize..9,
+        ) {
+            // The floating-point sum is the canonical order-sensitive fold:
+            // any reordering shows up as a bit difference. The parallel
+            // chunked fold must therefore reproduce the *sequential chunked*
+            // fold exactly — and because addition inside a chunk is the same
+            // left-to-right loop, that in turn equals the plain sequential
+            // sum bit-for-bit.
+            let sequential: f64 = values.iter().sum();
+            let map = |_: usize, c: &[f64]| c.iter().sum::<f64>();
+            let seq_chunked = values
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, c)| map(i, c))
+                .reduce(|a, b| a + b)
+                .unwrap();
+            let par = par_chunk_fold_ordered(threads, &values, chunk, map, |a, b| a + b).unwrap();
+            prop_assert_eq!(par.to_bits(), seq_chunked.to_bits());
+            // The chunked fold re-associates the sum, so compare the
+            // *structure*, not the raw sequential sum — but with one chunk
+            // they must literally agree.
+            if chunk >= values.len() {
+                prop_assert_eq!(par.to_bits(), sequential.to_bits());
+            }
+        }
+
+        #[test]
+        fn ordered_fan_in_equals_sequential_map_for_arbitrary_splits(
+            values in proptest::collection::vec(-1.0e6f64..1.0e6, 0..300),
+            threads in 1usize..9,
+        ) {
+            let reference: Vec<f64> = values.iter().map(|v| v.sin() * 2.0).collect();
+            let got = par_map_ordered(threads, &values, |_, v| v.sin() * 2.0);
+            prop_assert_eq!(got.len(), reference.len());
+            for (a, b) in got.iter().zip(&reference) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..100).collect();
+        let _ = par_map_ordered(4, &items, |_, v| {
+            assert!(*v != 57, "boom");
+            *v
+        });
+    }
+}

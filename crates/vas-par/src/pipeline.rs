@@ -1,0 +1,363 @@
+//! A double-buffered background pipeline stage.
+//!
+//! [`ReadAhead`] moves a [`Stage`] (a rewindable producer of items — chunk
+//! decoding, dataset generation, CSV parsing) onto its own worker thread and
+//! connects it to the consumer through a **bounded** channel: while the
+//! consumer processes item *n*, the worker is already producing item *n+1*
+//! (and, with the default depth of 2, staging *n+2*). Order is preserved
+//! end-to-end — the channel is FIFO and there is exactly one producer — so a
+//! deterministic stage stays deterministic behind the pipeline.
+//!
+//! ## The epoch protocol
+//!
+//! Consumers can [`reset`](ReadAhead::reset) mid-stream (the Interchange
+//! sampler rescans its source once per refinement pass). Tearing the worker
+//! down and respawning would serialize every pass boundary, so instead every
+//! message carries an **epoch** number:
+//!
+//! * `reset` bumps the consumer's epoch and sends a `Scan(epoch)` command;
+//! * the worker abandons its current scan when it sees a newer command,
+//!   rewinds the stage, and starts emitting messages tagged with the new
+//!   epoch;
+//! * the consumer silently discards messages from older epochs.
+//!
+//! The worker polls the command queue between items, so the only place it can
+//! linger is blocked on the full data channel — and the consumer drains that
+//! channel on its way to the next current-epoch message, which unblocks the
+//! worker. Neither side ever blocks on a condition the other side cannot
+//! clear, including at shutdown (drop sends `Shutdown`, then drains until the
+//! worker hangs up).
+//!
+//! Spent items can be handed back through [`recycle`](ReadAhead::recycle);
+//! the worker reuses them as scratch (a `Vec` keeps its capacity), making the
+//! steady state allocation-free for buffer-shaped items.
+
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
+
+/// Outcome of one production step of a [`Stage`].
+#[derive(Debug)]
+pub enum Step<T, E> {
+    /// One produced item.
+    Item(T),
+    /// The current scan is exhausted (a later rewind may restart it).
+    Done,
+    /// The scan failed; the stage stays parked until the next rewind.
+    Fail(E),
+}
+
+/// A rewindable producer that [`ReadAhead`] runs on a worker thread.
+///
+/// Implementations receive an optional recycled item (same shape as what they
+/// produce) to reuse as scratch space.
+pub trait Stage: Send + 'static {
+    /// The produced item type (typically a buffer, e.g. `Vec<Point>`).
+    type Item: Send + 'static;
+    /// The error type scans can fail with.
+    type Error: Send + 'static;
+
+    /// Produces the next item of the current scan. `reuse` is a spent item
+    /// handed back by the consumer, if one is available.
+    fn next(&mut self, reuse: Option<Self::Item>) -> Step<Self::Item, Self::Error>;
+
+    /// Rewinds the stage so the next [`next`](Self::next) call produces the
+    /// first item again.
+    fn rewind(&mut self) -> Result<(), Self::Error>;
+}
+
+enum Command {
+    Scan(u64),
+    Shutdown,
+}
+
+enum Message<T, E> {
+    Item(u64, T),
+    Done(u64),
+    Fail(u64, E),
+}
+
+/// Handle to a [`Stage`] running ahead of the consumer on a worker thread.
+/// See the [module docs](self) for the protocol.
+pub struct ReadAhead<S: Stage> {
+    cmd_tx: Sender<Command>,
+    data_rx: Receiver<Message<S::Item, S::Error>>,
+    recycle_tx: Sender<S::Item>,
+    epoch: u64,
+    finished: bool,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<S: Stage> std::fmt::Debug for ReadAhead<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadAhead")
+            .field("epoch", &self.epoch)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl<S: Stage> ReadAhead<S> {
+    /// Moves `stage` onto a worker thread and starts the first scan
+    /// immediately (the stage is rewound first, so the pipeline always
+    /// begins at the stream's first item). `depth` is the bounded channel
+    /// capacity — how many produced items may sit ready ahead of the
+    /// consumer; `2` gives classic double buffering.
+    ///
+    /// # Panics
+    /// Panics if `depth` is zero.
+    pub fn spawn(stage: S, depth: usize) -> Self {
+        assert!(depth > 0, "read-ahead depth must be positive");
+        let (cmd_tx, cmd_rx) = std::sync::mpsc::channel::<Command>();
+        let (data_tx, data_rx) = std::sync::mpsc::sync_channel::<Message<S::Item, S::Error>>(depth);
+        let (recycle_tx, recycle_rx) = std::sync::mpsc::channel::<S::Item>();
+        let handle = std::thread::Builder::new()
+            .name("vas-par-read-ahead".to_string())
+            .spawn(move || worker(stage, cmd_rx, data_tx, recycle_rx))
+            .expect("spawn read-ahead worker");
+        cmd_tx.send(Command::Scan(0)).expect("worker alive");
+        Self {
+            cmd_tx,
+            data_rx,
+            recycle_tx,
+            epoch: 0,
+            finished: false,
+            handle: Some(handle),
+        }
+    }
+
+    /// Receives the next item of the current scan.
+    ///
+    /// * `Ok(Some(item))` — the next item, in production order.
+    /// * `Ok(None)` — the current scan is exhausted; stays exhausted until
+    ///   [`reset`](Self::reset).
+    /// * `Err(e)` — the scan failed; also parks the pipeline until `reset`.
+    pub fn recv(&mut self) -> Result<Option<S::Item>, S::Error> {
+        if self.finished {
+            return Ok(None);
+        }
+        loop {
+            let msg = self.data_rx.recv().expect("read-ahead worker disconnected");
+            match msg {
+                Message::Item(epoch, item) if epoch == self.epoch => return Ok(Some(item)),
+                Message::Done(epoch) if epoch == self.epoch => {
+                    self.finished = true;
+                    return Ok(None);
+                }
+                Message::Fail(epoch, e) if epoch == self.epoch => {
+                    self.finished = true;
+                    return Err(e);
+                }
+                // Stale message from a scan that was reset away: discard.
+                Message::Item(..) | Message::Done(..) | Message::Fail(..) => continue,
+            }
+        }
+    }
+
+    /// Starts a fresh scan from the first item. Cheap: the worker abandons
+    /// whatever it was producing and rewinds in place.
+    pub fn reset(&mut self) {
+        self.epoch += 1;
+        self.finished = false;
+        self.cmd_tx
+            .send(Command::Scan(self.epoch))
+            .expect("read-ahead worker disconnected");
+    }
+
+    /// Hands a spent item back to the worker for reuse as scratch space.
+    pub fn recycle(&mut self, item: S::Item) {
+        // A dead worker cannot reuse anything; dropping the item is fine.
+        let _ = self.recycle_tx.send(item);
+    }
+}
+
+impl<S: Stage> Drop for ReadAhead<S> {
+    fn drop(&mut self) {
+        let _ = self.cmd_tx.send(Command::Shutdown);
+        // Drain until the worker drops its sender, so a worker blocked on the
+        // full data channel can make progress, see the shutdown command and
+        // exit.
+        while self.data_rx.recv().is_ok() {}
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The worker loop: wait for a scan command, rewind, stream items tagged with
+/// the scan's epoch, abandoning the scan whenever a newer command arrives.
+fn worker<S: Stage>(
+    mut stage: S,
+    cmd_rx: Receiver<Command>,
+    data_tx: SyncSender<Message<S::Item, S::Error>>,
+    recycle_rx: Receiver<S::Item>,
+) {
+    let mut pending: Option<Command> = None;
+    loop {
+        let cmd = match pending.take() {
+            Some(cmd) => cmd,
+            None => match cmd_rx.recv() {
+                Ok(cmd) => cmd,
+                Err(_) => return, // consumer dropped
+            },
+        };
+        let epoch = match cmd {
+            Command::Shutdown => return,
+            Command::Scan(epoch) => epoch,
+        };
+        if let Err(e) = stage.rewind() {
+            if data_tx.send(Message::Fail(epoch, e)).is_err() {
+                return;
+            }
+            continue;
+        }
+        loop {
+            // A newer command outdates this scan.
+            match cmd_rx.try_recv() {
+                Ok(cmd) => {
+                    pending = Some(cmd);
+                    break;
+                }
+                Err(TryRecvError::Disconnected) => return,
+                Err(TryRecvError::Empty) => {}
+            }
+            let reuse = recycle_rx.try_recv().ok();
+            let message = match stage.next(reuse) {
+                Step::Item(item) => Message::Item(epoch, item),
+                Step::Done => Message::Done(epoch),
+                Step::Fail(e) => Message::Fail(epoch, e),
+            };
+            let terminal = !matches!(message, Message::Item(..));
+            if data_tx.send(message).is_err() {
+                return; // consumer dropped
+            }
+            if terminal {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts 0..n, failing at `fail_at` if set.
+    struct Counter {
+        n: u64,
+        next: u64,
+        fail_at: Option<u64>,
+        rewinds: u64,
+    }
+
+    impl Stage for Counter {
+        type Item = u64;
+        type Error = String;
+
+        fn next(&mut self, _reuse: Option<u64>) -> Step<u64, String> {
+            if Some(self.next) == self.fail_at {
+                return Step::Fail(format!("failed at {}", self.next));
+            }
+            if self.next >= self.n {
+                return Step::Done;
+            }
+            let v = self.next;
+            self.next += 1;
+            Step::Item(v)
+        }
+
+        fn rewind(&mut self) -> Result<(), String> {
+            self.next = 0;
+            self.rewinds += 1;
+            Ok(())
+        }
+    }
+
+    fn counter(n: u64) -> Counter {
+        Counter {
+            n,
+            next: 0,
+            fail_at: None,
+            rewinds: 0,
+        }
+    }
+
+    #[test]
+    fn streams_every_item_in_order() {
+        let mut ahead = ReadAhead::spawn(counter(100), 2);
+        let mut got = Vec::new();
+        while let Some(v) = ahead.recv().unwrap() {
+            got.push(v);
+        }
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        // Exhausted stays exhausted without a reset.
+        assert_eq!(ahead.recv().unwrap(), None);
+        assert_eq!(ahead.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn reset_restarts_from_the_first_item() {
+        let mut ahead = ReadAhead::spawn(counter(50), 2);
+        // Consume part of the stream, then reset mid-scan.
+        for expect in 0..20 {
+            assert_eq!(ahead.recv().unwrap(), Some(expect));
+        }
+        ahead.reset();
+        let mut got = Vec::new();
+        while let Some(v) = ahead.recv().unwrap() {
+            got.push(v);
+        }
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        // And again after exhaustion.
+        ahead.reset();
+        assert_eq!(ahead.recv().unwrap(), Some(0));
+    }
+
+    #[test]
+    fn errors_surface_and_park_the_stream() {
+        let mut ahead = ReadAhead::spawn(
+            Counter {
+                n: 10,
+                next: 0,
+                fail_at: Some(3),
+                rewinds: 0,
+            },
+            2,
+        );
+        assert_eq!(ahead.recv().unwrap(), Some(0));
+        assert_eq!(ahead.recv().unwrap(), Some(1));
+        assert_eq!(ahead.recv().unwrap(), Some(2));
+        let err = ahead.recv().unwrap_err();
+        assert!(err.contains("failed at 3"));
+        // Parked after the failure.
+        assert_eq!(ahead.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn rapid_resets_converge_on_the_latest_epoch() {
+        let mut ahead = ReadAhead::spawn(counter(1_000), 1);
+        for _ in 0..20 {
+            ahead.reset();
+        }
+        assert_eq!(ahead.recv().unwrap(), Some(0));
+        assert_eq!(ahead.recv().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn drop_mid_stream_does_not_hang() {
+        let ahead = ReadAhead::spawn(counter(1_000_000), 2);
+        drop(ahead); // worker is mid-scan and likely blocked on the channel
+    }
+
+    #[test]
+    fn recycling_is_accepted() {
+        let mut ahead = ReadAhead::spawn(counter(10), 2);
+        let v = ahead.recv().unwrap().unwrap();
+        ahead.recycle(v);
+        while ahead.recv().unwrap().is_some() {}
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_is_rejected() {
+        let _ = ReadAhead::spawn(counter(1), 0);
+    }
+}

@@ -36,7 +36,14 @@ use vas_data::Point;
 ///
 /// Duplicate ids and duplicate points are permitted (the index is a
 /// multiset); [`remove`](Self::remove) deletes one matching entry.
-pub trait LocalityIndex {
+///
+/// `Send + Sync` are supertraits: the parallel execution subsystem shares a
+/// frozen index snapshot across scoped worker threads (the Interchange
+/// speculative pre-evaluation front, the loss estimator's probe fan-out), so
+/// a backend must be safe to reference concurrently while no `&mut` method
+/// runs. Every backend here is plain owned data with no interior
+/// mutability, so the bounds are automatic.
+pub trait LocalityIndex: Send + Sync {
     /// Number of stored entries.
     fn len(&self) -> usize;
 
@@ -261,6 +268,19 @@ mod tests {
         (0..n)
             .map(|_| Point::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)))
             .collect()
+    }
+
+    /// Compile-time audit: every backend (and the runtime-dispatch enum)
+    /// must be shareable across the scoped worker threads of the parallel
+    /// subsystem. A backend gaining an `Rc`/`RefCell` field would turn this
+    /// into a compile error rather than a distant trait-bound failure.
+    #[test]
+    fn every_backend_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::RTree>();
+        assert_send_sync::<crate::KdTree>();
+        assert_send_sync::<crate::HashGrid>();
+        assert_send_sync::<AnyLocalityIndex>();
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   below), and the streaming generator sources ([`GeolifeSource`],
 //!   [`GaussianMixtureSource`], [`SplomSource`]) that emit chunks straight
 //!   out of the `vas-data` generator iterators — same seed, bit-identical
-//!   points, never materializing the dataset.
+//!   points, never materializing the dataset. [`PrefetchSource`] wraps any
+//!   owned source with a pipelined read-ahead worker (chunk *n+1* is decoded
+//!   while the consumer drains chunk *n*) without changing the stream by a
+//!   bit, and `Box<dyn PointSource + Send>` is itself a source, so
+//!   heterogeneous pipelines can cross thread boundaries.
 //! * **The chunked columnar spill format** — [`ChunkedWriter`] /
 //!   [`ChunkedReader`]: a binary file with a provenance header (name, kind,
 //!   bounds, count, chunk size) followed by fixed-size chunks of `x`/`y`/
@@ -78,6 +82,7 @@
 pub mod chunked;
 pub mod csv;
 pub mod generate;
+pub mod prefetch;
 pub mod source;
 pub mod stats;
 
@@ -86,5 +91,6 @@ pub use chunked::{
 };
 pub use csv::CsvSource;
 pub use generate::{GaussianMixtureSource, GeolifeSource, SplomSource};
+pub use prefetch::{PrefetchSource, DEFAULT_PREFETCH_DEPTH};
 pub use source::{DatasetSource, PointSource, TrackingSource, DEFAULT_CHUNK_SIZE};
 pub use stats::{scan_stats, StreamStats};

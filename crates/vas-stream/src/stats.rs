@@ -66,6 +66,54 @@ impl StreamStats {
         self.m2 += delta * (p.value - self.mean);
     }
 
+    /// Merges the statistics of a **later** split of the same stream into
+    /// this accumulator — the ordered fan-in step of a parallel stats scan:
+    /// fold each chunk independently, then merge left-to-right in chunk
+    /// order.
+    ///
+    /// `count`, `bounds`, `value_min`/`value_max` and `non_finite` merge
+    /// **bit-identically** to the one-pass fold over the concatenated stream
+    /// for any split (min/max and integer addition re-associate exactly) —
+    /// these are the fields the kernel-bandwidth rule reads, so a parallel
+    /// pre-pass resolves the same ε as a sequential one.
+    ///
+    /// The `value` moments use Chan et al.'s exact pairwise formula. When
+    /// `other` holds a single point the update specializes to the identical
+    /// floating-point operations [`push`](Self::push) performs, so a
+    /// merge-fold over single-point splits *is* the one-pass fold
+    /// bit-for-bit; for coarser splits the pairwise mean/M2 are exact in
+    /// real arithmetic and agree with the one-pass fold to rounding (both
+    /// properties are property-tested).
+    pub fn merge(&mut self, other: &StreamStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.bounds = self.bounds.union(&other.bounds);
+        self.value_min = self.value_min.min(other.value_min);
+        self.value_max = self.value_max.max(other.value_max);
+        self.non_finite += other.non_finite;
+        let n1 = self.count as f64;
+        let n = (self.count + other.count) as f64;
+        let delta = other.mean - self.mean;
+        if other.count == 1 {
+            // Replay the exact `push` update: mean += delta / n;
+            // m2 += delta * (value - new_mean). (`other.m2` is 0 and
+            // `other.mean` is the point's value.)
+            self.count += 1;
+            self.mean += delta / n;
+            self.m2 += delta * (other.mean - self.mean);
+        } else {
+            let n2 = other.count as f64;
+            self.count += other.count;
+            self.mean += delta * n2 / n;
+            self.m2 += other.m2 + delta * delta * (n1 * n2 / n);
+        }
+    }
+
     /// Mean of the `value` attribute (0 for an empty stream, matching
     /// `Dataset::mean_value`).
     pub fn value_mean(&self) -> f64 {
@@ -118,6 +166,7 @@ pub fn scan_stats<S: PointSource>(source: &mut S) -> io::Result<StreamStats> {
 mod tests {
     use super::*;
     use crate::source::DatasetSource;
+    use proptest::prelude::*;
     use vas_data::{Dataset, GeolifeGenerator};
 
     #[test]
@@ -176,6 +225,112 @@ mod tests {
         let single = Dataset::from_points("one", vec![Point::new(2.0, 3.0); 5]);
         let s = scan_stats(&mut DatasetSource::new(&single)).unwrap();
         assert_eq!(s.epsilon_hint(), 1.0);
+    }
+
+    fn push_all(points: &[Point]) -> StreamStats {
+        let mut s = StreamStats::new();
+        for p in points {
+            s.push(p);
+        }
+        s
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn pairwise_merge_matches_one_pass_fold_on_arbitrary_splits(
+            raw in proptest::collection::vec(
+                (-1.0e6f64..1.0e6, -1.0e6f64..1.0e6, -1.0e3f64..1.0e3),
+                1..120,
+            ),
+            split_seed in 0usize..1_000,
+        ) {
+            let points: Vec<Point> =
+                raw.iter().map(|&(x, y, v)| Point::with_value(x, y, v)).collect();
+            let reference = push_all(&points);
+
+            // Split into chunks whose sizes are derived from the seed, fold
+            // each independently, merge left-to-right in chunk order.
+            let mut merged = StreamStats::new();
+            let mut start = 0usize;
+            let mut step = split_seed;
+            while start < points.len() {
+                let len = 1 + step % 7;
+                step = step.wrapping_mul(31).wrapping_add(17);
+                let end = (start + len).min(points.len());
+                merged.merge(&push_all(&points[start..end]));
+                start = end;
+            }
+
+            // The split-invariant fields are pinned bitwise: these feed the
+            // kernel-bandwidth rule, where a single flipped bit would change
+            // every downstream replacement decision.
+            prop_assert_eq!(merged.count, reference.count);
+            prop_assert_eq!(merged.non_finite, reference.non_finite);
+            prop_assert_eq!(merged.bounds.min_x.to_bits(), reference.bounds.min_x.to_bits());
+            prop_assert_eq!(merged.bounds.min_y.to_bits(), reference.bounds.min_y.to_bits());
+            prop_assert_eq!(merged.bounds.max_x.to_bits(), reference.bounds.max_x.to_bits());
+            prop_assert_eq!(merged.bounds.max_y.to_bits(), reference.bounds.max_y.to_bits());
+            prop_assert_eq!(merged.value_min.to_bits(), reference.value_min.to_bits());
+            prop_assert_eq!(merged.value_max.to_bits(), reference.value_max.to_bits());
+            prop_assert_eq!(
+                merged.epsilon_hint().to_bits(),
+                reference.epsilon_hint().to_bits()
+            );
+            // The pairwise moments are exact in real arithmetic; require
+            // tight relative agreement with the one-pass fold.
+            let mean_scale = reference.value_mean().abs().max(1.0);
+            prop_assert!((merged.value_mean() - reference.value_mean()).abs() <= 1e-9 * mean_scale);
+            let var_scale = reference.value_variance().max(1e-9);
+            prop_assert!(
+                (merged.value_variance() - reference.value_variance()).abs() <= 1e-6 * var_scale
+            );
+        }
+
+        #[test]
+        fn single_point_merges_are_the_one_pass_fold_bit_for_bit(
+            raw in proptest::collection::vec(
+                (-1.0e6f64..1.0e6, -1.0e6f64..1.0e6, -1.0e3f64..1.0e3),
+                1..60,
+            ),
+        ) {
+            // Merging a stream one single-point split at a time must replay
+            // `push` exactly, moments included — this is what makes `merge` a
+            // strict generalization of the sequential fold rather than a
+            // second algorithm with its own rounding.
+            let points: Vec<Point> =
+                raw.iter().map(|&(x, y, v)| Point::with_value(x, y, v)).collect();
+            let reference = push_all(&points);
+            let mut merged = StreamStats::new();
+            for p in &points {
+                let mut single = StreamStats::new();
+                single.push(p);
+                merged.merge(&single);
+            }
+            prop_assert_eq!(merged.count, reference.count);
+            prop_assert_eq!(merged.value_mean().to_bits(), reference.value_mean().to_bits());
+            prop_assert_eq!(
+                merged.value_variance().to_bits(),
+                reference.value_variance().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let d = GeolifeGenerator::with_size(500, 31).generate();
+        let full = push_all(&d.points);
+        let mut left = full;
+        left.merge(&StreamStats::new());
+        assert_eq!(left.count, full.count);
+        assert_eq!(left.value_mean().to_bits(), full.value_mean().to_bits());
+        let mut right = StreamStats::new();
+        right.merge(&full);
+        assert_eq!(right.count, full.count);
+        assert_eq!(right.value_mean().to_bits(), full.value_mean().to_bits());
+        assert_eq!(
+            right.value_variance().to_bits(),
+            full.value_variance().to_bits()
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`spatial`] | the `LocalityIndex` trait with R-tree, k-d tree and spatial-hash backends, plus grid substrates |
 //! | [`sampling`] | the [`Sampler`](sampling::Sampler) trait and the uniform / stratified baselines |
 //! | [`core`] | the VAS objective, the Interchange algorithm, density embedding |
+//! | [`par`] | deterministic parallel substrate: scoped ordered fan-out/fan-in, background pipeline stage |
 //! | [`exact`] | exact (branch-and-bound) solvers for small instances |
 //! | [`eval`] | Monte-Carlo loss, log-loss-ratio, Spearman correlation |
 //! | [`viz`] | scatter/map rasterizer, viewports, colormaps, latency model |
@@ -53,6 +54,7 @@ pub use vas_core as core;
 pub use vas_data as data;
 pub use vas_eval as eval;
 pub use vas_exact as exact;
+pub use vas_par as par;
 pub use vas_sampling as sampling;
 pub use vas_spatial as spatial;
 pub use vas_storage as storage;
@@ -82,7 +84,7 @@ pub mod prelude {
     pub use vas_storage::{SampleCatalog, Table, VizEngine, VizQuery};
     pub use vas_stream::{
         spill_dataset, spill_source, ChunkedReader, ChunkedWriter, CsvSource, DatasetSource,
-        GeolifeSource, PointSource, StreamStats, TrackingSource,
+        GeolifeSource, PointSource, PrefetchSource, StreamStats, TrackingSource,
     };
     pub use vas_user_sim::{ClusteringTask, DensityTask, RegressionTask, WorkerPopulation};
     pub use vas_viz::{

@@ -279,13 +279,84 @@ fn streaming_pipeline_end_to_end_is_deterministic() {
 }
 
 #[test]
+fn parallel_pipeline_is_bit_identical_to_sequential_build_per_backend() {
+    // The PR 5 contract: the deterministic parallel execution subsystem —
+    // pipelined chunk read-ahead (`PrefetchSource`) feeding the speculative
+    // kernel pre-evaluation front (`VasConfig::with_threads`) — must
+    // reproduce the sequential `build()` bit-for-bit at 1, 2 and 4 threads,
+    // on every locality backend. The kernel bandwidth is left unset so the
+    // streaming ε-resolution pre-pass runs through the prefetch pipeline
+    // too.
+    let data = GeolifeGenerator::with_size(10_000, 21).generate();
+    let path = std::env::temp_dir().join(format!(
+        "vas-determinism-par-{}.vaschunk",
+        std::process::id()
+    ));
+    spill_dataset(&data, &path, 1_024).unwrap();
+
+    for backend in LocalityBackend::ALL {
+        let config = VasConfig::new(300).with_locality_backend(backend);
+        let reference = VasSampler::from_dataset(&data, config.clone()).build(&data);
+        for threads in [1usize, 2, 4] {
+            let reader = ChunkedReader::open(&path).unwrap();
+            let mut source = vas::stream::PrefetchSource::new(reader);
+            let streamed = VasSampler::new(config.clone().with_threads(threads))
+                .build_from_source(&mut source)
+                .unwrap();
+            assert_points_bitwise_equal(
+                &streamed.points,
+                &reference.points,
+                &format!("prefetch + pre-eval at {threads} threads vs build ({backend})"),
+            );
+        }
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn parallel_loss_estimates_are_bit_identical_to_sequential() {
+    let data = GeolifeGenerator::with_size(6_000, 33).generate();
+    let kernel = GaussianKernel::for_dataset(&data);
+    let sample = VasSampler::from_dataset(&data, VasConfig::new(200)).sample_dataset(&data);
+    let sequential = LossEstimator::new(&data, &kernel, LossConfig::default());
+    let seq = sequential.evaluate(&kernel, &sample.points);
+    for threads in [2usize, 4] {
+        let parallel = LossEstimator::new(
+            &data,
+            &kernel,
+            LossConfig {
+                threads,
+                ..LossConfig::default()
+            },
+        );
+        let par = parallel.evaluate(&kernel, &sample.points);
+        assert_eq!(par.mean.to_bits(), seq.mean.to_bits(), "threads {threads}");
+        assert_eq!(
+            par.median.to_bits(),
+            seq.median.to_bits(),
+            "threads {threads}"
+        );
+    }
+}
+
+#[test]
 fn density_embedding_is_deterministic() {
     let data = GeolifeGenerator::with_size(10_000, 33).generate();
     let sample = VasSampler::from_dataset(&data, VasConfig::new(200)).sample_dataset(&data);
     let a = vas::core::density::with_embedded_density(sample.clone(), &data);
-    let b = vas::core::density::with_embedded_density(sample, &data);
+    let b = vas::core::density::with_embedded_density(sample.clone(), &data);
     assert_eq!(
         a.densities, b.densities,
         "density counters must be reproducible"
     );
+    // And the striped parallel pass must agree exactly with the sequential
+    // one at any thread count.
+    for threads in [2usize, 4] {
+        let parallel = vas::core::density::density_counts_threaded(&sample.points, &data, threads);
+        assert_eq!(
+            Some(parallel),
+            a.densities,
+            "parallel density counts diverged at {threads} threads"
+        );
+    }
 }
