@@ -18,6 +18,33 @@ fn bench_kernel_eval(c: &mut Criterion) {
     });
 }
 
+/// Scalar `eval_dist2` loop vs the batched `eval_dist2_batch` lane sweep over
+/// the same distance buffer, at neighbourhood-like lane counts (a converged
+/// sample's gather is a few dozen lanes; 1024 shows the asymptote).
+fn bench_kernel_batch(c: &mut Criterion) {
+    let kernel = GaussianKernel::new(0.02);
+    let mut group = c.benchmark_group("kernel/batch");
+    for &lanes in &[16usize, 90, 1_024] {
+        let dist2: Vec<f64> = (0..lanes).map(|i| 1.0e-5 * (i as f64 + 0.5)).collect();
+        let mut out = vec![0.0f64; lanes];
+        group.bench_with_input(BenchmarkId::new("scalar_loop", lanes), &lanes, |b, _| {
+            b.iter(|| {
+                for (o, &d2) in out.iter_mut().zip(black_box(&dist2)) {
+                    *o = kernel.eval_dist2(d2);
+                }
+                black_box(&mut out);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched_lanes", lanes), &lanes, |b, _| {
+            b.iter(|| {
+                kernel.eval_dist2_batch(black_box(&dist2), &mut out);
+                black_box(&mut out);
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_objective(c: &mut Criterion) {
     let data = GeolifeGenerator::with_size(4_000, 1).generate();
     let kernel = GaussianKernel::for_dataset(&data);
@@ -34,5 +61,10 @@ fn bench_objective(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernel_eval, bench_objective);
+criterion_group!(
+    benches,
+    bench_kernel_eval,
+    bench_kernel_batch,
+    bench_objective
+);
 criterion_main!(benches);

@@ -24,6 +24,16 @@
 //! `threads = 1` run (non-zero exit on divergence), and the timings land in
 //! a `fig10_inner_loop` section of `results/BENCH_parallel.json`.
 //!
+//! Every run (unless `--baseline`) also measures the **kernel-evaluation
+//! phase**: the optimized ES+Loc/hashgrid candidate loop with the batched
+//! SoA kernel path (batch-gather + `eval_dist2_batch` lane sweeps, the
+//! default) against the scalar point-at-a-time baseline
+//! (`VasConfig::with_scalar_kernel_path`). The two samples are asserted
+//! bit-identical (non-zero exit on divergence) and the comparison — scalar
+//! vs batched throughput, lanes per rejected tuple, and the
+//! `bit_identical` flag CI gates on — is written to
+//! `results/BENCH_kernel.json`.
+//!
 //! Usage:
 //! ```text
 //! fig10_inner_loop [--smoke] [--baseline] [--backend rtree|kdtree|hashgrid]
@@ -272,6 +282,122 @@ fn measure_pre_eval(
         accepted: sampler.replacements(),
     };
     (entry, sampler.current_sample().to_vec())
+}
+
+/// One side of the kernel-evaluation phase comparison: the optimized
+/// ES+Loc/hashgrid candidate loop with either the scalar point-at-a-time
+/// kernel path or the batched SoA lane path.
+#[derive(Debug, Clone, Serialize)]
+struct KernelPhaseVariant {
+    /// "scalar" or "batched".
+    kernel_path: String,
+    /// Wall-clock seconds of the candidate phase.
+    candidate_secs: f64,
+    /// Of `candidate_secs`, the share spent on tuples that ended rejected.
+    rejected_secs: f64,
+    /// Candidate tuples streamed after the fill.
+    candidate_tuples: u64,
+    /// Valid replacements performed.
+    accepted: u64,
+    /// Rejected tuples.
+    rejected: u64,
+    /// Candidate tuples per second (whole candidate phase).
+    tuples_per_sec: f64,
+    /// Rejected tuples per second while processing rejected tuples.
+    rejected_per_sec: f64,
+    /// Kernel-value lanes evaluated through `eval_dist2_batch` (0 on the
+    /// scalar path).
+    kernel_lanes: u64,
+    /// `kernel_lanes / rejected` — the average batch width the lane sweep
+    /// amortizes per rejected candidate (0 on the scalar path).
+    lanes_per_rejected_tuple: f64,
+}
+
+/// The whole report, serialized to `results/BENCH_kernel.json`. CI greps it
+/// for `"bit_identical": true`.
+#[derive(Debug, Clone, Serialize)]
+struct KernelReport {
+    bench: String,
+    mode: String,
+    n: usize,
+    k: usize,
+    backend: String,
+    epsilon: f64,
+    scalar: KernelPhaseVariant,
+    batched: KernelPhaseVariant,
+    /// `batched.rejected_per_sec / scalar.rejected_per_sec`.
+    rejected_throughput_ratio: f64,
+    /// `batched.tuples_per_sec / scalar.tuples_per_sec`.
+    tuple_throughput_ratio: f64,
+    /// Whether the scalar and batched runs converged to bitwise-identical
+    /// samples.
+    bit_identical: bool,
+}
+
+/// Streams the dataset through the optimized ES+Loc/hashgrid loop with the
+/// chosen kernel path, timing every observation. Returns the measurement
+/// plus the converged sample for the bit-identity gate.
+fn measure_kernel_phase(
+    data: &Dataset,
+    k: usize,
+    epsilon: f64,
+    scalar: bool,
+) -> (KernelPhaseVariant, Vec<Point>) {
+    let mut sampler = VasSampler::from_dataset(
+        data,
+        VasConfig::new(k)
+            .with_strategy(InterchangeStrategy::ExpandShrinkLocality)
+            .with_epsilon(epsilon)
+            .with_locality_backend(LocalityBackend::HashGrid)
+            .with_scalar_kernel_path(scalar),
+    );
+    for p in data.points.iter().take(k) {
+        sampler.observe(*p);
+    }
+    let candidates = &data.points[k..];
+    let mut rejected_secs = 0.0f64;
+    let mut replacements_before = sampler.replacements();
+    let start = Instant::now();
+    for p in candidates {
+        let t0 = Instant::now();
+        sampler.observe(*p);
+        let dt = t0.elapsed().as_secs_f64();
+        let replacements_now = sampler.replacements();
+        if replacements_now == replacements_before {
+            rejected_secs += dt;
+        } else {
+            replacements_before = replacements_now;
+        }
+    }
+    let candidate_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let accepted = sampler.replacements();
+    let candidate_tuples = candidates.len() as u64;
+    let rejected = candidate_tuples - accepted;
+    let kernel_lanes = sampler.kernel_lanes();
+    let variant = KernelPhaseVariant {
+        kernel_path: if scalar { "scalar" } else { "batched" }.to_string(),
+        candidate_secs,
+        rejected_secs,
+        candidate_tuples,
+        accepted,
+        rejected,
+        tuples_per_sec: candidate_tuples as f64 / candidate_secs,
+        rejected_per_sec: rejected as f64 / rejected_secs.max(1e-9),
+        kernel_lanes,
+        lanes_per_rejected_tuple: kernel_lanes as f64 / rejected.max(1) as f64,
+    };
+    (variant, sampler.current_sample().to_vec())
+}
+
+/// Bitwise sample equality — the determinism gate both the pre-evaluation
+/// sweep and the kernel-phase comparison use.
+fn bitwise_eq(a: &[Point], b: &[Point]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(p, q)| {
+            p.x.to_bits() == q.x.to_bits()
+                && p.y.to_bits() == q.y.to_bits()
+                && p.value.to_bits() == q.value.to_bits()
+        })
 }
 
 /// Micro-measures the accepted-replacement cost split on one backend: builds
@@ -580,16 +706,68 @@ fn main() {
     std::fs::write(&path, json).expect("write BENCH_interchange.json");
     eprintln!("[machine-readable report written to {}]", path.display());
 
+    // ---- Kernel-evaluation phase: scalar vs batched SoA lanes. ----
+    if !baseline_only {
+        eprintln!("[fig10_inner_loop] kernel phase: scalar point-at-a-time path");
+        let (scalar, scalar_sample) = measure_kernel_phase(&data, k, epsilon, true);
+        eprintln!("[fig10_inner_loop] kernel phase: batched SoA lane path");
+        let (batched, batched_sample) = measure_kernel_phase(&data, k, epsilon, false);
+        let bit_identical = bitwise_eq(&scalar_sample, &batched_sample);
+        let mut kernel_table = ReportTable::new(
+            format!("Kernel-evaluation phase (ES+Loc/hashgrid, n = {n}, K = {k})"),
+            &[
+                "kernel path",
+                "rejected/s",
+                "tuples/s",
+                "candidate time (s)",
+                "lanes",
+                "lanes/rejected tuple",
+            ],
+        );
+        for v in [&scalar, &batched] {
+            kernel_table.push_row(vec![
+                v.kernel_path.clone(),
+                fmt3(v.rejected_per_sec),
+                fmt3(v.tuples_per_sec),
+                fmt3(v.candidate_secs),
+                v.kernel_lanes.to_string(),
+                fmt3(v.lanes_per_rejected_tuple),
+            ]);
+        }
+        emit("fig10_kernel_phase", &[kernel_table]);
+        eprintln!(
+            "[fig10_inner_loop] batched/scalar rejected-throughput {:.2}x, bit_identical = {}",
+            batched.rejected_per_sec / scalar.rejected_per_sec,
+            bit_identical
+        );
+        let kernel_report = KernelReport {
+            bench: "fig10_kernel_phase".to_string(),
+            mode: mode.to_string(),
+            n,
+            k,
+            backend: LocalityBackend::HashGrid.label().to_string(),
+            epsilon,
+            rejected_throughput_ratio: batched.rejected_per_sec / scalar.rejected_per_sec,
+            tuple_throughput_ratio: batched.tuples_per_sec / scalar.tuples_per_sec,
+            scalar,
+            batched,
+            bit_identical,
+        };
+        let path = results_dir().join("BENCH_kernel.json");
+        let json = serde_json::to_string_pretty(&kernel_report).expect("serialize kernel report");
+        std::fs::write(&path, json).expect("write BENCH_kernel.json");
+        eprintln!("[kernel-phase report written to {}]", path.display());
+        if !bit_identical {
+            eprintln!(
+                "[fig10_inner_loop] FAIL: the batched kernel path changed the converged sample"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[fig10_inner_loop] kernel phase: scalar and batched paths agree bit-for-bit");
+    }
+
     // ---- Speculative pre-evaluation sweep (--threads). ----
     if !threads_sweep.is_empty() {
-        let bitwise_eq = |a: &[Point], b: &[Point]| {
-            a.len() == b.len()
-                && a.iter().zip(b).all(|(p, q)| {
-                    p.x.to_bits() == q.x.to_bits()
-                        && p.y.to_bits() == q.y.to_bits()
-                        && p.value.to_bits() == q.value.to_bits()
-                })
-        };
         let mut entries: Vec<PreEvalSweepEntry> = Vec::new();
         let mut reference: Option<Vec<Point>> = None;
         let mut bit_identical = true;

@@ -47,7 +47,7 @@ use std::io;
 use std::time::{Duration, Instant};
 use vas_data::{BoundingBox, Dataset, Point};
 use vas_sampling::{Sample, Sampler};
-use vas_spatial::{AnyLocalityIndex, LocalityBackend, LocalityIndex};
+use vas_spatial::{AnyLocalityIndex, LocalityBackend, LocalityIndex, NeighborBatch};
 use vas_stream::PointSource;
 
 /// Which inner-loop implementation the Interchange algorithm uses.
@@ -109,6 +109,15 @@ pub struct VasConfig {
     /// [`VasSampler::from_dataset`]); statically-typed samplers built with
     /// [`VasSampler::with_index`] bring their own backend.
     pub locality_backend: LocalityBackend,
+    /// Force the point-at-a-time **scalar** kernel-evaluation path instead
+    /// of the batched gather-then-evaluate path (SoA lanes through
+    /// [`Kernel::eval_dist2_batch`]) that `ExpandShrink`/
+    /// `ExpandShrinkLocality` candidates use by default. The two paths are
+    /// bit-identical (pinned in `tests/determinism.rs`); this switch exists
+    /// as the measured baseline of the `fig10_inner_loop` kernel-phase
+    /// benchmark and as the reference the determinism suite compares
+    /// against.
+    pub scalar_kernel_path: bool,
     /// Worker threads for the chunked entry points
     /// ([`VasSampler::observe_chunk`] and the `build*` drivers built on it).
     /// `1` (the default) is the plain sequential loop; above 1 the
@@ -135,6 +144,7 @@ impl VasConfig {
             passes: 1,
             progress_every: 0,
             legacy_inner_loop: false,
+            scalar_kernel_path: false,
             locality_backend: LocalityBackend::default(),
             threads: 1,
         }
@@ -176,6 +186,15 @@ impl VasConfig {
     /// samples faster.
     pub fn with_legacy_inner_loop(mut self, legacy: bool) -> Self {
         self.legacy_inner_loop = legacy;
+        self
+    }
+
+    /// Forces the scalar kernel-evaluation path (see
+    /// [`scalar_kernel_path`](Self::scalar_kernel_path)). Benchmarking and
+    /// regression-testing only — the batched path produces bit-identical
+    /// samples faster.
+    pub fn with_scalar_kernel_path(mut self, scalar: bool) -> Self {
+        self.scalar_kernel_path = scalar;
         self
     }
 
@@ -246,26 +265,33 @@ const MAX_RESPECULATIONS: usize = 8;
 
 /// Per-worker output buffers of the speculative pre-evaluation front.
 ///
-/// Worker `w` writes its candidates' deltas into `deltas[w]` as one flat
-/// `(slot, κ̃)` array in candidate-then-visitation order, with per-candidate
-/// `(delta_count, cand_rsp)` records in `meta[w]`; `ranges` records the
-/// stripe split of the last fan-out. The consumer walks worker stripes in
-/// range order, which is exactly stream order.
+/// Worker `w` writes its candidates' deltas into the lane-parallel flat
+/// arrays `ids[w]`/`vals[w]` (struct-of-arrays: `ids[w][n]` is the sample
+/// slot whose kernel value is `vals[w][n]`) in candidate-then-visitation
+/// order, with per-candidate `(delta_count, cand_rsp)` records in `meta[w]`;
+/// `gathers[w]` is the worker's reusable batch-gather scratch and `ranges`
+/// records the stripe split of the last fan-out. The consumer walks worker
+/// stripes in range order, which is exactly stream order.
 #[derive(Debug, Default)]
 struct PreEvalScratch {
-    deltas: Vec<Vec<(usize, f64)>>,
+    ids: Vec<Vec<usize>>,
+    vals: Vec<Vec<f64>>,
     meta: Vec<Vec<(u32, f64)>>,
+    gathers: Vec<NeighborBatch>,
     ranges: Vec<std::ops::Range<usize>>,
 }
 
 impl PreEvalScratch {
-    /// Makes sure `workers` buffer pairs exist (capacity is kept across
+    /// Makes sure `workers` buffer sets exist (capacity is kept across
     /// batches).
     fn ensure_workers(&mut self, workers: usize) {
-        self.deltas
-            .resize_with(workers.max(self.deltas.len()), Vec::new);
+        self.ids.resize_with(workers.max(self.ids.len()), Vec::new);
+        self.vals
+            .resize_with(workers.max(self.vals.len()), Vec::new);
         self.meta
             .resize_with(workers.max(self.meta.len()), Vec::new);
+        self.gathers
+            .resize_with(workers.max(self.gathers.len()), NeighborBatch::new);
     }
 }
 
@@ -275,25 +301,47 @@ impl PreEvalScratch {
 /// summation order the sequential Expand step performs, so a pre-evaluated
 /// delta block substitutes for the live computation bit-for-bit as long as
 /// the snapshot is still valid.
+///
+/// By default each candidate is gather-then-batch-evaluated: the index fills
+/// `gather`'s SoA lanes in visitation order, [`Kernel::eval_dist2_batch`]
+/// maps them in one vectorizable sweep, and `cand_rsp` folds the value lanes
+/// left-to-right — the exact association order of the scalar visitor, which
+/// `scalar` selects instead (the benchmarked baseline).
+#[allow(clippy::too_many_arguments)]
 fn pre_eval_range<L: LocalityIndex>(
     index: &L,
     kernel: GaussianKernel,
     cutoff: f64,
+    scalar: bool,
     candidates: &[Point],
-    deltas: &mut Vec<(usize, f64)>,
+    ids: &mut Vec<usize>,
+    vals: &mut Vec<f64>,
     meta: &mut Vec<(u32, f64)>,
+    gather: &mut NeighborBatch,
 ) {
-    deltas.clear();
+    ids.clear();
+    vals.clear();
     meta.clear();
     for p in candidates {
-        let start = deltas.len();
+        let start = ids.len();
         let mut cand_rsp = 0.0;
-        index.for_each_in_radius_with_dist2(p, cutoff, |i, _, d2| {
-            let v = kernel.eval_dist2(d2);
-            deltas.push((i, v));
-            cand_rsp += v;
-        });
-        meta.push(((deltas.len() - start) as u32, cand_rsp));
+        if scalar {
+            index.for_each_in_radius_with_dist2(p, cutoff, |i, _, d2| {
+                let v = kernel.eval_dist2(d2);
+                ids.push(i);
+                vals.push(v);
+                cand_rsp += v;
+            });
+        } else {
+            index.gather_in_radius_into(p, cutoff, gather);
+            ids.extend_from_slice(&gather.ids);
+            vals.resize(start + gather.len(), 0.0);
+            kernel.eval_dist2_batch(&gather.dist2, &mut vals[start..]);
+            for &v in &vals[start..] {
+                cand_rsp += v;
+            }
+        }
+        meta.push(((ids.len() - start) as u32, cand_rsp));
     }
 }
 
@@ -325,9 +373,17 @@ pub struct VasSampler<L: LocalityIndex = AnyLocalityIndex> {
     /// that mutates `rsp` without updating the tracker (fill, legacy loop,
     /// naive rebuilds) and restored lazily on the next candidate.
     tracker_fresh: bool,
-    /// Reusable buffer for the per-candidate `(slot, κ̃(t, s_i))` deltas, so
-    /// the steady-state replacement test performs no allocation.
-    scratch_deltas: Vec<(usize, f64)>,
+    /// Reusable SoA gather scratch for the per-candidate neighbourhood query
+    /// (`ids` lane-parallel to `dist2`), so the steady-state replacement test
+    /// performs no allocation. The scalar path reuses its `ids` buffer too.
+    gather: NeighborBatch,
+    /// Reusable buffer of per-candidate kernel values, lane-parallel to
+    /// `gather.ids` (the other half of the SoA delta representation).
+    scratch_vals: Vec<f64>,
+    /// Kernel-value lanes evaluated through the batched
+    /// ([`Kernel::eval_dist2_batch`]) path so far (diagnostics; the
+    /// `fig10_inner_loop` kernel phase reports lanes per rejected tuple).
+    kernel_lanes: u64,
     /// Per-worker buffers of the speculative pre-evaluation front, reused
     /// across batches so the steady-state parallel path allocates nothing.
     pre_eval: PreEvalScratch,
@@ -390,7 +446,9 @@ impl<L: LocalityIndex> VasSampler<L> {
             index,
             max_tracker: MaxTracker::new(),
             tracker_fresh: false,
-            scratch_deltas: Vec::new(),
+            gather: NeighborBatch::new(),
+            scratch_vals: Vec::new(),
+            kernel_lanes: 0,
             pre_eval: PreEvalScratch::default(),
             accept_spacing: 0,
             objective: 0.0,
@@ -429,6 +487,13 @@ impl<L: LocalityIndex> VasSampler<L> {
     /// Number of valid replacements performed so far.
     pub fn replacements(&self) -> u64 {
         self.replacements
+    }
+
+    /// Number of kernel-value lanes evaluated through the batched
+    /// [`Kernel::eval_dist2_batch`] path so far (zero when
+    /// [`VasConfig::scalar_kernel_path`] is set).
+    pub fn kernel_lanes(&self) -> u64 {
+        self.kernel_lanes
     }
 
     /// Current value of the optimization objective.
@@ -679,39 +744,62 @@ impl<L: LocalityIndex> VasSampler<L> {
     fn pre_evaluate(&mut self, candidates: &[Point], threads: usize) {
         let kernel = self.kernel.expect("kernel resolved");
         let cutoff = self.cutoff;
+        let scalar = self.config.scalar_kernel_path;
         let ranges = vas_par::split_ranges(candidates.len(), threads);
         let workers = ranges.len();
         self.pre_eval.ensure_workers(workers);
         self.pre_eval.ranges.clear();
         self.pre_eval.ranges.extend(ranges.iter().cloned());
         // Split the borrows: workers share the frozen index (`&L` is
-        // `Sync`) and each owns one disjoint output buffer pair.
+        // `Sync`) and each owns one disjoint output buffer set.
         let Self {
             index, pre_eval, ..
         } = &mut *self;
         let index = &*index;
-        let delta_bufs = &mut pre_eval.deltas[..workers];
+        let id_bufs = &mut pre_eval.ids[..workers];
+        let val_bufs = &mut pre_eval.vals[..workers];
         let meta_bufs = &mut pre_eval.meta[..workers];
+        let gather_bufs = &mut pre_eval.gathers[..workers];
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers.saturating_sub(1));
-            let mut stripes = ranges
-                .iter()
-                .cloned()
-                .zip(delta_bufs.iter_mut().zip(meta_bufs.iter_mut()));
+            let mut stripes = ranges.iter().cloned().zip(
+                id_bufs
+                    .iter_mut()
+                    .zip(val_bufs.iter_mut())
+                    .zip(meta_bufs.iter_mut().zip(gather_bufs.iter_mut())),
+            );
             let first = stripes.next().expect("at least one range");
-            for (range, (deltas, meta)) in stripes {
+            for (range, ((ids, vals), (meta, gather))) in stripes {
                 let stripe = &candidates[range];
                 handles.push(scope.spawn(move || {
-                    pre_eval_range(index, kernel, cutoff, stripe, deltas, meta);
+                    pre_eval_range(
+                        index, kernel, cutoff, scalar, stripe, ids, vals, meta, gather,
+                    );
                 }));
             }
             // The calling thread is worker 0.
-            let (range, (deltas, meta)) = first;
-            pre_eval_range(index, kernel, cutoff, &candidates[range], deltas, meta);
+            let (range, ((ids, vals), (meta, gather))) = first;
+            pre_eval_range(
+                index,
+                kernel,
+                cutoff,
+                scalar,
+                &candidates[range],
+                ids,
+                vals,
+                meta,
+                gather,
+            );
             for h in handles {
                 h.join().expect("pre-evaluation worker panicked");
             }
         });
+        if !scalar {
+            self.kernel_lanes += self.pre_eval.vals[..workers]
+                .iter()
+                .map(|v| v.len() as u64)
+                .sum::<u64>();
+        }
     }
 
     /// Replays pre-evaluated candidates **in stream order** until the batch
@@ -730,10 +818,11 @@ impl<L: LocalityIndex> VasSampler<L> {
                     break 'stripes;
                 }
                 let point = batch[range.start + j];
-                let deltas = &scratch.deltas[w][cursor..cursor + len as usize];
+                let ids = &scratch.ids[w][cursor..cursor + len as usize];
+                let vals = &scratch.vals[w][cursor..cursor + len as usize];
                 cursor += len as usize;
                 self.seen += 1;
-                self.shrink_apply_es_locality(point, deltas, cand_rsp);
+                self.shrink_apply_es_locality(point, ids, vals, cand_rsp);
                 self.maybe_report_progress();
                 applied += 1;
             }
@@ -903,24 +992,43 @@ impl<L: LocalityIndex> VasSampler<L> {
         let kernel = self.kernel.expect("kernel resolved");
         let k = self.points.len();
 
-        // --- Expand: deltas[i] = (i, κ̃(t, s_i)) for every slot, in order.
-        let mut deltas = std::mem::take(&mut self.scratch_deltas);
-        deltas.clear();
+        // --- Expand: vals[i] = κ̃(t, s_i) for every slot, in slot order (the
+        // deltas are dense, so the slot index IS the lane index). By default
+        // the squared distances are laid out as flat lanes and mapped in one
+        // vectorizable `eval_dist2_batch` sweep; the scalar baseline
+        // evaluates point-at-a-time. Both compute `eval_dist2(dist2(t, s_i))`
+        // per lane in the same order, so they are bit-identical.
+        let mut gather = std::mem::take(&mut self.gather);
+        let mut vals = std::mem::take(&mut self.scratch_vals);
+        gather.clear();
+        vals.clear();
         let mut cand_rsp = 0.0;
-        for (i, q) in self.points.iter().enumerate() {
-            let v = kernel.eval(&point, q);
-            deltas.push((i, v));
-            cand_rsp += v;
+        if self.config.scalar_kernel_path {
+            for q in self.points.iter() {
+                let v = kernel.eval(&point, q);
+                vals.push(v);
+                cand_rsp += v;
+            }
+        } else {
+            for q in self.points.iter() {
+                gather.dist2.push(point.dist2(q));
+            }
+            vals.resize(k, 0.0);
+            kernel.eval_dist2_batch(&gather.dist2, &mut vals);
+            self.kernel_lanes += k as u64;
+            for &v in &vals {
+                cand_rsp += v;
+            }
         }
 
         // --- Shrink: largest responsibility in the expanded set. Because
-        // the deltas are dense and slot-ordered, `deltas[i].1` plays the role
+        // the deltas are dense and slot-ordered, `vals[i]` plays the role
         // the legacy loop's scattered `delta_of` vector played, without the
         // per-tuple allocation.
         let mut max_idx = usize::MAX; // usize::MAX encodes "the candidate"
         let mut max_val = cand_rsp;
         for (i, &r) in self.rsp.iter().enumerate() {
-            let r = r + deltas[i].1;
+            let r = r + vals[i];
             if r > max_val {
                 max_val = r;
                 max_idx = i;
@@ -928,19 +1036,20 @@ impl<L: LocalityIndex> VasSampler<L> {
         }
 
         if max_idx == usize::MAX {
-            self.scratch_deltas = deltas;
+            self.gather = gather;
+            self.scratch_vals = vals;
             return; // candidate is the most redundant element: reject
         }
 
         // --- Accept: replace slot `max_idx` ("s_j") with the candidate.
         let removed = self.points[max_idx];
         let removed_rsp = self.rsp[max_idx];
-        for &(i, v) in &deltas {
+        for (i, &v) in vals.iter().enumerate() {
             if i != max_idx {
                 self.rsp[i] += v;
             }
         }
-        let kappa_t_removed = deltas[max_idx].1;
+        let kappa_t_removed = vals[max_idx];
         for i in 0..k {
             if i != max_idx {
                 self.rsp[i] -= kernel.eval(&removed, &self.points[i]);
@@ -953,7 +1062,8 @@ impl<L: LocalityIndex> VasSampler<L> {
         self.objective += new_rsp - removed_rsp;
         self.replacements += 1;
         self.tracker_fresh = false;
-        self.scratch_deltas = deltas;
+        self.gather = gather;
+        self.scratch_vals = vals;
     }
 
     /// "ES+Loc": Expand/Shrink with spatial-index locality **and** the
@@ -968,27 +1078,55 @@ impl<L: LocalityIndex> VasSampler<L> {
         let kernel = self.kernel.expect("kernel resolved");
 
         // --- Expand: evaluate the kernel against the candidate's
-        // neighbourhood only, straight off the index visitor — no id vector,
-        // no per-call query allocation.
-        let mut deltas = std::mem::take(&mut self.scratch_deltas);
-        deltas.clear();
+        // neighbourhood only. By default the index batch-gathers the
+        // neighbourhood's `(id, dist2)` SoA lanes (in visitation order) and
+        // one `eval_dist2_batch` sweep maps the distance lanes to kernel
+        // values; `cand_rsp` then folds the value lanes left-to-right —
+        // exactly the association order of the scalar visitor path
+        // (`scalar_kernel_path`, the benchmarked baseline), so the two are
+        // bit-identical.
+        let mut gather = std::mem::take(&mut self.gather);
+        let mut vals = std::mem::take(&mut self.scratch_vals);
         let mut cand_rsp = 0.0;
-        self.index
-            .for_each_in_radius_with_dist2(&point, self.cutoff, |i, _, d2| {
-                let v = kernel.eval_dist2(d2);
-                deltas.push((i, v));
+        if self.config.scalar_kernel_path {
+            gather.clear();
+            vals.clear();
+            self.index
+                .for_each_in_radius_with_dist2(&point, self.cutoff, |i, _, d2| {
+                    let v = kernel.eval_dist2(d2);
+                    gather.ids.push(i);
+                    vals.push(v);
+                    cand_rsp += v;
+                });
+        } else {
+            self.index
+                .gather_in_radius_into(&point, self.cutoff, &mut gather);
+            vals.clear();
+            vals.resize(gather.len(), 0.0);
+            kernel.eval_dist2_batch(&gather.dist2, &mut vals);
+            self.kernel_lanes += gather.len() as u64;
+            for &v in &vals {
                 cand_rsp += v;
-            });
+            }
+        }
 
-        self.shrink_apply_es_locality(point, &deltas, cand_rsp);
-        self.scratch_deltas = deltas;
+        self.shrink_apply_es_locality(point, &gather.ids, &vals, cand_rsp);
+        self.gather = gather;
+        self.scratch_vals = vals;
     }
 
     /// The Shrink + accept half of the "ES+Loc" replacement test, fed either
     /// by the live Expand above or by a **pre-evaluated** delta block from
     /// the speculative front ([`VasSampler::observe_chunk`]); both produce
-    /// the identical `(slot, κ̃)` sequence, so this path is shared verbatim.
-    fn shrink_apply_es_locality(&mut self, point: Point, deltas: &[(usize, f64)], cand_rsp: f64) {
+    /// the identical SoA delta lanes (`ids[n]` is the sample slot whose
+    /// kernel value is `vals[n]`), so this path is shared verbatim.
+    fn shrink_apply_es_locality(
+        &mut self,
+        point: Point,
+        ids: &[usize],
+        vals: &[f64],
+        cand_rsp: f64,
+    ) {
         let kernel = self.kernel.expect("kernel resolved");
 
         // --- Shrink: the expanded-set maximum is either the candidate, a
@@ -1005,7 +1143,7 @@ impl<L: LocalityIndex> VasSampler<L> {
                 max_idx = i;
             }
         }
-        for &(i, v) in deltas {
+        for (&i, &v) in ids.iter().zip(vals) {
             let r = self.rsp[i] + v;
             if r > max_val {
                 max_val = r;
@@ -1027,17 +1165,17 @@ impl<L: LocalityIndex> VasSampler<L> {
         let removed_rsp = self.rsp[max_idx];
 
         // Add the candidate's contributions to its neighbours.
-        for &(i, v) in deltas {
+        for (&i, &v) in ids.iter().zip(vals) {
             if i != max_idx {
                 self.rsp[i] += v;
                 self.max_tracker.set_deferred(i, self.rsp[i]);
             }
         }
         // Subtract the removed element's contributions from its neighbours.
-        let kappa_t_removed = deltas
+        let kappa_t_removed = ids
             .iter()
-            .find(|(i, _)| *i == max_idx)
-            .map(|(_, v)| *v)
+            .position(|&i| i == max_idx)
+            .map(|n| vals[n])
             .unwrap_or_else(|| kernel.eval(&point, &removed));
         {
             let cutoff = self.cutoff;
@@ -1198,7 +1336,9 @@ impl<L: LocalityIndex> VasSampler<L> {
         self.index.reset(self.cutoff);
         self.max_tracker = MaxTracker::new();
         self.tracker_fresh = false;
-        self.scratch_deltas = Vec::new();
+        self.gather = NeighborBatch::new();
+        self.scratch_vals = Vec::new();
+        self.kernel_lanes = 0;
         self.pre_eval = PreEvalScratch::default();
         self.accept_spacing = 0;
         self.objective = 0.0;

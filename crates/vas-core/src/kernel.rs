@@ -10,6 +10,34 @@
 //! This module provides the Gaussian kernel used throughout the paper plus a
 //! few alternatives, all behind the [`Kernel`] trait, and the ε-selection
 //! rule from footnote 2 (`ε ≈ max pairwise distance / 100`).
+//!
+//! ## Batched evaluation and the lane-order determinism rule
+//!
+//! The Interchange hot loop spends most of a rejected candidate on kernel
+//! evaluations (~90 `exp` calls behind delta bookkeeping at paper scale), so
+//! kernels can also be evaluated over flat **lanes** of squared distances:
+//! [`Kernel::eval_dist2_batch`] maps `dist2[i] → out[i]` over plain `f64`
+//! slices that the compiler can autovectorize, fed by the spatial layer's
+//! `gather_in_radius_into` batch queries.
+//!
+//! Batching is only legal under the repo's bit-identical determinism
+//! contract because of two rules, which every implementation and caller must
+//! keep:
+//!
+//! 1. **Elementwise bit-identity** — `eval_dist2_batch` must produce, lane
+//!    for lane, exactly the bits `eval_dist2` would produce for that input
+//!    (including NaN payloads, `-0.0`, subnormals, and the Gaussian
+//!    underflow early-out). Overrides may restructure control flow (e.g.
+//!    branch-free select instead of an early return) but not the arithmetic.
+//! 2. **Fixed lane order** — callers fill lanes in the exact visitation
+//!    order of the scalar visitor path and fold reductions left-to-right
+//!    over the lanes, so every floating-point sum associates in the same
+//!    order as the scalar loop it replaces.
+//!
+//! The scalar `eval`/`eval_dist2` path is still used where batching buys
+//! nothing: the sampler's reservoir fill phase, the accept path's
+//! removed-neighbourhood subtraction, objective initialization, and the
+//! legacy (paper-faithful) inner loop.
 
 use serde::{Deserialize, Serialize};
 use vas_data::{Dataset, Point};
@@ -23,11 +51,43 @@ use vas_data::{Dataset, Point};
 /// skipped without materially changing the objective.
 pub trait Kernel: Send + Sync {
     /// Kernel value for the pair `(a, b)`.
-    fn eval(&self, a: &Point, b: &Point) -> f64;
+    ///
+    /// Provided: computes the squared distance once and defers to
+    /// [`eval_dist2`](Self::eval_dist2), which is the single place each
+    /// kernel family's arithmetic lives.
+    #[inline]
+    fn eval(&self, a: &Point, b: &Point) -> f64 {
+        self.eval_dist2(a.dist2(b))
+    }
 
     /// Kernel value as a function of squared distance (hot path used by the
     /// Interchange inner loops, avoids recomputing the subtraction).
     fn eval_dist2(&self, dist2: f64) -> f64;
+
+    /// Evaluates the kernel over a flat batch of squared distances, writing
+    /// `out[i] = eval_dist2(dist2[i])` for every lane.
+    ///
+    /// Each output lane must be **bit-identical** to the corresponding
+    /// scalar [`eval_dist2`](Self::eval_dist2) call — see the module docs
+    /// for the lane-order determinism rule. The default is the scalar loop;
+    /// implementations may override it with a branch-free body that
+    /// autovectorizes, as [`GaussianKernel`] does.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    #[inline]
+    fn eval_dist2_batch(&self, dist2: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            dist2.len(),
+            out.len(),
+            "kernel batch lanes must line up: {} dist2 vs {} out",
+            dist2.len(),
+            out.len()
+        );
+        for (o, &d2) in out.iter_mut().zip(dist2) {
+            *o = self.eval_dist2(d2);
+        }
+    }
 
     /// Distance beyond which the kernel value drops below `threshold`.
     /// Returns `f64::INFINITY` if the kernel never drops below it.
@@ -122,11 +182,6 @@ impl GaussianKernel {
 
 impl Kernel for GaussianKernel {
     #[inline]
-    fn eval(&self, a: &Point, b: &Point) -> f64 {
-        self.eval_dist2(a.dist2(b))
-    }
-
-    #[inline]
     fn eval_dist2(&self, dist2: f64) -> f64 {
         let x = dist2 * self.inv_two_eps2;
         // Early-out for pairs beyond the kernel's support: `exp(-x)` is
@@ -137,6 +192,35 @@ impl Kernel for GaussianKernel {
             return 0.0;
         }
         (-x).exp()
+    }
+
+    #[inline]
+    fn eval_dist2_batch(&self, dist2: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            dist2.len(),
+            out.len(),
+            "kernel batch lanes must line up: {} dist2 vs {} out",
+            dist2.len(),
+            out.len()
+        );
+        let inv_two_eps2 = self.inv_two_eps2;
+        for (o, &d2) in out.iter_mut().zip(dist2) {
+            // Branch-free form of the scalar early-out: compute the exp
+            // unconditionally, then select. Bit-identical to `eval_dist2` on
+            // every lane: past the threshold `exp(-x)` is exactly 0.0 anyway
+            // (so the select changes nothing but spares the scalar path's
+            // branch), and on a NaN lane the comparison is false, letting
+            // the NaN from `exp` through just like the scalar early return.
+            // Crucially `x` itself is never clamped — `f64::min(NaN, c)`
+            // would have laundered NaN lanes into finite values.
+            let x = d2 * inv_two_eps2;
+            let e = (-x).exp();
+            *o = if x > GAUSSIAN_UNDERFLOW_EXPONENT {
+                0.0
+            } else {
+                e
+            };
+        }
     }
 
     fn effective_radius(&self, threshold: f64) -> f64 {
@@ -180,11 +264,6 @@ impl GenericKernel {
 }
 
 impl Kernel for GenericKernel {
-    #[inline]
-    fn eval(&self, a: &Point, b: &Point) -> f64 {
-        self.eval_dist2(a.dist2(b))
-    }
-
     #[inline]
     fn eval_dist2(&self, dist2: f64) -> f64 {
         let e = self.epsilon;
@@ -284,6 +363,101 @@ mod tests {
         }
         // And beyond the threshold the value really is exactly zero.
         assert_eq!(k.eval_dist2(2.0 * 751.0), 0.0);
+    }
+
+    /// Squared-distance edge cases the batch path must reproduce bit-for-bit:
+    /// NaN (payload preserved through `exp`), signed zero, subnormals, both
+    /// infinities, and a dense straddle of the Gaussian underflow early-out
+    /// boundary (`x = dist2 / 2ε²` around 750 at ε = 1).
+    fn edge_dist2_values() -> Vec<f64> {
+        let mut v = vec![
+            f64::NAN,
+            -0.0,
+            0.0,
+            5e-324, // smallest positive subnormal
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e300,
+            -1.0,
+        ];
+        for x in [700.0, 744.0, 745.0, 746.0, 749.9, 750.0, 750.1, 800.0] {
+            v.push(2.0 * x);
+        }
+        v
+    }
+
+    fn assert_batch_matches_scalar<K: Kernel>(k: &K, dist2: &[f64], what: &str) {
+        let mut out = vec![f64::NAN; dist2.len()];
+        k.eval_dist2_batch(dist2, &mut out);
+        for (i, (&d2, &got)) in dist2.iter().zip(&out).enumerate() {
+            let want = k.eval_dist2(d2);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{what}: lane {i} (dist2 = {d2:?}): batch {got:?} vs scalar {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_eval_matches_scalar_on_edge_inputs() {
+        let edges = edge_dist2_values();
+        assert_batch_matches_scalar(&GaussianKernel::new(1.0), &edges, "gaussian ε=1");
+        assert_batch_matches_scalar(&GaussianKernel::new(0.013), &edges, "gaussian ε=0.013");
+        for kind in [
+            KernelKind::Gaussian,
+            KernelKind::Laplacian,
+            KernelKind::Epanechnikov,
+            KernelKind::InverseQuadratic,
+        ] {
+            assert_batch_matches_scalar(&GenericKernel::new(kind, 1.7), &edges, "generic");
+        }
+    }
+
+    #[test]
+    fn batch_eval_handles_empty_and_preserves_untouched_capacity() {
+        let k = GaussianKernel::new(1.0);
+        let mut out: Vec<f64> = Vec::new();
+        k.eval_dist2_batch(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel batch lanes must line up")]
+    fn batch_eval_rejects_mismatched_lanes() {
+        let k = GaussianKernel::new(1.0);
+        let mut out = vec![0.0; 3];
+        k.eval_dist2_batch(&[1.0, 2.0], &mut out);
+    }
+
+    proptest::proptest! {
+        /// The batched Gaussian lane body (branch-free select) is bit-identical
+        /// to the scalar `eval_dist2` for arbitrary squared distances mixed
+        /// with hand-picked edge lanes at arbitrary positions — the property
+        /// the entire batched Interchange path rests on.
+        #[test]
+        fn gaussian_batch_is_bitwise_scalar_prop(
+            dist2 in proptest::collection::vec(-1.0e4f64..1.0e4, 1..64),
+            eps in 0.01f64..10.0,
+            scale in -300.0f64..300.0,
+        ) {
+            let k = GaussianKernel::new(eps);
+            // Random lanes spanning many binades (including values whose
+            // exponent `x` straddles the underflow early-out for this ε),
+            // plus every hand-picked edge value spliced in.
+            let mut lanes: Vec<f64> = dist2
+                .iter()
+                .map(|&d| d * (scale / 100.0).exp2())
+                .collect();
+            lanes.extend(edge_dist2_values());
+            // Lanes right at the early-out boundary for THIS bandwidth.
+            let two_eps2 = 2.0 * eps * eps;
+            for x in [749.0, 750.0, 751.0] {
+                lanes.push(x * two_eps2);
+            }
+            assert_batch_matches_scalar(&k, &lanes, "prop");
+        }
     }
 
     #[test]

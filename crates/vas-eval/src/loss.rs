@@ -20,7 +20,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vas_core::Kernel;
 use vas_data::{Dataset, Point};
-use vas_spatial::{HashGrid, KdTree, LocalityIndex};
+use vas_spatial::{HashGrid, KdTree, LocalityIndex, NeighborBatch};
+
+/// Probes per parallel work unit of [`LossEstimator::evaluate`]. Fixed (not
+/// derived from the thread count) so the chunk split — and with it every
+/// floating-point fold — is identical at every thread count.
+const PROBE_CHUNK: usize = 64;
 
 /// Configuration of the Monte-Carlo loss estimator.
 #[derive(Debug, Clone)]
@@ -170,24 +175,48 @@ impl LossEstimator {
         let radius = kernel.effective_radius(1e-12).min(f64::MAX);
         let grid = HashGrid::from_entries(radius, sample.iter().copied().enumerate());
         // Probes are mutually independent, so the M-probe loop fans out over
-        // scoped workers sharing the frozen grid; the ordered fan-in returns
-        // the losses in probe order, making the estimate bit-identical to
-        // the sequential loop at any thread count (mean folds the same
-        // vector left-to-right; median sorts the same multiset).
-        let losses: Vec<f64> =
-            vas_par::par_map_ordered(self.config.threads, &self.probes, |_, probe| {
-                let mut total = 0.0;
-                // Visitor form of the radius query: summing M probe
-                // neighbourhoods allocates nothing.
-                grid.for_each_in_radius(probe, radius, |_, p| {
-                    total += kernel.eval(probe, p);
-                });
-                if total > 0.0 {
-                    (1.0 / total).min(self.config.max_point_loss)
-                } else {
-                    self.config.max_point_loss
+        // scoped workers sharing the frozen grid; chunks fan in by probe
+        // order, making the estimate bit-identical to the sequential loop at
+        // any thread count (the chunk split depends only on the probe count,
+        // mean folds the same vector left-to-right, median sorts the same
+        // multiset). Each probe's kernel sum runs through the batched SoA
+        // path: the grid gathers the neighbourhood's squared distances as
+        // flat lanes in visitation order, one `eval_dist2_batch` sweep maps
+        // them, and the total folds the value lanes left-to-right — kernel
+        // for kernel the same bits as the scalar visitor (`p.dist2(probe)`
+        // is bit-identical to `probe.dist2(p)`: exact negation, same sum).
+        let losses: Vec<f64> = vas_par::par_chunk_fold_ordered(
+            self.config.threads,
+            &self.probes,
+            PROBE_CHUNK,
+            |_, chunk| {
+                // Per-chunk owned scratch, amortized over the chunk's probes.
+                let mut gather = NeighborBatch::new();
+                let mut vals: Vec<f64> = Vec::new();
+                let mut out = Vec::with_capacity(chunk.len());
+                for probe in chunk {
+                    grid.gather_in_radius_into(probe, radius, &mut gather);
+                    vals.clear();
+                    vals.resize(gather.len(), 0.0);
+                    kernel.eval_dist2_batch(&gather.dist2, &mut vals);
+                    let mut total = 0.0;
+                    for &v in &vals {
+                        total += v;
+                    }
+                    out.push(if total > 0.0 {
+                        (1.0 / total).min(self.config.max_point_loss)
+                    } else {
+                        self.config.max_point_loss
+                    });
                 }
-            });
+                out
+            },
+            |mut acc, mut next| {
+                acc.append(&mut next);
+                acc
+            },
+        )
+        .expect("probe set is non-empty");
         let mean = losses.iter().sum::<f64>() / losses.len() as f64;
         let median = crate::stats::median(&losses);
         LossReport {

@@ -35,7 +35,7 @@
 //! given operation history, which the Interchange determinism contract
 //! relies on.
 
-use crate::LocalityIndex;
+use crate::{LocalityIndex, NeighborBatch};
 use vas_data::Point;
 
 /// Cell coordinates are clamped to this magnitude; at the default cell size
@@ -216,6 +216,79 @@ impl HashGrid {
         }
     }
 
+    /// The shared traversal under both radius-query forms: hands `visit_cell`
+    /// the item slice of every cell that can intersect the query circle, in
+    /// the deterministic order the visitation contract promises — row-major
+    /// over the clipped cell block in the typical case, table order under the
+    /// wide-radius fallback. Entries are *not* distance-filtered here; the
+    /// caller applies the exact `dist2 <= r²` filter per item.
+    fn for_each_candidate_cell(
+        &self,
+        center: &Point,
+        radius: f64,
+        mut visit_cell: impl FnMut(&[(usize, Point)]),
+    ) {
+        if self.len == 0 || radius.is_nan() || radius < 0.0 {
+            return;
+        }
+        let r2 = radius * radius;
+        let min_cx = Self::coord((center.x - radius) * self.inv_cell_size);
+        let max_cx = Self::coord((center.x + radius) * self.inv_cell_size);
+        let min_cy = Self::coord((center.y - radius) * self.inv_cell_size);
+        let max_cy = Self::coord((center.y + radius) * self.inv_cell_size);
+        let cells = (max_cx as i64 - min_cx as i64 + 1) * (max_cy as i64 - min_cy as i64 + 1);
+        if cells <= 2 * self.slots.len() as i64 {
+            // Typical case: walk the (small) cell block row-major, clipping
+            // each row's column range to the circle: a row whose y-band is
+            // `dy` away from the center only needs columns within
+            // `±sqrt(r² − dy²)`. Skipped when any coordinate clamped (the
+            // band arithmetic is meaningless for border cells holding
+            // faraway points).
+            let limit = CELL_COORD_LIMIT as i32;
+            let clamped =
+                min_cx <= -limit || max_cx >= limit || min_cy <= -limit || max_cy >= limit;
+            let slack_y = (center.y.abs() + radius + self.cell_size) * ROW_CLIP_SLACK;
+            let slack_x = (center.x.abs() + radius + self.cell_size) * ROW_CLIP_SLACK;
+            for cy in min_cy..=max_cy {
+                let (row_min_cx, row_max_cx) = if clamped {
+                    (min_cx, max_cx)
+                } else {
+                    let band_lo = cy as f64 * self.cell_size - slack_y;
+                    let band_hi = band_lo + self.cell_size + 2.0 * slack_y;
+                    let dy = (band_lo - center.y).max(center.y - band_hi).max(0.0);
+                    let dy2 = dy * dy;
+                    if dy2 > r2 {
+                        continue;
+                    }
+                    let rx = (r2 - dy2).sqrt() + slack_x;
+                    (
+                        Self::coord((center.x - rx) * self.inv_cell_size).max(min_cx),
+                        Self::coord((center.x + rx) * self.inv_cell_size).min(max_cx),
+                    )
+                };
+                for cx in row_min_cx..=row_max_cx {
+                    if let Some(i) = self.find_slot((cx, cy)) {
+                        visit_cell(&self.slots[i].items);
+                    }
+                }
+            }
+        } else {
+            // The cell block is larger than the table: scanning every
+            // occupied slot is cheaper than probing mostly-empty cells.
+            for slot in &self.slots {
+                if !slot.occupied
+                    || slot.key.0 < min_cx
+                    || slot.key.0 > max_cx
+                    || slot.key.1 < min_cy
+                    || slot.key.1 > max_cy
+                {
+                    continue;
+                }
+                visit_cell(&slot.items);
+            }
+        }
+    }
+
     /// Doubles the table, re-placing live cells and dropping drained ones
     /// (this is the only moment a claimed slot is ever given back).
     fn grow(&mut self) {
@@ -295,75 +368,35 @@ impl LocalityIndex for HashGrid {
         radius: f64,
         mut visit: impl FnMut(usize, &Point, f64),
     ) {
-        if self.len == 0 || radius.is_nan() || radius < 0.0 {
-            return;
-        }
         let r2 = radius * radius;
-        let min_cx = Self::coord((center.x - radius) * self.inv_cell_size);
-        let max_cx = Self::coord((center.x + radius) * self.inv_cell_size);
-        let min_cy = Self::coord((center.y - radius) * self.inv_cell_size);
-        let max_cy = Self::coord((center.y + radius) * self.inv_cell_size);
-        let cells = (max_cx as i64 - min_cx as i64 + 1) * (max_cy as i64 - min_cy as i64 + 1);
-        if cells <= 2 * self.slots.len() as i64 {
-            // Typical case: walk the (small) cell block row-major, clipping
-            // each row's column range to the circle: a row whose y-band is
-            // `dy` away from the center only needs columns within
-            // `±sqrt(r² − dy²)`. Skipped when any coordinate clamped (the
-            // band arithmetic is meaningless for border cells holding
-            // faraway points).
-            let limit = CELL_COORD_LIMIT as i32;
-            let clamped =
-                min_cx <= -limit || max_cx >= limit || min_cy <= -limit || max_cy >= limit;
-            let slack_y = (center.y.abs() + radius + self.cell_size) * ROW_CLIP_SLACK;
-            let slack_x = (center.x.abs() + radius + self.cell_size) * ROW_CLIP_SLACK;
-            for cy in min_cy..=max_cy {
-                let (row_min_cx, row_max_cx) = if clamped {
-                    (min_cx, max_cx)
-                } else {
-                    let band_lo = cy as f64 * self.cell_size - slack_y;
-                    let band_hi = band_lo + self.cell_size + 2.0 * slack_y;
-                    let dy = (band_lo - center.y).max(center.y - band_hi).max(0.0);
-                    let dy2 = dy * dy;
-                    if dy2 > r2 {
-                        continue;
-                    }
-                    let rx = (r2 - dy2).sqrt() + slack_x;
-                    (
-                        Self::coord((center.x - rx) * self.inv_cell_size).max(min_cx),
-                        Self::coord((center.x + rx) * self.inv_cell_size).min(max_cx),
-                    )
-                };
-                for cx in row_min_cx..=row_max_cx {
-                    if let Some(i) = self.find_slot((cx, cy)) {
-                        for &(id, ref p) in &self.slots[i].items {
-                            let d2 = p.dist2(center);
-                            if d2 <= r2 {
-                                visit(id, p, d2);
-                            }
-                        }
-                    }
+        self.for_each_candidate_cell(center, radius, |items| {
+            for &(id, ref p) in items {
+                let d2 = p.dist2(center);
+                if d2 <= r2 {
+                    visit(id, p, d2);
                 }
             }
-        } else {
-            // The cell block is larger than the table: scanning every
-            // occupied slot is cheaper than probing mostly-empty cells.
-            for slot in &self.slots {
-                if !slot.occupied
-                    || slot.key.0 < min_cx
-                    || slot.key.0 > max_cx
-                    || slot.key.1 < min_cy
-                    || slot.key.1 > max_cy
-                {
-                    continue;
-                }
-                for &(id, ref p) in &slot.items {
-                    let d2 = p.dist2(center);
-                    if d2 <= r2 {
-                        visit(id, p, d2);
-                    }
+        });
+    }
+
+    fn gather_in_radius_into(&self, center: &Point, radius: f64, out: &mut NeighborBatch) {
+        out.clear();
+        let r2 = radius * radius;
+        self.for_each_candidate_cell(center, radius, |items| {
+            // Cell-by-cell lane fill: one reservation per cell, then a tight
+            // push loop over the cell's flat entry slice. Same traversal and
+            // same per-item `d2 <= r²` filter as the visitor path, so lanes
+            // land in exactly the visitation order.
+            out.ids.reserve(items.len());
+            out.dist2.reserve(items.len());
+            for &(id, ref p) in items {
+                let d2 = p.dist2(center);
+                if d2 <= r2 {
+                    out.ids.push(id);
+                    out.dist2.push(d2);
                 }
             }
-        }
+        });
     }
 }
 
@@ -449,6 +482,57 @@ mod tests {
             .collect();
         got.sort_unstable();
         assert_eq!(got, brute_force(&pts, &center, 150.0));
+    }
+
+    #[test]
+    fn table_scan_fallback_is_pinned_against_brute_force() {
+        // Dedicated coverage for the wide-radius fallback: tiny cells and a
+        // huge radius make the candidate cell block vastly larger than the
+        // hash table, which must flip the query into the occupied-slot scan.
+        let pts = random_points(400, 29);
+        let g = HashGrid::from_entries(1e-3, pts.iter().copied().enumerate());
+        let block_cells = (2.0 * 120.0 / 1e-3) as i64; // cells per axis at r=120
+        assert!(
+            block_cells * block_cells > 2 * g.capacity() as i64,
+            "test no longer reaches the table-scan fallback"
+        );
+        for (radius, center) in [
+            (120.0, Point::new(0.0, 0.0)),
+            (90.0, Point::new(30.0, -60.0)),
+            (250.0, Point::new(-80.0, 80.0)),
+        ] {
+            // The visitor path: ids and exact squared distances both match a
+            // brute-force scan.
+            let mut got: Vec<(usize, u64)> = Vec::new();
+            g.for_each_in_radius_with_dist2(&center, radius, |id, _, d2| {
+                got.push((id, d2.to_bits()));
+            });
+            got.sort_unstable();
+            let mut expected: Vec<(usize, u64)> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.dist(&center) <= radius)
+                .map(|(i, p)| (i, p.dist2(&center).to_bits()))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "radius {radius}");
+            assert!(!got.is_empty(), "radius {radius} found nothing");
+            // The gather path produces the same lanes in the same order as
+            // the (unsorted) visitor sequence.
+            let mut seq: Vec<(usize, u64)> = Vec::new();
+            g.for_each_in_radius_with_dist2(&center, radius, |id, _, d2| {
+                seq.push((id, d2.to_bits()));
+            });
+            let mut batch = NeighborBatch::new();
+            g.gather_in_radius_into(&center, radius, &mut batch);
+            let lanes: Vec<(usize, u64)> = batch
+                .ids
+                .iter()
+                .zip(&batch.dist2)
+                .map(|(&id, d2)| (id, d2.to_bits()))
+                .collect();
+            assert_eq!(lanes, seq, "radius {radius}: gather diverged from visitor");
+        }
     }
 
     #[test]

@@ -39,5 +39,5 @@ pub mod rtree;
 pub use grid::UniformGrid;
 pub use hashgrid::HashGrid;
 pub use kdtree::KdTree;
-pub use locality::{AnyLocalityIndex, LocalityBackend, LocalityIndex};
+pub use locality::{AnyLocalityIndex, LocalityBackend, LocalityIndex, NeighborBatch};
 pub use rtree::RTree;

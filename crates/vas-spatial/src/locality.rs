@@ -31,6 +31,50 @@
 use crate::{HashGrid, KdTree, RTree};
 use vas_data::Point;
 
+/// Reusable struct-of-arrays scratch for batch-gather neighbourhood queries
+/// ([`LocalityIndex::gather_in_radius_into`]).
+///
+/// Ids and squared distances live in two parallel flat arrays (`ids[i]`
+/// belongs to `dist2[i]`), so a consumer can hand the `dist2` lanes straight
+/// to a vectorizable kernel loop (`Kernel::eval_dist2_batch` in `vas-core`)
+/// instead of evaluating point-at-a-time inside a visitor callback. The lane
+/// order is exactly the backend's deterministic visitation order, which is
+/// what keeps the batched Interchange path bit-identical to the scalar one.
+///
+/// Both vectors keep their capacity across [`clear`](Self::clear), so a
+/// reused batch makes the gather allocation-free in the steady state.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborBatch {
+    /// Entry ids, in visitation order.
+    pub ids: Vec<usize>,
+    /// Squared distance of each entry to the query center, lane-parallel to
+    /// [`ids`](Self::ids).
+    pub dist2: Vec<f64>,
+}
+
+impl NeighborBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes all lanes, keeping both buffers' capacity.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.dist2.clear();
+    }
+
+    /// Number of gathered lanes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when no lanes are gathered.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
 /// A dynamic index over `(id, Point)` entries answering fixed-radius
 /// neighbourhood queries.
 ///
@@ -78,6 +122,24 @@ pub trait LocalityIndex: Send + Sync {
         radius: f64,
         visit: impl FnMut(usize, &Point, f64),
     );
+
+    /// Writes every entry within Euclidean distance `radius` of `center`
+    /// into `out` as struct-of-arrays lanes (`(id, dist2)` pairs split across
+    /// two flat buffers), clearing `out` first.
+    ///
+    /// The lane order is **exactly** the visitation order of
+    /// [`for_each_in_radius_with_dist2`](Self::for_each_in_radius_with_dist2)
+    /// — gather-then-batch-evaluate consumers rely on that to reproduce the
+    /// scalar visitor path bit-for-bit. Backends may specialize this for a
+    /// tighter fill loop (the [`HashGrid`] fills lanes cell-by-cell), but
+    /// must preserve the order.
+    fn gather_in_radius_into(&self, center: &Point, radius: f64, out: &mut NeighborBatch) {
+        out.clear();
+        self.for_each_in_radius_with_dist2(center, radius, |id, _, d2| {
+            out.ids.push(id);
+            out.dist2.push(d2);
+        });
+    }
 
     /// Clears the index (see [`reset`](Self::reset)) and bulk-loads
     /// `entries`.
@@ -255,6 +317,14 @@ impl LocalityIndex for AnyLocalityIndex {
             AnyLocalityIndex::HashGrid(g) => g.for_each_in_radius_with_dist2(center, radius, visit),
         }
     }
+
+    fn gather_in_radius_into(&self, center: &Point, radius: f64, out: &mut NeighborBatch) {
+        match self {
+            AnyLocalityIndex::RTree(t) => t.gather_in_radius_into(center, radius, out),
+            AnyLocalityIndex::KdTree(t) => t.gather_in_radius_into(center, radius, out),
+            AnyLocalityIndex::HashGrid(g) => g.gather_in_radius_into(center, radius, out),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +443,45 @@ mod tests {
                 with_d2.push((id, *p));
             });
             assert_eq!(with_d2, allocated, "backend {backend}");
+        }
+    }
+
+    #[test]
+    fn batch_gather_matches_the_visitor_lane_for_lane_per_backend() {
+        // The contract the batched kernel path is built on: the SoA gather
+        // must reproduce the visitor's (id, dist2) sequence bit-for-bit, in
+        // the same order, on every backend — including after churn, and when
+        // the reused batch previously held a larger result.
+        let pts = random_points(400, 29);
+        for backend in LocalityBackend::ALL {
+            let mut index = AnyLocalityIndex::new(backend);
+            index.rebuild(9.0, &pts.iter().copied().enumerate().collect::<Vec<_>>());
+            for (i, p) in pts.iter().enumerate().take(150) {
+                if i % 4 == 0 {
+                    assert!(index.remove(i, p), "backend {backend}");
+                }
+            }
+            let mut batch = NeighborBatch::new();
+            for (radius, center) in [
+                (9.0, Point::new(2.0, -3.0)),
+                (25.0, Point::new(-10.0, 10.0)),
+                (0.5, Point::new(0.0, 0.0)),
+            ] {
+                let mut visited: Vec<(usize, u64)> = Vec::new();
+                index.for_each_in_radius_with_dist2(&center, radius, |id, _, d2| {
+                    visited.push((id, d2.to_bits()));
+                });
+                index.gather_in_radius_into(&center, radius, &mut batch);
+                assert_eq!(batch.len(), visited.len(), "backend {backend}");
+                assert_eq!(batch.is_empty(), visited.is_empty(), "backend {backend}");
+                let gathered: Vec<(usize, u64)> = batch
+                    .ids
+                    .iter()
+                    .zip(&batch.dist2)
+                    .map(|(&id, d2)| (id, d2.to_bits()))
+                    .collect();
+                assert_eq!(gathered, visited, "backend {backend}, radius {radius}");
+            }
         }
     }
 }

@@ -314,6 +314,40 @@ fn parallel_pipeline_is_bit_identical_to_sequential_build_per_backend() {
 }
 
 #[test]
+fn batched_kernel_path_is_bit_identical_to_the_scalar_path_per_backend() {
+    // The PR 6 contract: the batched SoA kernel-evaluation path (batch-gather
+    // neighbourhood lanes + `eval_dist2_batch` sweeps, the default) must
+    // reproduce the point-at-a-time scalar path (retained behind
+    // `VasConfig::with_scalar_kernel_path`) bit-for-bit — on every locality
+    // backend, at 1, 2 and 4 worker threads (the speculative pre-evaluation
+    // workers batch too), and for the dense `ExpandShrink` strategy.
+    let data = GeolifeGenerator::with_size(10_000, 21).generate();
+    for backend in LocalityBackend::ALL {
+        let config = VasConfig::new(300).with_locality_backend(backend);
+        let scalar = VasSampler::from_dataset(&data, config.clone().with_scalar_kernel_path(true))
+            .build(&data);
+        for threads in [1usize, 2, 4] {
+            let mut sampler = VasSampler::from_dataset(&data, config.clone().with_threads(threads));
+            let batched = sampler.build(&data);
+            assert_points_bitwise_equal(
+                &batched.points,
+                &scalar.points,
+                &format!("batched vs scalar kernel path ({backend}, {threads} threads)"),
+            );
+        }
+    }
+    let es = VasConfig::new(300).with_strategy(InterchangeStrategy::ExpandShrink);
+    let scalar =
+        VasSampler::from_dataset(&data, es.clone().with_scalar_kernel_path(true)).build(&data);
+    let batched = VasSampler::from_dataset(&data, es).build(&data);
+    assert_points_bitwise_equal(
+        &batched.points,
+        &scalar.points,
+        "batched vs scalar kernel path (dense ES)",
+    );
+}
+
+#[test]
 fn parallel_loss_estimates_are_bit_identical_to_sequential() {
     let data = GeolifeGenerator::with_size(6_000, 33).generate();
     let kernel = GaussianKernel::for_dataset(&data);
