@@ -1,0 +1,458 @@
+//! The fault matrix: every recovery claim in the failure model, exercised
+//! end-to-end with deterministic injected faults.
+//!
+//! Four scenario families, all seeded and bit-reproducible:
+//!
+//! 1. **Transient I/O** — a seeded [`FaultInjectorSource`] makes chunk reads
+//!    fail transiently mid-build; [`RetryingSource`] must absorb every one
+//!    and the resulting sample must be bit-identical to a fault-free build.
+//!    A fatal (non-transient) injected error must *not* be retried and must
+//!    surface as a typed error.
+//! 2. **Corruption** — a single bit flipped in a spilled `.vaschunk` file
+//!    must fail the per-chunk CRC with a hard error under the default
+//!    policy, and under the opt-in [`CorruptionPolicy::SkipChunks`] must be
+//!    skipped, reported, and leave the remainder readable.
+//! 3. **Crash recovery** — for every locality backend and worker thread
+//!    count, a build killed at a chunk boundary and resumed from its
+//!    `.vascheckpt` must reproduce the uninterrupted sample bit for bit.
+//! 4. **Worker panic** — a panic injected into a speculative pre-evaluation
+//!    worker must be contained (the build completes, sequentially re-running
+//!    the poisoned batch), counted, and must not change a single sample bit.
+//!
+//! Output: a table on stdout plus machine-readable
+//! `results/BENCH_faults.json` whose boolean gates CI greps. Exits non-zero
+//! if any cell fails.
+//!
+//! Usage:
+//! ```text
+//! fault_matrix [--smoke] [--n <points>] [--k <K>] [--chunk-size <points>]
+//! ```
+
+use bench::{emit, results_dir, ReportTable};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use vas_core::{BuildOutcome, CheckpointPolicy, LocalityBackend, VasConfig, VasSampler};
+use vas_data::{GeolifeGenerator, Point};
+use vas_sampling::Sample;
+use vas_stream::{
+    flip_bit_in_file, spill_dataset, write_atomic, ChunkedReader, CorruptionPolicy,
+    FaultInjectorSource, FaultPlan, RetryPolicy, RetryingSource, VasError,
+};
+
+/// Seed shared with the rest of the harness binaries.
+const SEED: u64 = 20_160_519;
+
+#[derive(Debug, Clone, Serialize)]
+struct RecoveryCell {
+    backend: String,
+    threads: usize,
+    killed_after_chunks: u64,
+    bit_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct FaultReport {
+    bench: String,
+    mode: String,
+    n: usize,
+    k: usize,
+    chunk_size: usize,
+    seed: u64,
+    // Scenario 1: transient faults retried, fatal faults not.
+    transient_faults_injected: u64,
+    retries_absorbed: u64,
+    transient_recovered: bool,
+    fatal_not_retried: bool,
+    // Scenario 2: CRC detection + degraded skip mode.
+    crc_detected: bool,
+    crc_skip_mode_reports: bool,
+    // Scenario 3: kill-and-resume, per backend × thread count.
+    recovery_cells: Vec<RecoveryCell>,
+    recovery_bit_identical: bool,
+    // Scenario 4: speculation worker panic containment.
+    contained_worker_panics: u64,
+    panic_contained: bool,
+    all_passed: bool,
+}
+
+fn bitwise_eq(a: &[Point], b: &[Point]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(p, q)| {
+            p.x.to_bits() == q.x.to_bits()
+                && p.y.to_bits() == q.y.to_bits()
+                && p.value.to_bits() == q.value.to_bits()
+        })
+}
+
+fn build_clean(spill: &Path, config: &VasConfig) -> Sample {
+    let mut reader = ChunkedReader::open(spill).expect("open spill");
+    VasSampler::new(config.clone())
+        .build_from_source(&mut reader)
+        .expect("clean build")
+}
+
+/// Scenario 1: the retrying source must absorb every injected transient
+/// fault and reproduce the fault-free sample; a fatal fault must pass
+/// through untouched.
+fn run_transient_scenario(
+    spill: &Path,
+    config: &VasConfig,
+    reference: &Sample,
+) -> (u64, u64, bool, bool) {
+    let reader = ChunkedReader::open(spill).expect("open spill");
+    // Roughly one read in three fails, twice in a row, on a seeded schedule.
+    let injector = FaultInjectorSource::new(reader, FaultPlan::transient(SEED, 3, 2));
+    let mut source = RetryingSource::new(injector, RetryPolicy::immediate(5));
+    let result = VasSampler::new(config.clone()).build_from_source(&mut source);
+    let retries = source.retries();
+    let injected = source.into_inner().transient_injected();
+    let recovered = match result {
+        Ok(sample) => {
+            let identical = bitwise_eq(&sample.points, &reference.points);
+            if !identical {
+                eprintln!("[fault_matrix] FAIL: retried build diverged from the clean build");
+            }
+            identical && injected > 0 && retries >= injected
+        }
+        Err(e) => {
+            eprintln!("[fault_matrix] FAIL: transient faults were not absorbed: {e}");
+            false
+        }
+    };
+
+    // Fatal faults must not be retried: the build dies with a typed,
+    // non-transient error and the retry counter stays untouched.
+    let reader = ChunkedReader::open(spill).expect("open spill");
+    let injector = FaultInjectorSource::new(reader, FaultPlan::fatal_after(2));
+    let mut source = RetryingSource::new(injector, RetryPolicy::immediate(5));
+    let result = VasSampler::new(config.clone()).build_from_source(&mut source);
+    let fatal_not_retried = match result {
+        Ok(_) => {
+            eprintln!("[fault_matrix] FAIL: a fatal injected fault did not fail the build");
+            false
+        }
+        Err(e) => {
+            let not_retried = source.retries() == 0 && !e.is_transient();
+            if !not_retried {
+                eprintln!(
+                    "[fault_matrix] FAIL: fatal fault was retried ({} retries) or \
+                     misclassified: {e}",
+                    source.retries()
+                );
+            }
+            not_retried
+        }
+    };
+    (injected, retries, recovered, fatal_not_retried)
+}
+
+/// Scenario 2: a flipped bit in the spill must fail the chunk CRC hard by
+/// default, and be skipped-and-reported under the opt-in policy.
+fn run_corruption_scenario(spill: &Path, corrupt_copy: &Path, n: usize) -> (bool, bool) {
+    std::fs::copy(spill, corrupt_copy).expect("copy spill");
+    let bytes = std::fs::metadata(corrupt_copy).expect("stat spill").len();
+    // Mid-file lands inside a chunk's column data (the header is tiny).
+    flip_bit_in_file(corrupt_copy, bytes * 8 / 2).expect("flip bit");
+
+    let mut reader = ChunkedReader::open(corrupt_copy).expect("open corrupt spill");
+    let mut buf = Vec::new();
+    let mut hard_error = None;
+    loop {
+        match reader.next_chunk(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                hard_error = Some(e);
+                break;
+            }
+        }
+    }
+    let crc_detected = match hard_error {
+        Some(e) => {
+            let typed = matches!(
+                VasError::from_io_chain(&e),
+                Some(VasError::ChecksumMismatch { .. })
+            );
+            if !typed {
+                eprintln!("[fault_matrix] FAIL: corruption error is not a checksum mismatch: {e}");
+            }
+            typed
+        }
+        None => {
+            eprintln!("[fault_matrix] FAIL: flipped bit went undetected by the default policy");
+            false
+        }
+    };
+
+    let mut reader = ChunkedReader::open(corrupt_copy)
+        .expect("open corrupt spill")
+        .with_corruption_policy(CorruptionPolicy::SkipChunks);
+    let mut streamed = 0usize;
+    let skip_ok = loop {
+        match reader.next_chunk(&mut buf) {
+            Ok(0) => break true,
+            Ok(got) => streamed += got,
+            Err(e) => {
+                eprintln!("[fault_matrix] FAIL: skip mode still errored: {e}");
+                break false;
+            }
+        }
+    };
+    let reports = reader.corruption_reports().len();
+    let skipped = reader.points_skipped() as usize;
+    let crc_skip_mode_reports = skip_ok
+        && reports >= 1
+        && skipped > 0
+        && streamed + skipped == n
+        && streamed == reader.points_read() as usize;
+    if skip_ok && !crc_skip_mode_reports {
+        eprintln!(
+            "[fault_matrix] FAIL: skip mode accounting is off: {streamed} streamed, \
+             {skipped} skipped, {reports} reports, {n} total"
+        );
+    }
+    (crc_detected, crc_skip_mode_reports)
+}
+
+/// Scenario 3: kill at a chunk boundary, resume from the checkpoint, compare
+/// every bit — per backend, per thread count.
+fn run_recovery_scenario(
+    spill: &Path,
+    k: usize,
+    kill_points: &[u64],
+    threads_sweep: &[usize],
+) -> (Vec<RecoveryCell>, bool) {
+    let mut cells = Vec::new();
+    let mut all = true;
+    for backend in LocalityBackend::ALL {
+        let base = VasConfig::new(k).with_locality_backend(backend);
+        let reference = build_clean(spill, &base);
+        for &threads in threads_sweep {
+            let config = base.clone().with_threads(threads);
+            for &kill_after in kill_points {
+                let ckpt = results_dir().join(format!(
+                    "fault_matrix_{backend}_{threads}_{kill_after}.vascheckpt"
+                ));
+                let policy = CheckpointPolicy::every(&ckpt, 1).halting_after(kill_after);
+                let mut reader = ChunkedReader::open(spill).expect("open spill");
+                let outcome = VasSampler::new(config.clone())
+                    .build_from_source_checkpointed(&mut reader, &policy)
+                    .expect("checkpointed build");
+                let mut ok = matches!(outcome, BuildOutcome::Halted { .. });
+                if !ok {
+                    eprintln!(
+                        "[fault_matrix] FAIL: kill switch never fired ({backend}, \
+                         {threads} threads, kill {kill_after})"
+                    );
+                } else {
+                    let resume_policy = CheckpointPolicy::every(&ckpt, 1);
+                    let mut reader = ChunkedReader::open(spill).expect("open spill");
+                    let (_, outcome) = VasSampler::resume_build_from_source(
+                        config.clone(),
+                        &mut reader,
+                        &resume_policy,
+                    )
+                    .expect("resume");
+                    let resumed = outcome.into_sample().expect("resumed build completes");
+                    ok = bitwise_eq(&resumed.points, &reference.points);
+                    if !ok {
+                        eprintln!(
+                            "[fault_matrix] FAIL: resumed sample diverged ({backend}, \
+                             {threads} threads, kill {kill_after})"
+                        );
+                    }
+                }
+                std::fs::remove_file(&ckpt).ok();
+                all &= ok;
+                cells.push(RecoveryCell {
+                    backend: backend.to_string(),
+                    threads,
+                    killed_after_chunks: kill_after,
+                    bit_identical: ok,
+                });
+            }
+        }
+    }
+    (cells, all)
+}
+
+/// Scenario 4: a panic injected into the first speculative batch must be
+/// contained without changing the sample.
+fn run_panic_scenario(spill: &Path, config: &VasConfig, reference: &Sample) -> (u64, bool) {
+    let mut sampler = VasSampler::new(config.clone().with_injected_speculation_panic(0));
+    // The injected panic is expected; silence its default stderr report so
+    // the harness log stays readable. Containment shows in the counter.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut reader = ChunkedReader::open(spill).expect("open spill");
+    let result = sampler.build_from_source(&mut reader);
+    std::panic::set_hook(prev);
+    let contained = sampler.contained_worker_panics();
+    match result {
+        Ok(sample) => {
+            let identical = bitwise_eq(&sample.points, &reference.points);
+            if contained == 0 {
+                eprintln!("[fault_matrix] FAIL: the injected panic never fired");
+            }
+            if !identical {
+                eprintln!("[fault_matrix] FAIL: containment changed the sample bits");
+            }
+            (contained, contained >= 1 && identical)
+        }
+        Err(e) => {
+            eprintln!("[fault_matrix] FAIL: panic containment build errored: {e}");
+            (contained, false)
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (mut n, mut k, mut chunk_size) = if smoke {
+        (20_000usize, 200usize, 1_024usize)
+    } else {
+        (200_000usize, 2_000usize, 8_192usize)
+    };
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {}
+            "--n" | "--k" | "--chunk-size" => {
+                let flag = args[i].clone();
+                i += 1;
+                let value = args.get(i).and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(v) if v > 0 => match flag.as_str() {
+                        "--n" => n = v,
+                        "--k" => k = v,
+                        _ => chunk_size = v,
+                    },
+                    _ => {
+                        eprintln!("{flag} needs a positive integer value");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            unknown => {
+                eprintln!(
+                    "unknown argument {unknown}; usage: fault_matrix [--smoke] [--n <points>] \
+                     [--k <K>] [--chunk-size <points>]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let mode = if smoke { "smoke" } else { "full" };
+    let dataset = GeolifeGenerator::with_size(n, SEED).generate();
+    let spill: PathBuf = results_dir().join(format!("fault_matrix_{n}.vaschunk"));
+    spill_dataset(&dataset, &spill, chunk_size).expect("spill dataset");
+
+    let base = VasConfig::new(k);
+    eprintln!("[fault_matrix] clean reference build (n = {n}, K = {k}, chunk = {chunk_size})");
+    let reference = build_clean(&spill, &base);
+
+    eprintln!("[fault_matrix] scenario 1: transient faults + retry");
+    let (injected, retries, transient_recovered, fatal_not_retried) =
+        run_transient_scenario(&spill, &base, &reference);
+
+    eprintln!("[fault_matrix] scenario 2: CRC detection + skip mode");
+    let corrupt_copy = results_dir().join(format!("fault_matrix_{n}_corrupt.vaschunk"));
+    let (crc_detected, crc_skip_mode_reports) = run_corruption_scenario(&spill, &corrupt_copy, n);
+    std::fs::remove_file(&corrupt_copy).ok();
+
+    eprintln!("[fault_matrix] scenario 3: kill-and-resume per backend");
+    let kill_points: &[u64] = if smoke { &[2, 5] } else { &[2, 5, 11] };
+    let (recovery_cells, recovery_bit_identical) =
+        run_recovery_scenario(&spill, k, kill_points, &[1, 2, 4]);
+
+    eprintln!("[fault_matrix] scenario 4: speculation worker panic containment");
+    let parallel_reference = {
+        let mut reader = ChunkedReader::open(&spill).expect("open spill");
+        VasSampler::new(base.clone().with_threads(2))
+            .build_from_source(&mut reader)
+            .expect("parallel reference build")
+    };
+    let (contained, panic_contained) =
+        run_panic_scenario(&spill, &base.clone().with_threads(2), &parallel_reference);
+
+    std::fs::remove_file(&spill).ok();
+
+    let all_passed = transient_recovered
+        && fatal_not_retried
+        && crc_detected
+        && crc_skip_mode_reports
+        && recovery_bit_identical
+        && panic_contained;
+
+    let mut table = ReportTable::new(
+        format!("Fault matrix ({mode}: n = {n}, K = {k}, chunk = {chunk_size})"),
+        &["scenario", "detail", "pass"],
+    );
+    let yn = |b: bool| if b { "yes" } else { "NO" }.to_string();
+    table.push_row(vec![
+        "transient retried".into(),
+        format!("{injected} injected, {retries} retries absorbed"),
+        yn(transient_recovered),
+    ]);
+    table.push_row(vec![
+        "fatal not retried".into(),
+        "permanent fault surfaces unretried".into(),
+        yn(fatal_not_retried),
+    ]);
+    table.push_row(vec![
+        "CRC detects bit flip".into(),
+        "default policy hard-errors".into(),
+        yn(crc_detected),
+    ]);
+    table.push_row(vec![
+        "CRC skip mode".into(),
+        "corrupt chunk skipped + reported".into(),
+        yn(crc_skip_mode_reports),
+    ]);
+    table.push_row(vec![
+        "kill-and-resume".into(),
+        format!(
+            "{} cells (backend x threads x kill point)",
+            recovery_cells.len()
+        ),
+        yn(recovery_bit_identical),
+    ]);
+    table.push_row(vec![
+        "panic containment".into(),
+        format!("{contained} contained worker panic(s)"),
+        yn(panic_contained),
+    ]);
+    emit("fault_matrix", &[table]);
+
+    let report = FaultReport {
+        bench: "fault_matrix".into(),
+        mode: mode.into(),
+        n,
+        k,
+        chunk_size,
+        seed: SEED,
+        transient_faults_injected: injected,
+        retries_absorbed: retries,
+        transient_recovered,
+        fatal_not_retried,
+        crc_detected,
+        crc_skip_mode_reports,
+        recovery_cells,
+        recovery_bit_identical,
+        contained_worker_panics: contained,
+        panic_contained,
+        all_passed,
+    };
+    let path = results_dir().join("BENCH_faults.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize fault report");
+    write_atomic(&path, json.as_bytes()).expect("write BENCH_faults.json");
+    eprintln!("[machine-readable report written to {}]", path.display());
+
+    if !all_passed {
+        eprintln!("[fault_matrix] FAIL: at least one matrix cell failed");
+        std::process::exit(1);
+    }
+    eprintln!("[fault_matrix] every fault-matrix cell passed");
+}

@@ -40,15 +40,17 @@
 //! recomputing only candidates invalidated by an accepted replacement —
 //! bit-identical to the sequential loop at every thread count.
 
+use crate::checkpoint::{self, BuildOutcome, CheckpointPolicy};
 use crate::kernel::{GaussianKernel, Kernel};
 use crate::max_tracker::MaxTracker;
 use crate::objective::objective;
-use std::io;
+use std::path::Path;
 use std::time::{Duration, Instant};
 use vas_data::{BoundingBox, Dataset, Point};
 use vas_sampling::{Sample, Sampler};
+use vas_spatial::snapshot::{self as snap, SnapshotReader};
 use vas_spatial::{AnyLocalityIndex, LocalityBackend, LocalityIndex, NeighborBatch};
-use vas_stream::PointSource;
+use vas_stream::{write_atomic, PointSource, VasError};
 
 /// Which inner-loop implementation the Interchange algorithm uses.
 ///
@@ -131,6 +133,14 @@ pub struct VasConfig {
     /// parallelism. Strategies without locality fall back to the sequential
     /// loop.
     pub threads: usize,
+    /// Fault injection for the recovery harness: make the speculative
+    /// pre-evaluation front panic in a worker when the sampler's
+    /// lifetime-total count of speculated batches reaches this value. The
+    /// panic is **contained**: the batch's pre-evaluated buffers are
+    /// discarded and the batch re-runs on the reference sequential path, so
+    /// the final sample keeps every bit (pinned by the `fault_matrix`
+    /// harness). `None` (the default) injects nothing.
+    pub inject_speculation_panic_at: Option<u64>,
 }
 
 impl VasConfig {
@@ -147,6 +157,7 @@ impl VasConfig {
             scalar_kernel_path: false,
             locality_backend: LocalityBackend::default(),
             threads: 1,
+            inject_speculation_panic_at: None,
         }
     }
 
@@ -209,6 +220,14 @@ impl VasConfig {
     /// [`threads`](Self::threads); `0` = available parallelism).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Arms the speculation-panic fault injector (see
+    /// [`inject_speculation_panic_at`](Self::inject_speculation_panic_at)).
+    /// Testing and fault-matrix use only.
+    pub fn with_injected_speculation_panic(mut self, at_batch: u64) -> Self {
+        self.inject_speculation_panic_at = Some(at_batch);
         self
     }
 }
@@ -397,6 +416,13 @@ pub struct VasSampler<L: LocalityIndex = AnyLocalityIndex> {
     objective: f64,
     seen: u64,
     replacements: u64,
+    /// Lifetime count of speculated batches (drives the deterministic
+    /// panic-injection hook, [`VasConfig::inject_speculation_panic_at`]).
+    speculated: u64,
+    /// Speculative batches whose worker panic was contained by degrading the
+    /// batch to the sequential path (see
+    /// [`contained_worker_panics`](Self::contained_worker_panics)).
+    contained_worker_panics: u64,
     progress: Option<ProgressSink>,
     started: Instant,
 }
@@ -431,6 +457,359 @@ impl VasSampler {
     }
 }
 
+/// Tag values for [`InterchangeStrategy`] in the checkpoint payload.
+fn strategy_tag(strategy: InterchangeStrategy) -> u8 {
+    match strategy {
+        InterchangeStrategy::Naive => 0,
+        InterchangeStrategy::ExpandShrink => 1,
+        InterchangeStrategy::ExpandShrinkLocality => 2,
+    }
+}
+
+fn strategy_from_tag(tag: u8) -> Result<InterchangeStrategy, VasError> {
+    match tag {
+        0 => Ok(InterchangeStrategy::Naive),
+        1 => Ok(InterchangeStrategy::ExpandShrink),
+        2 => Ok(InterchangeStrategy::ExpandShrinkLocality),
+        other => Err(VasError::Checkpoint {
+            detail: format!("unknown strategy tag {other}"),
+        }),
+    }
+}
+
+/// Tag values for [`LocalityBackend`] in the checkpoint payload.
+fn backend_tag(backend: LocalityBackend) -> u8 {
+    match backend {
+        LocalityBackend::RTree => 0,
+        LocalityBackend::KdTree => 1,
+        LocalityBackend::HashGrid => 2,
+    }
+}
+
+fn backend_from_tag(tag: u8) -> Result<LocalityBackend, VasError> {
+    match tag {
+        0 => Ok(LocalityBackend::RTree),
+        1 => Ok(LocalityBackend::KdTree),
+        2 => Ok(LocalityBackend::HashGrid),
+        other => Err(VasError::Checkpoint {
+            detail: format!("unknown locality backend tag {other}"),
+        }),
+    }
+}
+
+/// A resume precondition that must match between the checkpoint and the
+/// caller's configuration/source.
+fn require_match<T: PartialEq + std::fmt::Debug>(
+    what: &str,
+    expected: T,
+    found: T,
+) -> Result<(), VasError> {
+    if expected == found {
+        Ok(())
+    } else {
+        Err(VasError::Mismatch {
+            expected: format!("{what} {expected:?}"),
+            found: format!("{found:?}"),
+        })
+    }
+}
+
+/// Checkpoint/resume for the runtime-dispatched sampler. The index snapshot
+/// codec is backend-tagged (see [`vas_spatial::snapshot`]), so these entry
+/// points live on the [`AnyLocalityIndex`]-backed sampler every driver and
+/// benchmark uses.
+impl VasSampler {
+    /// Serializes the full sampler state plus the stream position into a
+    /// checkpoint payload (the container framing — magic, version, CRC — is
+    /// applied by [`write_checkpoint`](Self::write_checkpoint)).
+    fn encode_checkpoint_payload(
+        &self,
+        pass: u64,
+        chunks_consumed: u64,
+        source_name: &str,
+        chunk_capacity: u64,
+    ) -> Result<Vec<u8>, VasError> {
+        let kernel = self.kernel.as_ref().ok_or(VasError::Checkpoint {
+            detail: "cannot checkpoint before the kernel bandwidth is resolved".into(),
+        })?;
+        let mut out = Vec::new();
+        snap::put_u64(&mut out, self.config.k as u64);
+        snap::put_u8(&mut out, strategy_tag(self.config.strategy));
+        snap::put_u8(&mut out, self.config.legacy_inner_loop as u8);
+        snap::put_u8(&mut out, self.config.scalar_kernel_path as u8);
+        snap::put_u8(&mut out, backend_tag(self.config.locality_backend));
+        snap::put_f64(&mut out, self.config.locality_threshold);
+        snap::put_u64(&mut out, self.config.passes.max(1) as u64);
+        snap::put_f64(&mut out, kernel.epsilon());
+        snap::put_usize(&mut out, source_name.len());
+        out.extend_from_slice(source_name.as_bytes());
+        snap::put_u64(&mut out, chunk_capacity);
+        snap::put_u64(&mut out, pass);
+        snap::put_u64(&mut out, chunks_consumed);
+        snap::put_usize(&mut out, self.points.len());
+        for p in &self.points {
+            snap::put_f64(&mut out, p.x);
+            snap::put_f64(&mut out, p.y);
+            snap::put_f64(&mut out, p.value);
+        }
+        snap::put_usize(&mut out, self.rsp.len());
+        for &r in &self.rsp {
+            snap::put_f64(&mut out, r);
+        }
+        snap::put_f64(&mut out, self.objective);
+        snap::put_u64(&mut out, self.seen);
+        snap::put_u64(&mut out, self.replacements);
+        snap::put_u64(&mut out, self.accept_spacing);
+        snap::put_u64(&mut out, self.kernel_lanes);
+        snap::put_u64(&mut out, self.speculated);
+        snap::put_u64(&mut out, self.contained_worker_panics);
+        let index_bytes = self.index.snapshot();
+        snap::put_usize(&mut out, index_bytes.len());
+        out.extend_from_slice(&index_bytes);
+        Ok(out)
+    }
+
+    /// Atomically persists a checkpoint of the sampler at the given stream
+    /// position: the file at `path` is replaced via temp + fsync + rename,
+    /// so a crash mid-write leaves the previous checkpoint intact.
+    pub fn write_checkpoint(
+        &self,
+        path: &Path,
+        pass: u64,
+        chunks_consumed: u64,
+        source_name: &str,
+        chunk_capacity: u64,
+    ) -> Result<(), VasError> {
+        let payload =
+            self.encode_checkpoint_payload(pass, chunks_consumed, source_name, chunk_capacity)?;
+        let bytes = checkpoint::encode_container(&payload);
+        write_atomic(path, &bytes)
+            .map_err(|e| VasError::io(format!("writing checkpoint {}", path.display()), e))
+    }
+
+    /// Restores a sampler from a checkpoint file, verifying that `config`
+    /// asks for the run the checkpoint belongs to (budget, strategy,
+    /// backend, threshold, passes — everything the sample bits depend on;
+    /// thread count and progress reporting may differ, as the output is
+    /// bit-identical across them).
+    ///
+    /// Returns the sampler plus the stream position to resume from:
+    /// `(pass, chunks_consumed, source_name, chunk_capacity)`.
+    pub fn resume_from_checkpoint(
+        path: &Path,
+        config: VasConfig,
+    ) -> Result<(Self, u64, u64, String, u64), VasError> {
+        let label = path.display().to_string();
+        let bytes = std::fs::read(path)
+            .map_err(|e| VasError::io(format!("reading checkpoint {label}"), e))?;
+        let payload = checkpoint::decode_container(&label, &bytes)?;
+        let mut r = SnapshotReader::new(payload);
+        let ck = |e: snap::SnapshotError| VasError::Checkpoint {
+            detail: e.to_string(),
+        };
+
+        let k = r.take_usize("k").map_err(ck)?;
+        let strategy = strategy_from_tag(r.take_u8("strategy").map_err(ck)?)?;
+        let legacy = r.take_u8("legacy flag").map_err(ck)? != 0;
+        let scalar = r.take_u8("scalar flag").map_err(ck)? != 0;
+        let backend = backend_from_tag(r.take_u8("backend").map_err(ck)?)?;
+        let threshold = r.take_f64("locality threshold").map_err(ck)?;
+        let passes = r.take_u64("passes").map_err(ck)?;
+        require_match("sample budget k", k, config.k)?;
+        require_match("strategy", strategy, config.strategy)?;
+        require_match("legacy_inner_loop", legacy, config.legacy_inner_loop)?;
+        require_match("scalar_kernel_path", scalar, config.scalar_kernel_path)?;
+        require_match("locality_backend", backend, config.locality_backend)?;
+        require_match(
+            "locality_threshold bits",
+            threshold.to_bits(),
+            config.locality_threshold.to_bits(),
+        )?;
+        require_match("passes", passes, config.passes.max(1) as u64)?;
+
+        let epsilon = r.take_f64("epsilon").map_err(ck)?;
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(VasError::Checkpoint {
+                detail: format!("checkpointed bandwidth {epsilon} is not finite positive"),
+            });
+        }
+        if let Some(fixed) = config.epsilon {
+            require_match("epsilon bits", epsilon.to_bits(), fixed.to_bits())?;
+        }
+        let name_len = r.take_usize("source name length").map_err(ck)?;
+        let mut name_bytes = Vec::with_capacity(name_len.min(1 << 16));
+        for _ in 0..name_len {
+            name_bytes.push(r.take_u8("source name byte").map_err(ck)?);
+        }
+        let source_name = String::from_utf8(name_bytes).map_err(|_| VasError::Checkpoint {
+            detail: "source name is not valid UTF-8".into(),
+        })?;
+        let chunk_capacity = r.take_u64("chunk capacity").map_err(ck)?;
+        let pass = r.take_u64("pass index").map_err(ck)?;
+        let chunks_consumed = r.take_u64("chunks consumed").map_err(ck)?;
+
+        let n_points = r.take_usize("sample point count").map_err(ck)?;
+        let mut points = Vec::with_capacity(n_points.min(1 << 20));
+        for _ in 0..n_points {
+            let x = r.take_f64("sample point x").map_err(ck)?;
+            let y = r.take_f64("sample point y").map_err(ck)?;
+            let value = r.take_f64("sample point value").map_err(ck)?;
+            points.push(Point::with_value(x, y, value));
+        }
+        let n_rsp = r.take_usize("responsibility count").map_err(ck)?;
+        let mut rsp = Vec::with_capacity(n_rsp.min(1 << 20));
+        for _ in 0..n_rsp {
+            rsp.push(r.take_f64("responsibility").map_err(ck)?);
+        }
+        let objective = r.take_f64("objective").map_err(ck)?;
+        let seen = r.take_u64("seen").map_err(ck)?;
+        let replacements = r.take_u64("replacements").map_err(ck)?;
+        let accept_spacing = r.take_u64("accept spacing").map_err(ck)?;
+        let kernel_lanes = r.take_u64("kernel lanes").map_err(ck)?;
+        let speculated = r.take_u64("speculated batches").map_err(ck)?;
+        let contained = r.take_u64("contained panics").map_err(ck)?;
+        let index_len = r.take_usize("index snapshot length").map_err(ck)?;
+        let mut index_bytes = Vec::with_capacity(index_len.min(1 << 20));
+        for _ in 0..index_len {
+            index_bytes.push(r.take_u8("index snapshot byte").map_err(ck)?);
+        }
+        r.expect_end().map_err(ck)?;
+
+        if rsp.len() != points.len() {
+            return Err(VasError::Checkpoint {
+                detail: format!(
+                    "{} responsibilities for {} sample points",
+                    rsp.len(),
+                    points.len()
+                ),
+            });
+        }
+        let index = AnyLocalityIndex::restore(&index_bytes).map_err(|e| VasError::Checkpoint {
+            detail: e.to_string(),
+        })?;
+        require_match("index backend", index.backend(), backend)?;
+
+        let mut sampler = VasSampler::new(config);
+        sampler.install_kernel(GaussianKernel::new(epsilon));
+        sampler.points = points;
+        sampler.rsp = rsp;
+        sampler.index = index;
+        sampler.objective = objective;
+        sampler.seen = seen;
+        sampler.replacements = replacements;
+        sampler.accept_spacing = accept_spacing;
+        sampler.kernel_lanes = kernel_lanes;
+        sampler.speculated = speculated;
+        sampler.contained_worker_panics = contained;
+        // The tournament tree is a pure function of `rsp`; leaving it stale
+        // triggers the same lazy deterministic rebuild every other
+        // rsp-mutating path uses.
+        sampler.max_tracker = MaxTracker::new();
+        sampler.tracker_fresh = false;
+        Ok((sampler, pass, chunks_consumed, source_name, chunk_capacity))
+    }
+
+    /// [`build_from_source`](Self::build_from_source) with periodic crash
+    /// checkpoints per `policy`, from the beginning of the stream.
+    ///
+    /// Returns [`BuildOutcome::Complete`] with the final sample, or — only
+    /// when the policy's deterministic kill switch is armed —
+    /// [`BuildOutcome::Halted`], from which
+    /// [`resume_build_from_source`](Self::resume_build_from_source) continues
+    /// bit-identically.
+    pub fn build_from_source_checkpointed<S: PointSource>(
+        &mut self,
+        source: &mut S,
+        policy: &CheckpointPolicy,
+    ) -> Result<BuildOutcome, VasError> {
+        if self.kernel.is_none() {
+            source.reset().map_err(VasError::from)?;
+            let stats = vas_stream::scan_stats(source).map_err(VasError::from)?;
+            self.install_kernel(GaussianKernel::for_bounds(&stats.bounds));
+        }
+        self.run_checkpointed(source, policy, 0, 0)
+    }
+
+    /// Resumes a checkpointed build: restores the sampler from
+    /// `policy.path`, verifies the checkpoint belongs to (`config`,
+    /// `source`), skips the chunks already consumed and streams the rest —
+    /// producing a final sample **bit-identical** to the uninterrupted run.
+    pub fn resume_build_from_source<S: PointSource>(
+        config: VasConfig,
+        source: &mut S,
+        policy: &CheckpointPolicy,
+    ) -> Result<(Self, BuildOutcome), VasError> {
+        let (mut sampler, pass, chunks, source_name, chunk_capacity) =
+            Self::resume_from_checkpoint(&policy.path, config)?;
+        require_match("source name", source_name.as_str(), source.name())?;
+        require_match(
+            "source chunk capacity",
+            chunk_capacity,
+            source.chunk_capacity() as u64,
+        )?;
+        let outcome = sampler.run_checkpointed(source, policy, pass, chunks)?;
+        Ok((sampler, outcome))
+    }
+
+    /// The checkpointed streaming loop shared by fresh and resumed builds:
+    /// per pass, skip `start_chunks` chunks (resume only), then observe
+    /// chunk by chunk, checkpointing every `policy.every_chunks` chunks and
+    /// honouring the deterministic kill switch.
+    fn run_checkpointed<S: PointSource>(
+        &mut self,
+        source: &mut S,
+        policy: &CheckpointPolicy,
+        start_pass: u64,
+        start_chunks: u64,
+    ) -> Result<BuildOutcome, VasError> {
+        let passes = self.config.passes.max(1) as u64;
+        let source_name = source.name().to_string();
+        let chunk_capacity = source.chunk_capacity() as u64;
+        let mut buf = Vec::new();
+        let mut halted_after = 0u64;
+        for pass in start_pass..passes {
+            source.reset().map_err(VasError::from)?;
+            let skip = if pass == start_pass { start_chunks } else { 0 };
+            let mut chunk_index = 0u64;
+            while chunk_index < skip {
+                let n = source.next_chunk(&mut buf).map_err(VasError::from)?;
+                if n == 0 {
+                    return Err(VasError::Mismatch {
+                        expected: format!("at least {skip} chunks in source {source_name:?}"),
+                        found: format!("{chunk_index} chunks"),
+                    });
+                }
+                chunk_index += 1;
+            }
+            loop {
+                let n = source.next_chunk(&mut buf).map_err(VasError::from)?;
+                if n == 0 {
+                    break;
+                }
+                self.observe_chunk(&buf);
+                chunk_index += 1;
+                halted_after += 1;
+                if policy.every_chunks > 0 && chunk_index.is_multiple_of(policy.every_chunks) {
+                    self.write_checkpoint(
+                        &policy.path,
+                        pass,
+                        chunk_index,
+                        &source_name,
+                        chunk_capacity,
+                    )?;
+                }
+                if policy.halt_after_chunks == Some(halted_after) {
+                    return Ok(BuildOutcome::Halted {
+                        pass,
+                        chunks_consumed: chunk_index,
+                    });
+                }
+            }
+        }
+        Ok(BuildOutcome::Complete(self.finalize()))
+    }
+}
+
 impl<L: LocalityIndex> VasSampler<L> {
     /// Creates a sampler over an explicit (statically-typed) locality index;
     /// `index` is cleared before use. See [`VasSampler::new`] for the
@@ -454,6 +833,8 @@ impl<L: LocalityIndex> VasSampler<L> {
             objective: 0.0,
             seen: 0,
             replacements: 0,
+            speculated: 0,
+            contained_worker_panics: 0,
             progress: None,
             started: Instant::now(),
             config,
@@ -496,6 +877,14 @@ impl<L: LocalityIndex> VasSampler<L> {
         self.kernel_lanes
     }
 
+    /// Speculative batches whose worker panicked and were **contained**: the
+    /// pre-evaluated buffers were discarded and the batch re-ran on the
+    /// reference sequential path, changing no sample bit. Zero in a healthy
+    /// run.
+    pub fn contained_worker_panics(&self) -> u64 {
+        self.contained_worker_panics
+    }
+
     /// Current value of the optimization objective.
     pub fn current_objective(&self) -> f64 {
         self.objective
@@ -533,18 +922,22 @@ impl<L: LocalityIndex> VasSampler<L> {
     /// equivalent in-memory dataset (pinned in `tests/determinism.rs`).
     ///
     /// Errors from the underlying source (I/O, malformed rows) abort the
-    /// build and are passed through; the sampler is left mid-stream and
-    /// should be discarded or finalized.
-    pub fn build_from_source<S: PointSource>(&mut self, source: &mut S) -> io::Result<Sample> {
+    /// build and surface as a typed [`VasError`] (corruption, truncation and
+    /// retry exhaustion stay distinguishable); the sampler is left
+    /// mid-stream and should be discarded or finalized.
+    pub fn build_from_source<S: PointSource>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<Sample, VasError> {
         if self.kernel.is_none() {
-            source.reset()?;
-            let stats = vas_stream::scan_stats(source)?;
+            source.reset().map_err(VasError::from)?;
+            let stats = vas_stream::scan_stats(source).map_err(VasError::from)?;
             self.install_kernel(GaussianKernel::for_bounds(&stats.bounds));
         }
         let mut buf = Vec::new();
         for _ in 0..self.config.passes.max(1) {
-            source.reset()?;
-            while source.next_chunk(&mut buf)? > 0 {
+            source.reset().map_err(VasError::from)?;
+            while source.next_chunk(&mut buf).map_err(VasError::from)? > 0 {
                 self.observe_chunk(&buf);
             }
         }
@@ -559,19 +952,19 @@ impl<L: LocalityIndex> VasSampler<L> {
         &mut self,
         source: &mut S,
         max_passes: usize,
-    ) -> io::Result<(Sample, usize)> {
+    ) -> Result<(Sample, usize), VasError> {
         if self.kernel.is_none() {
-            source.reset()?;
-            let stats = vas_stream::scan_stats(source)?;
+            source.reset().map_err(VasError::from)?;
+            let stats = vas_stream::scan_stats(source).map_err(VasError::from)?;
             self.install_kernel(GaussianKernel::for_bounds(&stats.bounds));
         }
         let mut buf = Vec::new();
         let mut passes = 0usize;
         loop {
             let before = self.replacements;
-            source.reset()?;
+            source.reset().map_err(VasError::from)?;
             let mut streamed = 0u64;
-            while source.next_chunk(&mut buf)? > 0 {
+            while source.next_chunk(&mut buf).map_err(VasError::from)? > 0 {
                 streamed += buf.len() as u64;
                 self.observe_chunk(&buf);
             }
@@ -715,7 +1108,22 @@ impl<L: LocalityIndex> VasSampler<L> {
             // pre-evaluated deltas are exactly what a live Expand would
             // compute now".
             let snapshot = self.replacements;
-            self.pre_evaluate(rest, threads);
+            if !self.pre_evaluate(rest, threads) {
+                // A worker panicked mid-fan-out: the pre-evaluated buffers
+                // are unusable (possibly half-written), but the sample, the
+                // index and the stream position are untouched — the fan-out
+                // only *reads* the frozen index. Contain the failure by
+                // finishing the batch on the reference sequential path,
+                // which is bit-identical to a successful speculation by the
+                // determinism contract.
+                self.contained_worker_panics += 1;
+                for p in rest {
+                    self.seen += 1;
+                    self.observe_candidate(*p);
+                    self.maybe_report_progress();
+                }
+                return;
+            }
             let applied = self.apply_pre_evaluated(rest, snapshot);
             rest = &rest[applied..];
             if rest.is_empty() {
@@ -741,10 +1149,19 @@ impl<L: LocalityIndex> VasSampler<L> {
     /// Fans `candidates` out over `threads` scoped workers, each computing
     /// its contiguous stripe's neighbourhood deltas against the frozen
     /// index, into the reusable per-worker buffers.
-    fn pre_evaluate(&mut self, candidates: &[Point], threads: usize) {
+    ///
+    /// Returns `false` when a worker **panicked**: the panic is contained
+    /// (every worker is joined, the calling thread's own stripe runs under
+    /// `catch_unwind`) and the caller must treat the pre-evaluated buffers
+    /// as poison — nothing else is touched, so degrading the batch to the
+    /// sequential path is safe and bit-identical.
+    fn pre_evaluate(&mut self, candidates: &[Point], threads: usize) -> bool {
         let kernel = self.kernel.expect("kernel resolved");
         let cutoff = self.cutoff;
         let scalar = self.config.scalar_kernel_path;
+        let batch_index = self.speculated;
+        self.speculated += 1;
+        let inject_panic = self.config.inject_speculation_panic_at == Some(batch_index);
         let ranges = vas_par::split_ranges(candidates.len(), threads);
         let workers = ranges.len();
         self.pre_eval.ensure_workers(workers);
@@ -760,6 +1177,7 @@ impl<L: LocalityIndex> VasSampler<L> {
         let val_bufs = &mut pre_eval.vals[..workers];
         let meta_bufs = &mut pre_eval.meta[..workers];
         let gather_bufs = &mut pre_eval.gathers[..workers];
+        let mut poisoned = false;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers.saturating_sub(1));
             let mut stripes = ranges.iter().cloned().zip(
@@ -769,37 +1187,50 @@ impl<L: LocalityIndex> VasSampler<L> {
                     .zip(meta_bufs.iter_mut().zip(gather_bufs.iter_mut())),
             );
             let first = stripes.next().expect("at least one range");
+            // The injected fault hits a *spawned* worker when there is one
+            // (exercising the cross-thread containment path), else the
+            // calling thread's own stripe.
+            let mut inject_in_spawned = inject_panic && workers > 1;
             for (range, ((ids, vals), (meta, gather))) in stripes {
                 let stripe = &candidates[range];
+                let worker_injects = std::mem::take(&mut inject_in_spawned);
                 handles.push(scope.spawn(move || {
+                    if worker_injects {
+                        panic!("injected speculation fault (batch {batch_index})");
+                    }
                     pre_eval_range(
                         index, kernel, cutoff, scalar, stripe, ids, vals, meta, gather,
                     );
                 }));
             }
-            // The calling thread is worker 0.
+            // The calling thread is worker 0; contain its own stripe too so
+            // a panic here cannot leak past the scope while the spawned
+            // workers are still running.
             let (range, ((ids, vals), (meta, gather))) = first;
-            pre_eval_range(
-                index,
-                kernel,
-                cutoff,
-                scalar,
-                &candidates[range],
-                ids,
-                vals,
-                meta,
-                gather,
-            );
+            let stripe = &candidates[range];
+            let own = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if inject_panic && workers == 1 {
+                    panic!("injected speculation fault (batch {batch_index})");
+                }
+                pre_eval_range(
+                    index, kernel, cutoff, scalar, stripe, ids, vals, meta, gather,
+                );
+            }));
+            poisoned |= own.is_err();
             for h in handles {
-                h.join().expect("pre-evaluation worker panicked");
+                poisoned |= h.join().is_err();
             }
         });
+        if poisoned {
+            return false;
+        }
         if !scalar {
             self.kernel_lanes += self.pre_eval.vals[..workers]
                 .iter()
                 .map(|v| v.len() as u64)
                 .sum::<u64>();
         }
+        true
     }
 
     /// Replays pre-evaluated candidates **in stream order** until the batch
@@ -1344,6 +1775,10 @@ impl<L: LocalityIndex> VasSampler<L> {
         self.objective = 0.0;
         self.seen = 0;
         self.replacements = 0;
+        self.speculated = 0;
+        // `contained_worker_panics` deliberately survives the reset: it is
+        // the sampler-lifetime health counter callers inspect *after* a
+        // build to learn whether any speculative batch was poisoned.
         self.started = Instant::now();
         // Keep the resolved kernel: it describes the data domain, which does
         // not change between passes or reuse on the same table.
@@ -2037,6 +2472,292 @@ mod tests {
         assert_eq!(handle.join().unwrap(), 50);
     }
 
+    fn temp_checkpoint(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "vas-core-ckpt-{}-{tag}.vascheckpt",
+            std::process::id()
+        ))
+    }
+
+    fn assert_samples_bit_equal(a: &Sample, b: &Sample, what: &str) {
+        assert_eq!(a.points.len(), b.points.len(), "{what}: lengths differ");
+        for (i, (p, q)) in a.points.iter().zip(&b.points).enumerate() {
+            assert!(
+                p.x.to_bits() == q.x.to_bits()
+                    && p.y.to_bits() == q.y.to_bits()
+                    && p.value.to_bits() == q.value.to_bits(),
+                "{what}: point {i} differs"
+            );
+        }
+    }
+
+    /// Kill-and-resume at several chunk boundaries, every backend: the
+    /// resumed build must reproduce the uninterrupted sample bit for bit.
+    /// (The exhaustive boundary × thread sweep lives in
+    /// `tests/determinism.rs` and the `fault_matrix` harness.)
+    #[test]
+    fn checkpoint_resume_is_bit_identical_per_backend() {
+        let d = GeolifeGenerator::with_size(4_000, 11).generate();
+        for backend in LocalityBackend::ALL {
+            let config = VasConfig::new(120).with_locality_backend(backend);
+            let mut clean_src = vas_stream::DatasetSource::with_chunk_size(&d, 512);
+            let clean = VasSampler::new(config.clone())
+                .build_from_source(&mut clean_src)
+                .unwrap();
+
+            for kill_after in [1u64, 3, 5, 7] {
+                let path = temp_checkpoint(&format!("{backend}-{kill_after}"));
+                let policy = CheckpointPolicy::every(&path, 1).halting_after(kill_after);
+                let mut src = vas_stream::DatasetSource::with_chunk_size(&d, 512);
+                let outcome = VasSampler::new(config.clone())
+                    .build_from_source_checkpointed(&mut src, &policy)
+                    .unwrap();
+                assert!(outcome.is_halted(), "{backend}: kill switch did not fire");
+
+                let resume_policy = CheckpointPolicy::every(&path, 1);
+                let mut src = vas_stream::DatasetSource::with_chunk_size(&d, 512);
+                let (sampler, outcome) =
+                    VasSampler::resume_build_from_source(config.clone(), &mut src, &resume_policy)
+                        .unwrap();
+                let resumed = outcome.into_sample().expect("resumed run completes");
+                assert_samples_bit_equal(
+                    &resumed,
+                    &clean,
+                    &format!("{backend}, killed after chunk {kill_after}"),
+                );
+                assert_eq!(sampler.contained_worker_panics(), 0);
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+
+    /// A checkpoint written mid-pass with a sparser cadence than the kill
+    /// point: the resume re-processes the chunks after the last checkpoint
+    /// and still lands on the clean sample's bits.
+    #[test]
+    fn resume_from_stale_checkpoint_reprocesses_the_gap() {
+        let d = GeolifeGenerator::with_size(3_000, 7).generate();
+        let config = VasConfig::new(80);
+        let mut clean_src = vas_stream::DatasetSource::with_chunk_size(&d, 256);
+        let clean = VasSampler::new(config.clone())
+            .build_from_source(&mut clean_src)
+            .unwrap();
+
+        let path = temp_checkpoint("stale");
+        // Checkpoints at chunks 3, 6, 9…; killed after chunk 7 → resume
+        // restarts from chunk 6's state and re-observes chunk 7.
+        let policy = CheckpointPolicy::every(&path, 3).halting_after(7);
+        let mut src = vas_stream::DatasetSource::with_chunk_size(&d, 256);
+        let outcome = VasSampler::new(config.clone())
+            .build_from_source_checkpointed(&mut src, &policy)
+            .unwrap();
+        assert!(outcome.is_halted());
+
+        let mut src = vas_stream::DatasetSource::with_chunk_size(&d, 256);
+        let (_, outcome) = VasSampler::resume_build_from_source(
+            config,
+            &mut src,
+            &CheckpointPolicy::every(&path, 3),
+        )
+        .unwrap();
+        assert_samples_bit_equal(
+            &outcome.into_sample().unwrap(),
+            &clean,
+            "stale checkpoint resume",
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Resume preconditions: a checkpoint must refuse a mismatching
+    /// configuration or source.
+    #[test]
+    fn resume_rejects_mismatched_config_and_source() {
+        let d = GeolifeGenerator::with_size(2_000, 5).generate();
+        let config = VasConfig::new(60);
+        let path = temp_checkpoint("mismatch");
+        let policy = CheckpointPolicy::every(&path, 1).halting_after(2);
+        let mut src = vas_stream::DatasetSource::with_chunk_size(&d, 256);
+        VasSampler::new(config.clone())
+            .build_from_source_checkpointed(&mut src, &policy)
+            .unwrap();
+
+        // Wrong budget.
+        let err = VasSampler::resume_from_checkpoint(&path, VasConfig::new(61)).unwrap_err();
+        assert!(matches!(err, VasError::Mismatch { .. }), "{err}");
+        // Wrong backend.
+        let err = VasSampler::resume_from_checkpoint(
+            &path,
+            VasConfig::new(60).with_locality_backend(LocalityBackend::RTree),
+        )
+        .unwrap_err();
+        assert!(matches!(err, VasError::Mismatch { .. }), "{err}");
+        // Wrong source (different chunk capacity).
+        let mut other = vas_stream::DatasetSource::with_chunk_size(&d, 128);
+        let err =
+            VasSampler::resume_build_from_source(config.clone(), &mut other, &policy).unwrap_err();
+        assert!(matches!(err, VasError::Mismatch { .. }), "{err}");
+        // Corrupted checkpoint: flip one byte.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = VasSampler::resume_from_checkpoint(&path, config).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VasError::ChecksumMismatch { .. }
+                    | VasError::Corrupt { .. }
+                    | VasError::UnsupportedVersion { .. }
+                    | VasError::Truncated { .. }
+            ),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// An injected worker panic in the speculative front is contained: the
+    /// build completes, the counter records it, and the sample keeps every
+    /// bit of the healthy parallel run.
+    #[test]
+    fn speculation_panic_is_contained_bit_identically() {
+        let d = GeolifeGenerator::with_size(6_000, 13).generate();
+        let base = VasConfig::new(100).with_threads(2);
+        let mut src = vas_stream::DatasetSource::with_chunk_size(&d, 512);
+        let healthy = VasSampler::new(base.clone())
+            .build_from_source(&mut src)
+            .unwrap();
+
+        let mut faulty_sampler = VasSampler::new(base.with_injected_speculation_panic(0));
+        // Quiet the injected panic's default stderr backtrace for this
+        // scope; containment is observable through the counter.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut src = vas_stream::DatasetSource::with_chunk_size(&d, 512);
+        let faulty = faulty_sampler.build_from_source(&mut src).unwrap();
+        std::panic::set_hook(prev);
+        assert!(
+            faulty_sampler.contained_worker_panics() >= 1,
+            "injected panic was never contained (speculation may not have run)"
+        );
+        assert_samples_bit_equal(&faulty, &healthy, "panic containment");
+    }
+
+    proptest::proptest! {
+        /// Checkpoint round-trip under adversarial float payloads: values
+        /// carry NaN / -0.0 / subnormal bit patterns (and coordinates may be
+        /// -0.0 or subnormal — any finite bits), the build is killed at an
+        /// arbitrary chunk boundary, and the resume must land on the clean
+        /// build's bits exactly.
+        #[test]
+        fn checkpoint_round_trip_survives_special_float_payloads(
+            raw in proptest::collection::vec(
+                (-50.0f64..50.0, -50.0f64..50.0, -1.0e6f64..1.0e6, 0u8..8),
+                300..700,
+            ),
+            kill_after in 1u64..6,
+            chunk in 48usize..160,
+        ) {
+            let points: Vec<Point> = raw
+                .iter()
+                .map(|&(x, y, v, special)| {
+                    // Smuggle the special bit patterns in through the value
+                    // channel (any f64) and the coordinates (any finite f64).
+                    let (x, y, v) = match special {
+                        0 => (x, y, f64::NAN),
+                        1 => (x, y, -0.0),
+                        2 => (x, y, 5e-324),
+                        3 => (-0.0, y, v),
+                        4 => (x, 5e-324, v),
+                        5 => (x, -0.0, -v),
+                        _ => (x, y, v),
+                    };
+                    Point::with_value(x, y, v)
+                })
+                .collect();
+            let d = Dataset::new("proptest", vas_data::DatasetKind::External, points);
+            let config = VasConfig::new(40);
+            let mut src = vas_stream::DatasetSource::with_chunk_size(&d, chunk);
+            let clean = VasSampler::new(config.clone())
+                .build_from_source(&mut src)
+                .unwrap();
+
+            let path = std::env::temp_dir().join(format!(
+                "vas-core-ckpt-prop-{}-{kill_after}-{chunk}.vascheckpt",
+                std::process::id()
+            ));
+            let policy = CheckpointPolicy::every(&path, 1).halting_after(kill_after);
+            let mut src = vas_stream::DatasetSource::with_chunk_size(&d, chunk);
+            let outcome = VasSampler::new(config.clone())
+                .build_from_source_checkpointed(&mut src, &policy)
+                .unwrap();
+            let resumed = if outcome.is_halted() {
+                let mut src = vas_stream::DatasetSource::with_chunk_size(&d, chunk);
+                let (_, outcome) = VasSampler::resume_build_from_source(
+                    config,
+                    &mut src,
+                    &CheckpointPolicy::every(&path, 1),
+                )
+                .unwrap();
+                outcome.into_sample().unwrap()
+            } else {
+                // The kill point fell past the stream's end: the run
+                // completed; its sample must already match.
+                outcome.into_sample().unwrap()
+            };
+            std::fs::remove_file(&path).ok();
+            proptest::prop_assert_eq!(resumed.points.len(), clean.points.len());
+            for (p, q) in resumed.points.iter().zip(&clean.points) {
+                proptest::prop_assert_eq!(p.x.to_bits(), q.x.to_bits());
+                proptest::prop_assert_eq!(p.y.to_bits(), q.y.to_bits());
+                proptest::prop_assert_eq!(p.value.to_bits(), q.value.to_bits());
+            }
+        }
+
+        /// Arbitrary single-byte corruption anywhere in a checkpoint file
+        /// must surface as a typed error from resume — never a panic, never
+        /// a silently restored sampler.
+        #[test]
+        fn corrupted_checkpoint_resumes_to_typed_errors(
+            offset_frac in 0.0f64..1.0,
+            flip in 1u8..255,
+            truncate in proptest::bool::ANY,
+        ) {
+            let d = GeolifeGenerator::with_size(1_500, 3).generate();
+            let config = VasConfig::new(50);
+            let path = std::env::temp_dir().join(format!(
+                "vas-core-ckpt-corrupt-{}-{flip}-{truncate}.vascheckpt",
+                std::process::id()
+            ));
+            let policy = CheckpointPolicy::every(&path, 1).halting_after(2);
+            let mut src = vas_stream::DatasetSource::with_chunk_size(&d, 256);
+            VasSampler::new(config.clone())
+                .build_from_source_checkpointed(&mut src, &policy)
+                .unwrap();
+
+            let mut bytes = std::fs::read(&path).unwrap();
+            let offset = ((bytes.len() - 1) as f64 * offset_frac) as usize;
+            if truncate {
+                bytes.truncate(offset);
+            } else {
+                bytes[offset] ^= flip;
+            }
+            std::fs::write(&path, &bytes).unwrap();
+            let err = VasSampler::resume_from_checkpoint(&path, config).unwrap_err();
+            std::fs::remove_file(&path).ok();
+            proptest::prop_assert!(
+                matches!(
+                    err,
+                    VasError::ChecksumMismatch { .. }
+                        | VasError::Corrupt { .. }
+                        | VasError::Truncated { .. }
+                        | VasError::UnsupportedVersion { .. }
+                        | VasError::Checkpoint { .. }
+                ),
+                "unexpected error shape: {}", err
+            );
+        }
+    }
+
     #[test]
     fn build_from_source_propagates_source_errors() {
         // A CSV with a malformed row mid-stream must surface the error.
@@ -2046,7 +2767,7 @@ mod tests {
         let mut source = vas_stream::CsvSource::open(&path, "bad").unwrap();
         let mut sampler = VasSampler::new(VasConfig::new(10));
         let err = sampler.build_from_source(&mut source).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(err.io_kind(), std::io::ErrorKind::InvalidData);
         std::fs::remove_file(path).ok();
     }
 }

@@ -171,6 +171,12 @@ impl GaussianKernel {
         }
     }
 
+    /// The bandwidth ε this kernel was constructed with (used by the
+    /// checkpoint codec to reconstruct the kernel bit-identically).
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// The convolved kernel `κ̃` obtained by integrating `κ(x,a)·κ(x,b)` over
     /// the plane: another Gaussian with bandwidth `√2·ε`. The paper notes the
     /// original kernel can be used directly; this constructor is provided for

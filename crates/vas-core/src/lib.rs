@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod density;
 pub mod interchange;
 pub mod kernel;
@@ -61,6 +62,7 @@ pub mod max_tracker;
 pub mod objective;
 pub mod outlier;
 
+pub use checkpoint::{BuildOutcome, CheckpointPolicy};
 pub use density::{density_counts_threaded, embed_density};
 pub use interchange::{InterchangeStrategy, ProgressEvent, VasConfig, VasSampler};
 pub use kernel::{GaussianKernel, Kernel, KernelKind};

@@ -165,6 +165,102 @@ where
     result
 }
 
+/// One or more workers of a contained fan-out panicked.
+///
+/// Returned by [`try_par_map_ordered`] instead of re-raising the panic, so
+/// callers can degrade to a sequential fallback (the pattern the Interchange
+/// speculation front uses) rather than unwind the whole build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// How many workers (including the calling thread's own stripe)
+    /// panicked.
+    pub panicked_workers: usize,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} parallel worker(s) panicked during a contained fan-out",
+            self.panicked_workers
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Panic-containing variant of [`par_map_ordered`]: identical split, fan-out
+/// and in-order fan-in, but a panic in `f` is caught instead of propagated.
+///
+/// On success the result is bit-identical to [`par_map_ordered`] (and hence
+/// to the sequential loop). If **any** worker panics the whole fan-out is
+/// discarded and `Err(`[`WorkerPanic`]`)` is returned — partial results are
+/// never exposed, because a poisoned stripe leaves no way to tell which
+/// indices were computed. All workers are always joined before returning, so
+/// no detached thread outlives the call.
+pub fn try_par_map_ordered<T, R, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let ranges = split_ranges(items.len(), effective_threads(threads));
+    if ranges.len() <= 1 {
+        return catch_unwind(AssertUnwindSafe(|| {
+            items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+        }))
+        .map_err(|_| WorkerPanic {
+            panicked_workers: 1,
+        });
+    }
+    let per_range: Vec<Result<Vec<R>, ()>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ranges[1..]
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                scope.spawn(move || {
+                    items[range.clone()]
+                        .iter()
+                        .zip(range)
+                        .map(|(t, i)| f(i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let first = catch_unwind(AssertUnwindSafe(|| {
+            items[ranges[0].clone()]
+                .iter()
+                .zip(ranges[0].clone())
+                .map(|(t, i)| f(i, t))
+                .collect::<Vec<R>>()
+        }))
+        .map_err(|_| ());
+        let mut out = Vec::with_capacity(ranges.len());
+        out.push(first);
+        // Join every handle unconditionally — a poisoned stripe must not
+        // leave threads running (scope would re-panic on unjoined workers).
+        for h in handles {
+            out.push(h.join().map_err(|_| ()));
+        }
+        out
+    });
+    let panicked_workers = per_range.iter().filter(|r| r.is_err()).count();
+    if panicked_workers > 0 {
+        return Err(WorkerPanic { panicked_workers });
+    }
+    let mut result = Vec::with_capacity(items.len());
+    for v in per_range {
+        result.extend(v.expect("checked above"));
+    }
+    Ok(result)
+}
+
 /// Fans a slice out as fixed-size chunks (`items.chunks(chunk_size)`), maps
 /// every chunk to an accumulator with `map`, and folds the accumulators
 /// **left-to-right in chunk order** with `fold` — the "ordered-index
@@ -319,5 +415,33 @@ mod tests {
             assert!(*v != 57, "boom");
             *v
         });
+    }
+
+    #[test]
+    fn try_par_map_matches_the_propagating_variant_on_success() {
+        let items: Vec<u64> = (0..500).collect();
+        for threads in [1usize, 2, 4, 7] {
+            let reference = par_map_ordered(threads, &items, |i, v| v * 7 + i as u64);
+            let got = try_par_map_ordered(threads, &items, |i, v| v * 7 + i as u64).unwrap();
+            assert_eq!(got, reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_contains_worker_panics() {
+        let items: Vec<u32> = (0..100).collect();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        // Index 57 lands in a spawned worker's stripe at 4 threads and in
+        // the calling thread's stripe at 1 thread — both must be contained.
+        for threads in [1usize, 2, 4] {
+            let err = try_par_map_ordered(threads, &items, |_, v| {
+                assert!(*v != 57, "boom");
+                *v
+            })
+            .unwrap_err();
+            assert!(err.panicked_workers >= 1, "threads {threads}");
+        }
+        std::panic::set_hook(prev);
     }
 }

@@ -41,5 +41,6 @@ pub mod pipeline;
 
 pub use exec::{
     effective_threads, par_chunk_fold_ordered, par_map_ordered, par_map_vec_ordered, split_ranges,
+    try_par_map_ordered, WorkerPanic,
 };
 pub use pipeline::{ReadAhead, Stage, Step};

@@ -35,7 +35,7 @@
 //! given operation history, which the Interchange determinism contract
 //! relies on.
 
-use crate::{LocalityIndex, NeighborBatch};
+use crate::{snapshot, LocalityIndex, NeighborBatch};
 use vas_data::Point;
 
 /// Cell coordinates are clamped to this magnitude; at the default cell size
@@ -397,6 +397,63 @@ impl LocalityIndex for HashGrid {
                 }
             }
         });
+    }
+}
+
+/// Checkpoint snapshot codec — see [`crate::snapshot`].
+impl HashGrid {
+    /// Serializes the grid: cell-size bits, entry count, then every entry in
+    /// cell-grouped table-scan order.
+    ///
+    /// The table layout itself (slot positions, drained cells, growth
+    /// history) is deliberately **not** stored: replaying the inserts in the
+    /// recorded order reproduces each cell's item vector exactly, and every
+    /// observable traversal — the geometric query path walks cells row-major
+    /// by coordinates, per-cell items in insertion order — depends only on
+    /// that, not on where cells landed in the open-addressed table.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snapshot::put_f64(out, self.cell_size);
+        snapshot::put_usize(out, self.len);
+        for slot in &self.slots {
+            if !slot.occupied {
+                continue;
+            }
+            for &(id, ref p) in &slot.items {
+                snapshot::put_usize(out, id);
+                snapshot::put_f64(out, p.x);
+                snapshot::put_f64(out, p.y);
+                snapshot::put_f64(out, p.value);
+            }
+        }
+    }
+
+    /// Restores a grid from [`snapshot_into`](Self::snapshot_into) bytes by
+    /// replaying the recorded inserts into a fresh table.
+    pub fn restore_snapshot(
+        r: &mut snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, snapshot::SnapshotError> {
+        let cell_size = r.take_f64("hashgrid cell size")?;
+        if !cell_size.is_finite() || cell_size <= 0.0 {
+            return Err(snapshot::SnapshotError::new(format!(
+                "hashgrid cell size {cell_size} is not finite positive"
+            )));
+        }
+        let n = r.take_usize("hashgrid entry count")?;
+        let mut grid = HashGrid::with_cell_size(cell_size);
+        debug_assert_eq!(grid.cell_size.to_bits(), cell_size.to_bits());
+        for i in 0..n {
+            let id = r.take_usize("hashgrid entry id")?;
+            let x = r.take_f64("hashgrid entry x")?;
+            let y = r.take_f64("hashgrid entry y")?;
+            let value = r.take_f64("hashgrid entry value")?;
+            if !x.is_finite() || !y.is_finite() {
+                return Err(snapshot::SnapshotError::new(format!(
+                    "hashgrid entry {i} has non-finite coordinates ({x}, {y})"
+                )));
+            }
+            LocalityIndex::insert(&mut grid, id, Point::with_value(x, y, value));
+        }
+        Ok(grid)
     }
 }
 

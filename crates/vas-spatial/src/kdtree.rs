@@ -18,7 +18,7 @@
 //! live entries. Queries stay correct at every moment; the rebuild schedule
 //! only affects the constant factor.
 
-use crate::LocalityIndex;
+use crate::{snapshot, LocalityIndex};
 use vas_data::{BoundingBox, Point};
 
 #[derive(Debug, Clone)]
@@ -356,6 +356,93 @@ impl LocalityIndex for KdTree {
                 visit(id, p, d2);
             }
         }
+    }
+}
+
+/// Checkpoint snapshot codec — see [`crate::snapshot`].
+impl KdTree {
+    /// Serializes the tree: the entries array (tombstoned slots included),
+    /// the tombstone bitmap, and the overflow buffer — all verbatim.
+    ///
+    /// The node structure is **not** stored: the median build is a pure
+    /// deterministic function of the entries array (stable sort on
+    /// coordinates), so [`restore_snapshot`](Self::restore_snapshot) rebuilds
+    /// an identical tree. Preserving the raw entries/overflow split (rather
+    /// than the live set) matters because the compaction schedule — and with
+    /// it, the traversal order after future churn — depends on it.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        snapshot::put_usize(out, self.entries.len());
+        for &(id, ref p) in &self.entries {
+            snapshot::put_usize(out, id);
+            snapshot::put_f64(out, p.x);
+            snapshot::put_f64(out, p.y);
+            snapshot::put_f64(out, p.value);
+        }
+        for &dead in &self.removed {
+            snapshot::put_u8(out, dead as u8);
+        }
+        snapshot::put_usize(out, self.overflow.len());
+        for &(id, ref p) in &self.overflow {
+            snapshot::put_usize(out, id);
+            snapshot::put_f64(out, p.x);
+            snapshot::put_f64(out, p.y);
+            snapshot::put_f64(out, p.value);
+        }
+    }
+
+    /// Restores a tree from [`snapshot_into`](Self::snapshot_into) bytes,
+    /// rebuilding the node structure from the entries array.
+    pub fn restore_snapshot(
+        r: &mut snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, snapshot::SnapshotError> {
+        let take_entries = |r: &mut snapshot::SnapshotReader<'_>,
+                            n: usize,
+                            what: &str|
+         -> Result<Vec<(usize, Point)>, snapshot::SnapshotError> {
+            let mut entries = Vec::with_capacity(n.min(1 << 20));
+            for i in 0..n {
+                let id = r.take_usize(what)?;
+                let x = r.take_f64(what)?;
+                let y = r.take_f64(what)?;
+                let value = r.take_f64(what)?;
+                if !x.is_finite() || !y.is_finite() {
+                    return Err(snapshot::SnapshotError::new(format!(
+                        "{what} {i} has non-finite coordinates ({x}, {y})"
+                    )));
+                }
+                entries.push((id, Point::with_value(x, y, value)));
+            }
+            Ok(entries)
+        };
+        let n = r.take_usize("kdtree entry count")?;
+        let entries = take_entries(r, n, "kdtree entry")?;
+        let mut removed = Vec::with_capacity(n.min(1 << 20));
+        let mut removed_count = 0usize;
+        for i in 0..n {
+            match r.take_u8("kdtree tombstone flag")? {
+                0 => removed.push(false),
+                1 => {
+                    removed.push(true);
+                    removed_count += 1;
+                }
+                other => {
+                    return Err(snapshot::SnapshotError::new(format!(
+                        "kdtree tombstone flag {i} is {other}, expected 0 or 1"
+                    )))
+                }
+            }
+        }
+        let n_overflow = r.take_usize("kdtree overflow count")?;
+        let overflow = take_entries(r, n_overflow, "kdtree overflow entry")?;
+        let mut indices: Vec<usize> = (0..entries.len()).collect();
+        let root = Self::build_rec(&entries, &mut indices, 0);
+        Ok(Self {
+            entries,
+            root,
+            removed,
+            removed_count,
+            overflow,
+        })
     }
 }
 

@@ -35,9 +35,11 @@ pub mod hashgrid;
 pub mod kdtree;
 pub mod locality;
 pub mod rtree;
+pub mod snapshot;
 
 pub use grid::UniformGrid;
 pub use hashgrid::HashGrid;
 pub use kdtree::KdTree;
 pub use locality::{AnyLocalityIndex, LocalityBackend, LocalityIndex, NeighborBatch};
 pub use rtree::RTree;
+pub use snapshot::{SnapshotError, SnapshotReader};

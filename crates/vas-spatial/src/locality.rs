@@ -28,7 +28,7 @@
 //! instead of trait objects (the dispatch cost is one `match` per query call,
 //! not per visited entry).
 
-use crate::{HashGrid, KdTree, RTree};
+use crate::{snapshot, HashGrid, KdTree, RTree};
 use vas_data::Point;
 
 /// Reusable struct-of-arrays scratch for batch-gather neighbourhood queries
@@ -264,6 +264,59 @@ impl AnyLocalityIndex {
             AnyLocalityIndex::HashGrid(_) => LocalityBackend::HashGrid,
         }
     }
+
+    /// Appends a byte-exact snapshot of this index — a backend tag followed
+    /// by the backend's own encoding (see [`crate::snapshot`]). A restored
+    /// index reproduces the original's future behaviour bit for bit:
+    /// visitation orders, insert/remove outcomes, everything the sampler's
+    /// per-backend determinism contract observes.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        match self {
+            AnyLocalityIndex::RTree(t) => {
+                snapshot::put_u8(out, 0);
+                t.snapshot_into(out);
+            }
+            AnyLocalityIndex::KdTree(t) => {
+                snapshot::put_u8(out, 1);
+                t.snapshot_into(out);
+            }
+            AnyLocalityIndex::HashGrid(g) => {
+                snapshot::put_u8(out, 2);
+                g.snapshot_into(out);
+            }
+        }
+    }
+
+    /// The snapshot as an owned buffer ([`snapshot_into`](Self::snapshot_into)).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Restores an index from a reader positioned at a
+    /// [`snapshot_into`](Self::snapshot_into) encoding.
+    pub fn restore_snapshot(
+        r: &mut snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, snapshot::SnapshotError> {
+        match r.take_u8("locality backend tag")? {
+            0 => Ok(AnyLocalityIndex::RTree(RTree::restore_snapshot(r)?)),
+            1 => Ok(AnyLocalityIndex::KdTree(KdTree::restore_snapshot(r)?)),
+            2 => Ok(AnyLocalityIndex::HashGrid(HashGrid::restore_snapshot(r)?)),
+            other => Err(snapshot::SnapshotError::new(format!(
+                "unknown locality backend tag {other}"
+            ))),
+        }
+    }
+
+    /// Restores an index from a buffer that must contain exactly one
+    /// snapshot — trailing bytes are rejected.
+    pub fn restore(bytes: &[u8]) -> Result<Self, snapshot::SnapshotError> {
+        let mut r = snapshot::SnapshotReader::new(bytes);
+        let index = Self::restore_snapshot(&mut r)?;
+        r.expect_end()?;
+        Ok(index)
+    }
 }
 
 impl Default for AnyLocalityIndex {
@@ -444,6 +497,154 @@ mod tests {
             });
             assert_eq!(with_d2, allocated, "backend {backend}");
         }
+    }
+
+    /// Full observable state of a radius query: ids, point bits and distance
+    /// bits, **in visitation order**.
+    fn query_trace(
+        index: &AnyLocalityIndex,
+        center: &Point,
+        radius: f64,
+    ) -> Vec<(usize, [u64; 4])> {
+        let mut out = Vec::new();
+        index.for_each_in_radius_with_dist2(center, radius, |id, p, d2| {
+            out.push((
+                id,
+                [
+                    p.x.to_bits(),
+                    p.y.to_bits(),
+                    p.value.to_bits(),
+                    d2.to_bits(),
+                ],
+            ));
+        });
+        out
+    }
+
+    /// The property the sampler's checkpoint/resume path is built on: a
+    /// restored index is not merely set-equal to the original — it must
+    /// reproduce the original's **future behaviour** exactly, because the
+    /// per-backend determinism contract pins visitation order, and order is
+    /// history-dependent state. So after snapshot/restore, both copies are
+    /// driven through an identical gauntlet of interleaved churn and
+    /// queries, and every visitation sequence must match bit for bit.
+    #[test]
+    fn snapshot_restore_reproduces_future_behaviour_per_backend() {
+        let radius = 7.0;
+        let centers = [
+            Point::new(0.0, 0.0),
+            Point::new(13.0, -22.0),
+            Point::new(-40.0, 40.0),
+        ];
+        for backend in LocalityBackend::ALL {
+            let pts = random_points(500, 17);
+            let mut original = AnyLocalityIndex::new(backend);
+            original.reset(radius);
+            // History with churn: bulk insert, then remove a third — the
+            // removals leave tombstones / drained cells / underflow repairs
+            // behind, which is exactly the state a naive rebuild would lose.
+            for (i, p) in pts.iter().enumerate() {
+                original.insert(i, *p);
+            }
+            for (i, p) in pts.iter().enumerate() {
+                if i % 3 == 0 {
+                    assert!(original.remove(i, p), "backend {backend}: remove {i}");
+                }
+            }
+
+            let bytes = original.snapshot();
+            let mut restored = AnyLocalityIndex::restore(&bytes).expect("restore");
+            assert_eq!(restored.backend(), backend);
+            assert_eq!(restored.len(), original.len(), "backend {backend}");
+
+            // Identical futures: alternate churn and queries on both copies.
+            let future = random_points(300, 23);
+            for (step, p) in future.iter().enumerate() {
+                let id = 1_000 + step;
+                original.insert(id, *p);
+                restored.insert(id, *p);
+                if step % 5 == 0 {
+                    let victim = step % pts.len();
+                    let a = original.remove(victim, &pts[victim]);
+                    let b = restored.remove(victim, &pts[victim]);
+                    assert_eq!(a, b, "backend {backend}: remove outcome at step {step}");
+                }
+                if step % 7 == 0 {
+                    for center in &centers {
+                        assert_eq!(
+                            query_trace(&original, center, radius),
+                            query_trace(&restored, center, radius),
+                            "backend {backend}: query trace diverged at step {step}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(restored.len(), original.len(), "backend {backend}");
+            for center in &centers {
+                for r in [0.5, radius, 60.0] {
+                    assert_eq!(
+                        query_trace(&original, center, r),
+                        query_trace(&restored, center, r),
+                        "backend {backend}: final trace, radius {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `-0.0`, subnormal coordinates and NaN values must survive the
+    /// snapshot byte-exactly (the sampler compares sample bits).
+    #[test]
+    fn snapshot_preserves_special_float_bits_per_backend() {
+        let specials = [
+            Point::with_value(-0.0, 5e-324, f64::NAN),
+            Point::with_value(f64::MIN_POSITIVE, -f64::MIN_POSITIVE, -0.0),
+            Point::with_value(1e-308, -1e-308, f64::INFINITY),
+        ];
+        for backend in LocalityBackend::ALL {
+            let mut index = AnyLocalityIndex::new(backend);
+            index.reset(1.0);
+            for (i, p) in specials.iter().enumerate() {
+                index.insert(i, *p);
+            }
+            let restored = AnyLocalityIndex::restore(&index.snapshot()).expect("restore");
+            let trace = query_trace(&restored, &Point::new(0.0, 0.0), 1.0);
+            assert_eq!(
+                trace,
+                query_trace(&index, &Point::new(0.0, 0.0), 1.0),
+                "backend {backend}"
+            );
+            assert!(!trace.is_empty(), "backend {backend}");
+        }
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_malformed_bytes() {
+        let mut index = AnyLocalityIndex::new(LocalityBackend::HashGrid);
+        index.reset(2.0);
+        for (i, p) in random_points(50, 31).iter().enumerate() {
+            index.insert(i, *p);
+        }
+        let bytes = index.snapshot();
+
+        // Truncation anywhere strictly inside the buffer fails.
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                AnyLocalityIndex::restore(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+        // Unknown backend tag.
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        assert!(AnyLocalityIndex::restore(&bad).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        let err = AnyLocalityIndex::restore(&long).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        // The pristine buffer still restores.
+        assert!(AnyLocalityIndex::restore(&bytes).is_ok());
     }
 
     #[test]

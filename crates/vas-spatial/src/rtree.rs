@@ -12,7 +12,7 @@
 //! a condense-and-reinsert deletion path. Entries are `(id, Point)` pairs; the
 //! tree never inspects `Point::value`.
 
-use crate::LocalityIndex;
+use crate::{snapshot, LocalityIndex};
 use vas_data::{BoundingBox, Point};
 
 /// Maximum number of entries per node before a split.
@@ -515,6 +515,129 @@ fn distribute<T>(
         }
     }
     (group_a, group_b)
+}
+
+/// Node tags in the snapshot encoding.
+const SNAP_LEAF: u8 = 0;
+const SNAP_INTERNAL: u8 = 1;
+/// Decode recursion guard. A fanout-≥2 tree this deep would hold more
+/// entries than fit in memory, so a deeper encoding is malformed by
+/// construction.
+const SNAP_MAX_DEPTH: usize = 64;
+
+/// Checkpoint snapshot codec — see [`crate::snapshot`].
+impl RTree {
+    /// Serializes the full node tree, **including the stored bounding boxes
+    /// verbatim**.
+    ///
+    /// Boxes are maintained incrementally (`extend` on insert, recompute
+    /// only on underflow repair), and future insert descent picks the child
+    /// with least enlargement of its *stored* box — so the box bits are load
+    /// bearing for determinism and must never be recomputed on restore.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        fn encode(node: &Node, out: &mut Vec<u8>) {
+            match node {
+                Node::Leaf { entries } => {
+                    snapshot::put_u8(out, SNAP_LEAF);
+                    snapshot::put_u32(out, entries.len() as u32);
+                    for e in entries {
+                        snapshot::put_usize(out, e.id);
+                        snapshot::put_f64(out, e.point.x);
+                        snapshot::put_f64(out, e.point.y);
+                        snapshot::put_f64(out, e.point.value);
+                    }
+                }
+                Node::Internal { children } => {
+                    snapshot::put_u8(out, SNAP_INTERNAL);
+                    snapshot::put_u32(out, children.len() as u32);
+                    for (bb, child) in children {
+                        snapshot::put_f64(out, bb.min_x);
+                        snapshot::put_f64(out, bb.min_y);
+                        snapshot::put_f64(out, bb.max_x);
+                        snapshot::put_f64(out, bb.max_y);
+                        encode(child, out);
+                    }
+                }
+            }
+        }
+        snapshot::put_usize(out, self.len);
+        encode(&self.root, out);
+    }
+
+    /// Restores a tree from [`snapshot_into`](Self::snapshot_into) bytes.
+    pub fn restore_snapshot(
+        r: &mut snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, snapshot::SnapshotError> {
+        fn decode(
+            r: &mut snapshot::SnapshotReader<'_>,
+            depth: usize,
+            seen: &mut usize,
+        ) -> Result<Node, snapshot::SnapshotError> {
+            if depth > SNAP_MAX_DEPTH {
+                return Err(snapshot::SnapshotError::new(format!(
+                    "rtree snapshot deeper than {SNAP_MAX_DEPTH} levels"
+                )));
+            }
+            match r.take_u8("rtree node tag")? {
+                SNAP_LEAF => {
+                    let n = r.take_u32("rtree leaf entry count")? as usize;
+                    if n > MAX_ENTRIES {
+                        return Err(snapshot::SnapshotError::new(format!(
+                            "rtree leaf holds {n} entries, max is {MAX_ENTRIES}"
+                        )));
+                    }
+                    let mut entries = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let id = r.take_usize("rtree leaf entry id")?;
+                        let x = r.take_f64("rtree leaf entry x")?;
+                        let y = r.take_f64("rtree leaf entry y")?;
+                        let value = r.take_f64("rtree leaf entry value")?;
+                        entries.push(LeafEntry {
+                            id,
+                            point: Point::with_value(x, y, value),
+                        });
+                    }
+                    *seen += n;
+                    Ok(Node::Leaf { entries })
+                }
+                SNAP_INTERNAL => {
+                    let n = r.take_u32("rtree child count")? as usize;
+                    if n == 0 || n > MAX_ENTRIES {
+                        return Err(snapshot::SnapshotError::new(format!(
+                            "rtree internal node holds {n} children, expected 1..={MAX_ENTRIES}"
+                        )));
+                    }
+                    let mut children = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let min_x = r.take_f64("rtree bbox min_x")?;
+                        let min_y = r.take_f64("rtree bbox min_y")?;
+                        let max_x = r.take_f64("rtree bbox max_x")?;
+                        let max_y = r.take_f64("rtree bbox max_y")?;
+                        let bb = BoundingBox {
+                            min_x,
+                            min_y,
+                            max_x,
+                            max_y,
+                        };
+                        children.push((bb, Box::new(decode(r, depth + 1, seen)?)));
+                    }
+                    Ok(Node::Internal { children })
+                }
+                other => Err(snapshot::SnapshotError::new(format!(
+                    "unknown rtree node tag {other}"
+                ))),
+            }
+        }
+        let len = r.take_usize("rtree entry count")?;
+        let mut seen = 0usize;
+        let root = decode(r, 0, &mut seen)?;
+        if seen != len {
+            return Err(snapshot::SnapshotError::new(format!(
+                "rtree snapshot promises {len} entries but encodes {seen}"
+            )));
+        }
+        Ok(Self { root, len })
+    }
 }
 
 #[cfg(test)]

@@ -13,15 +13,22 @@
 //! one set of round-trip/corruption guarantees, one place to evolve the
 //! on-disk layout. Version-1 catalogs (headerless `f64` triples with
 //! densities appended in the same file) remain readable.
+//!
+//! All writes are crash-safe: each file is staged as a temp sibling,
+//! fsync'd and renamed over the target (`vas_stream::write_atomic`), and
+//! the manifest is written last as the commit point of the whole save.
+//! Failures surface as typed [`vas_stream::VasError`] values.
 
 use crate::catalog::SampleCatalog;
 use serde::{Deserialize, Serialize};
 use std::fs::{self, File};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
 use vas_data::{DatasetKind, Point};
 use vas_sampling::Sample;
-use vas_stream::{ChunkedReader, ChunkedWriter};
+use vas_stream::{
+    commit_staged, staging_sibling, write_atomic, ChunkedReader, ChunkedWriter, VasError,
+};
 
 /// Manifest entry describing one persisted sample (format version 2).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -97,14 +104,44 @@ fn remove_previous_catalog_files(dir: &Path) {
     }
 }
 
+/// Streams one sample into its chunked columnar file via a staged sibling,
+/// promoted over the target only after the writer has fsync'd (the
+/// `write_atomic` protocol for streamed files). On error the staging file is
+/// removed and the target is untouched.
+fn write_sample_chunk(target: &Path, sample: &Sample) -> Result<(), VasError> {
+    let tmp = staging_sibling(target);
+    let result = (|| {
+        let mut writer = ChunkedWriter::create(
+            &tmp,
+            &sample.method,
+            DatasetKind::External,
+            SAMPLE_CHUNK_SIZE,
+        )?;
+        writer.write_points(&sample.points)?;
+        writer.finish()?;
+        commit_staged(&tmp, target)
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result.map_err(|e| VasError::io(format!("persisting sample to {}", target.display()), e))
+}
+
 /// Writes a catalog into `dir` (created if needed). Any previous catalog in
 /// the same directory is overwritten — including its sample files, which are
 /// removed first so stale data cannot accumulate across saves or format
 /// migrations. Always writes the current (version 2, chunked columnar)
 /// format.
-pub fn save_catalog(catalog: &SampleCatalog, dir: impl AsRef<Path>) -> io::Result<()> {
+///
+/// Every file — sample chunks, density sidecars, and finally the manifest —
+/// is replaced atomically (temp + fsync + rename). The manifest is written
+/// **last**, so it is the commit point of the save: a crash mid-save leaves
+/// the previous manifest referencing the previous (still intact) files,
+/// never a manifest pointing at torn data.
+pub fn save_catalog(catalog: &SampleCatalog, dir: impl AsRef<Path>) -> Result<(), VasError> {
     let dir = dir.as_ref();
-    fs::create_dir_all(dir)?;
+    fs::create_dir_all(dir)
+        .map_err(|e| VasError::io(format!("creating catalog dir {}", dir.display()), e))?;
     remove_previous_catalog_files(dir);
     let mut manifest = Manifest {
         version: MANIFEST_VERSION,
@@ -112,22 +149,16 @@ pub fn save_catalog(catalog: &SampleCatalog, dir: impl AsRef<Path>) -> io::Resul
     };
     for (i, sample) in catalog.samples().iter().enumerate() {
         let file = format!("sample_{i:03}_{}.vaschunk", sample.len());
-        let mut writer = ChunkedWriter::create(
-            dir.join(&file),
-            &sample.method,
-            DatasetKind::External,
-            SAMPLE_CHUNK_SIZE,
-        )?;
-        writer.write_points(&sample.points)?;
-        writer.finish()?;
+        write_sample_chunk(&dir.join(&file), sample)?;
         let density_file = match &sample.densities {
             Some(densities) => {
                 let name = format!("sample_{i:03}_{}.density.bin", sample.len());
-                let mut w = BufWriter::new(File::create(dir.join(&name))?);
+                let mut bytes = Vec::with_capacity(densities.len() * 8);
                 for d in densities {
-                    w.write_all(&d.to_le_bytes())?;
+                    bytes.extend_from_slice(&d.to_le_bytes());
                 }
-                w.flush()?;
+                write_atomic(dir.join(&name), &bytes)
+                    .map_err(|e| VasError::io(format!("persisting density sidecar {name}"), e))?;
                 Some(name)
             }
             None => None,
@@ -140,22 +171,33 @@ pub fn save_catalog(catalog: &SampleCatalog, dir: impl AsRef<Path>) -> io::Resul
             density_file,
         });
     }
-    let json = serde_json::to_string_pretty(&manifest)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(dir.join(MANIFEST_FILE), json)
+    let json = serde_json::to_string_pretty(&manifest).map_err(|e| VasError::Corrupt {
+        path: manifest_path(dir).display().to_string(),
+        detail: format!("manifest serialization failed: {e}"),
+    })?;
+    write_atomic(manifest_path(dir), json.as_bytes())
+        .map_err(|e| VasError::io("persisting catalog manifest", e))
 }
 
 /// Loads a catalog previously written by [`save_catalog`] — either the
 /// current chunked columnar format or the legacy version-1 triple files.
-pub fn load_catalog(dir: impl AsRef<Path>) -> io::Result<SampleCatalog> {
+/// Every failure mode (missing files, malformed JSON, version skew,
+/// truncated or oversized sample data) surfaces as a typed [`VasError`].
+pub fn load_catalog(dir: impl AsRef<Path>) -> Result<SampleCatalog, VasError> {
     let dir = dir.as_ref();
-    let manifest_text = fs::read_to_string(dir.join(MANIFEST_FILE))?;
+    let manifest_file = manifest_path(dir);
+    let manifest_text = fs::read_to_string(&manifest_file)
+        .map_err(|e| VasError::io(format!("reading manifest {}", manifest_file.display()), e))?;
+    let corrupt = |detail: String| VasError::Corrupt {
+        path: manifest_file.display().to_string(),
+        detail,
+    };
     let probe: ManifestProbe = serde_json::from_str(&manifest_text)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        .map_err(|e| corrupt(format!("manifest is not valid JSON: {e}")))?;
     match probe.version {
         MANIFEST_VERSION => {
             let manifest: Manifest = serde_json::from_str(&manifest_text)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                .map_err(|e| corrupt(format!("malformed version-2 manifest: {e}")))?;
             let mut catalog = SampleCatalog::new();
             for entry in &manifest.samples {
                 catalog.insert(read_sample(dir, entry)?);
@@ -164,17 +206,18 @@ pub fn load_catalog(dir: impl AsRef<Path>) -> io::Result<SampleCatalog> {
         }
         LEGACY_MANIFEST_VERSION => {
             let manifest: LegacyManifest = serde_json::from_str(&manifest_text)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                .map_err(|e| corrupt(format!("malformed version-1 manifest: {e}")))?;
             let mut catalog = SampleCatalog::new();
             for entry in &manifest.samples {
                 catalog.insert(read_sample_v1(&dir.join(&entry.file), entry)?);
             }
             Ok(catalog)
         }
-        other => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported catalog version {other}"),
-        )),
+        other => Err(VasError::UnsupportedVersion {
+            path: manifest_file.display().to_string(),
+            found: other,
+            supported: &[LEGACY_MANIFEST_VERSION, MANIFEST_VERSION],
+        }),
     }
 }
 
@@ -183,38 +226,36 @@ pub fn manifest_path(dir: impl AsRef<Path>) -> PathBuf {
     dir.as_ref().join(MANIFEST_FILE)
 }
 
-fn read_sample(dir: &Path, entry: &ManifestEntry) -> io::Result<Sample> {
+fn read_sample(dir: &Path, entry: &ManifestEntry) -> Result<Sample, VasError> {
     let path = dir.join(&entry.file);
-    let dataset = ChunkedReader::open(&path)?.read_dataset()?;
+    let open_err = |e| VasError::io(format!("opening sample file {}", path.display()), e);
+    let dataset = ChunkedReader::open(&path)
+        .map_err(open_err)?
+        .read_dataset()
+        .map_err(|e| VasError::io(format!("reading sample file {}", path.display()), e))?;
     if dataset.len() != entry.len {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "sample file {} holds {} points but the manifest promises {}",
-                path.display(),
-                dataset.len(),
-                entry.len
-            ),
-        ));
+        return Err(VasError::Mismatch {
+            expected: format!("{} points (manifest)", entry.len),
+            found: format!("{} points in {}", dataset.len(), path.display()),
+        });
     }
     let mut sample = Sample::new(entry.method.clone(), entry.target_size, dataset.points);
     if let Some(density_file) = &entry.density_file {
         let path = dir.join(density_file);
-        let mut r = BufReader::new(File::open(&path)?);
+        let sidecar_err =
+            |e| VasError::io(format!("reading density sidecar {}", path.display()), e);
+        let mut r = BufReader::new(File::open(&path).map_err(sidecar_err)?);
         let mut densities = Vec::with_capacity(entry.len);
         let mut buf = [0u8; 8];
         for _ in 0..entry.len {
-            r.read_exact(&mut buf)?;
+            r.read_exact(&mut buf).map_err(sidecar_err)?;
             densities.push(u64::from_le_bytes(buf));
         }
-        if r.read(&mut buf)? != 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "density sidecar {} is larger than its manifest entry",
-                    path.display()
-                ),
-            ));
+        if r.read(&mut buf).map_err(sidecar_err)? != 0 {
+            return Err(VasError::Corrupt {
+                path: path.display().to_string(),
+                detail: "density sidecar is larger than its manifest entry".into(),
+            });
         }
         sample = sample.with_densities(densities);
     }
@@ -224,14 +265,15 @@ fn read_sample(dir: &Path, entry: &ManifestEntry) -> io::Result<Sample> {
 /// Reader for the legacy (version 1) sample files: `entry.len` little-endian
 /// `f64` (x, y, value) triples, then `entry.len` `u64` density counters when
 /// `has_densities` is set.
-fn read_sample_v1(path: &Path, entry: &LegacyManifestEntry) -> io::Result<Sample> {
-    let mut r = BufReader::new(File::open(path)?);
+fn read_sample_v1(path: &Path, entry: &LegacyManifestEntry) -> Result<Sample, VasError> {
+    let read_err = |e| VasError::io(format!("reading legacy sample file {}", path.display()), e);
+    let mut r = BufReader::new(File::open(path).map_err(read_err)?);
     let mut points = Vec::with_capacity(entry.len);
     let mut buf = [0u8; 8];
     for _ in 0..entry.len {
         let mut coords = [0.0f64; 3];
         for c in &mut coords {
-            r.read_exact(&mut buf)?;
+            r.read_exact(&mut buf).map_err(read_err)?;
             *c = f64::from_le_bytes(buf);
         }
         points.push(Point::with_value(coords[0], coords[1], coords[2]));
@@ -240,20 +282,17 @@ fn read_sample_v1(path: &Path, entry: &LegacyManifestEntry) -> io::Result<Sample
     if entry.has_densities {
         let mut densities = Vec::with_capacity(entry.len);
         for _ in 0..entry.len {
-            r.read_exact(&mut buf)?;
+            r.read_exact(&mut buf).map_err(read_err)?;
             densities.push(u64::from_le_bytes(buf));
         }
         sample = sample.with_densities(densities);
     }
     // Trailing garbage means the file does not match the manifest.
-    if r.read(&mut buf)? != 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "sample file {} is larger than its manifest entry",
-                path.display()
-            ),
-        ));
+    if r.read(&mut buf).map_err(read_err)? != 0 {
+        return Err(VasError::Corrupt {
+            path: path.display().to_string(),
+            detail: "legacy sample file is larger than its manifest entry".into(),
+        });
     }
     Ok(sample)
 }
@@ -261,6 +300,7 @@ fn read_sample_v1(path: &Path, entry: &LegacyManifestEntry) -> io::Result<Sample
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{BufWriter, Write};
     use vas_data::GeolifeGenerator;
     use vas_sampling::{Sampler, UniformSampler};
 
@@ -386,7 +426,7 @@ mod tests {
         let dir = temp_dir("corrupt");
         fs::write(manifest_path(&dir), "not json at all").unwrap();
         let err = load_catalog(&dir).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, VasError::Corrupt { .. }), "{err}");
         fs::remove_dir_all(dir).ok();
     }
 
@@ -395,7 +435,23 @@ mod tests {
         let dir = temp_dir("version");
         fs::write(manifest_path(&dir), r#"{"version": 99, "samples": []}"#).unwrap();
         let err = load_catalog(&dir).unwrap_err();
-        assert!(err.to_string().contains("version 99"), "{err}");
+        assert!(
+            matches!(err, VasError::UnsupportedVersion { found: 99, .. }),
+            "{err}"
+        );
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_staging_files_behind() {
+        let dir = temp_dir("staging");
+        save_catalog(&catalog_with_densities(), &dir).unwrap();
+        let leftovers: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stray staging files: {leftovers:?}");
         fs::remove_dir_all(dir).ok();
     }
 

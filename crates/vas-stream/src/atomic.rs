@@ -1,0 +1,144 @@
+//! Crash-safe file replacement: temp file + fsync + rename + directory fsync.
+//!
+//! Every durable artifact in the workspace — catalog manifests, spilled
+//! sample chunks, `.vascheckpt` checkpoints — is replaced through
+//! [`write_atomic`] so that a crash at *any* instant leaves either the old
+//! complete file or the new complete file, never a torn hybrid:
+//!
+//! 1. the bytes are written to a sibling temp file (`.tmp.<pid>` suffix, same
+//!    directory so the rename cannot cross filesystems),
+//! 2. the temp file is `fsync`ed (data + metadata reach the platter before
+//!    the rename makes them reachable),
+//! 3. `rename` replaces the target — atomic on POSIX filesystems,
+//! 4. the parent directory is `fsync`ed so the rename itself survives a
+//!    power cut.
+//!
+//! Step 4 is best-effort: some platforms/filesystems refuse `File::open` on
+//! a directory or `fsync` on the handle; the write is still atomic with
+//! respect to crashes of *this process*, which is the property the fault
+//! matrix exercises.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The sibling temp path `write_atomic` stages into for `path`.
+fn staging_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Atomically replaces `path` with `bytes`: write temp sibling, fsync,
+/// rename over the target, fsync the directory.
+///
+/// On any error the temp file is removed (best-effort) and the target is
+/// untouched.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = staging_path(path);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)?;
+        sync_parent_dir(path);
+        Ok(())
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Promotes an already-written-and-synced temp file over `path` (the tail of
+/// the `write_atomic` protocol, for writers that stream into the temp file
+/// themselves — e.g. spilled sample chunks).
+///
+/// The caller must have `sync_all`'d `tmp` first; this performs the rename
+/// and the parent-directory fsync.
+pub fn commit_staged(tmp: impl AsRef<Path>, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    fs::rename(tmp.as_ref(), path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// A sibling staging path for callers that stream into a temp file and then
+/// [`commit_staged`] it.
+pub fn staging_sibling(path: impl AsRef<Path>) -> PathBuf {
+    staging_path(path.as_ref())
+}
+
+fn sync_parent_dir(path: &Path) {
+    // Best-effort durability for the rename itself; see the module docs.
+    if let Some(parent) = path.parent() {
+        let parent = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(dir) = File::open(parent) {
+            dir.sync_all().ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vas-atomic-{}-{name}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = temp_dir("replace");
+        let target = dir.join("file.bin");
+        write_atomic(&target, b"first").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"first");
+        write_atomic(&target, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"second, longer contents");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let dir = temp_dir("clean");
+        write_atomic(dir.join("a.bin"), b"payload").unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stray staging files: {leftovers:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_write_preserves_the_old_file() {
+        let dir = temp_dir("preserve");
+        let target = dir.join("keep.bin");
+        write_atomic(&target, b"precious").unwrap();
+        // Writing into a directory that does not exist fails before rename.
+        let bad = dir.join("no-such-subdir").join("x.bin");
+        assert!(write_atomic(&bad, b"nope").is_err());
+        assert_eq!(fs::read(&target).unwrap(), b"precious");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn commit_staged_promotes_a_streamed_temp_file() {
+        let dir = temp_dir("staged");
+        let target = dir.join("streamed.bin");
+        let tmp = staging_sibling(&target);
+        fs::write(&tmp, b"streamed bytes").unwrap();
+        commit_staged(&tmp, &target).unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"streamed bytes");
+        assert!(!tmp.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

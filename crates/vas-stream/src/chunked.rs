@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //!      0     8  magic  b"VASCHNK\0"
-//!      8     4  format version (u32 LE, currently 1)
+//!      8     4  format version (u32 LE; this build writes 2, reads 1 and 2)
 //!     12     1  dataset kind tag (see DatasetKind mapping below)
 //!     13     3  reserved (zero)
 //!     16     4  chunk size in points (u32 LE)
@@ -14,7 +14,11 @@
 //!     28    32  bounding box min_x, min_y, max_x, max_y (4 × f64 LE)
 //!     60     2  dataset name length (u16 LE)
 //!     62     n  dataset name (UTF-8)
-//! data:        chunks, each: m (u32 LE, 1 ≤ m ≤ chunk size),
+//!   62+n     4  [v2] header CRC-32 over bytes 0..62+n (patched by `finish`)
+//! data:        chunks, each:
+//!              m (u32 LE, 1 ≤ m ≤ chunk size),
+//!              [v2] chunk CRC-32 (u32 LE, over the 4 `m` bytes + all column
+//!              bytes),
 //!              then m × f64 x, m × f64 y, m × f64 value (LE)
 //! ```
 //!
@@ -26,21 +30,46 @@
 //! for `-0.0`, subnormals and NaN payloads alike.
 //!
 //! The writer streams: it stages one chunk of columns in memory, flushes it
-//! when full, and back-patches the count and bounds into the fixed-offset
-//! header fields on [`ChunkedWriter::finish`] — so a spill never knows the
-//! total in advance and never holds more than one chunk. A crash before
-//! `finish` leaves `count = 0` with data bytes present, which the reader
-//! rejects as trailing garbage rather than silently serving a truncated
-//! dataset.
+//! when full, and back-patches the count, bounds and header checksum into
+//! the header on [`ChunkedWriter::finish`] — so a spill never knows the
+//! total in advance and never holds more than one chunk.
+//!
+//! ## Integrity (format v2)
+//!
+//! Version 2 adds CRC-32 checksums (see [`crate::crc32`]) over the header
+//! and over every chunk, so *any* single-bit flip in the file is detected —
+//! a property the test suite proves exhaustively for small files. Failure
+//! modes map to typed [`VasError`]s:
+//!
+//! * a crash before `finish` leaves the header checksum as zeros, which
+//!   [`ChunkedReader::open`] rejects as a checksum mismatch — an unfinished
+//!   spill can never be mistaken for a complete dataset;
+//! * a torn or truncated chunk fails its checksum (or its column read) with
+//!   the file path, chunk index and byte counts in the error;
+//! * a back-patched count that disagrees with the chunks actually present
+//!   fails with a [`VasError::Truncated`] naming both counts.
+//!
+//! By default corruption is a **hard error** — a sample built from silently
+//! dropped points is not the sample the caller asked for. For salvage
+//! workflows, [`ChunkedReader::set_corruption_policy`] opts into
+//! [`CorruptionPolicy::SkipChunks`]: chunks failing their checksum are
+//! skipped, each recorded as a [`CorruptChunkReport`], and the end-of-file
+//! accounting requires `read + skipped == promised` so the degraded stream
+//! still cannot *silently* lose data.
 
+use crate::crc32::Crc32;
+use crate::error::VasError;
 use crate::source::PointSource;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use vas_data::{BoundingBox, Dataset, DatasetKind, Point};
 
 const MAGIC: [u8; 8] = *b"VASCHNK\0";
-const FORMAT_VERSION: u32 = 1;
+/// Version this build writes.
+const FORMAT_VERSION: u32 = 2;
+/// Versions this build reads.
+const SUPPORTED_VERSIONS: &[u32] = &[1, 2];
 /// Byte offset of the back-patched `count` field.
 const COUNT_OFFSET: u64 = 20;
 /// Bytes of header before the variable-length name.
@@ -65,14 +94,10 @@ fn tag_kind(tag: u8) -> Option<DatasetKind> {
     }
 }
 
-fn invalid(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
-}
-
 /// Parsed header of a chunked columnar file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChunkedHeader {
-    /// Format version (currently always 1).
+    /// Format version (1 or 2).
     pub version: u32,
     /// Provenance of the spilled dataset.
     pub kind: DatasetKind,
@@ -101,9 +126,37 @@ pub struct ChunkedSummary {
     pub bytes: u64,
 }
 
-/// Streaming writer for the chunked columnar format.
+/// What a [`ChunkedReader`] does when a chunk fails its checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorruptionPolicy {
+    /// Fail the read with a typed error (the default).
+    #[default]
+    Strict,
+    /// Skip the corrupt chunk, record a [`CorruptChunkReport`], and carry on
+    /// with the next chunk — explicit opt-in for salvage workflows. Only
+    /// meaningful for format v2 (v1 files carry no checksums).
+    SkipChunks,
+}
+
+/// One corrupt chunk skipped under [`CorruptionPolicy::SkipChunks`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptChunkReport {
+    /// Zero-based index of the chunk within the current scan.
+    pub chunk_index: u64,
+    /// Byte offset of the chunk's length prefix in the file.
+    pub byte_offset: u64,
+    /// Points the skipped chunk claimed to hold.
+    pub points_lost: u64,
+    /// Checksum stored in the file.
+    pub stored_crc: u32,
+    /// Checksum computed over the bytes actually read.
+    pub computed_crc: u32,
+}
+
+/// Streaming writer for the chunked columnar format (always writes v2).
 ///
-/// Stages at most one chunk of columns (`3 × chunk_size` f64s) in memory.
+/// Stages at most one chunk of columns (`3 × chunk_size` f64s) plus its
+/// encoded bytes in memory.
 #[derive(Debug)]
 pub struct ChunkedWriter {
     file: BufWriter<File>,
@@ -111,9 +164,13 @@ pub struct ChunkedWriter {
     xs: Vec<f64>,
     ys: Vec<f64>,
     vs: Vec<f64>,
-    /// Reusable byte scratch: one column is encoded here and written with a
-    /// single `write_all` (the mirror of the reader's `col_buf`).
-    col_buf: Vec<u8>,
+    /// Reusable byte scratch: the whole chunk's column bytes are encoded
+    /// here so the chunk checksum can be computed before anything is
+    /// written (the mirror of the reader's `col_buf`).
+    chunk_buf: Vec<u8>,
+    /// The header bytes as written at create time; `finish` patches count,
+    /// bounds and checksum into this image and rewrites the patched fields.
+    header_bytes: Vec<u8>,
     count: u64,
     chunks: u64,
     bounds: BoundingBox,
@@ -140,30 +197,36 @@ impl ChunkedWriter {
             "dataset name too long for the header ({} bytes)",
             name.len()
         );
-        let mut file = BufWriter::new(File::create(path)?);
-        file.write_all(&MAGIC)?;
-        file.write_all(&FORMAT_VERSION.to_le_bytes())?;
-        file.write_all(&[kind_tag(kind), 0, 0, 0])?;
-        file.write_all(&(chunk_size as u32).to_le_bytes())?;
+        let mut header = Vec::with_capacity(HEADER_FIXED_LEN + name.len() + 4);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&[kind_tag(kind), 0, 0, 0]);
+        header.extend_from_slice(&(chunk_size as u32).to_le_bytes());
         // Count and bounds are placeholders until `finish` patches them.
-        file.write_all(&0u64.to_le_bytes())?;
+        header.extend_from_slice(&0u64.to_le_bytes());
         for v in [
             BoundingBox::EMPTY.min_x,
             BoundingBox::EMPTY.min_y,
             BoundingBox::EMPTY.max_x,
             BoundingBox::EMPTY.max_y,
         ] {
-            file.write_all(&v.to_le_bytes())?;
+            header.extend_from_slice(&v.to_le_bytes());
         }
-        file.write_all(&(name.len() as u16).to_le_bytes())?;
-        file.write_all(name.as_bytes())?;
+        header.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        header.extend_from_slice(name.as_bytes());
+        // Header checksum placeholder: zeros never match a real CRC patch,
+        // so a crash before `finish` leaves a self-evidently unfinished file.
+        header.extend_from_slice(&0u32.to_le_bytes());
+        let mut file = BufWriter::new(File::create(path)?);
+        file.write_all(&header)?;
         Ok(Self {
             file,
             chunk_size,
             xs: Vec::with_capacity(chunk_size),
             ys: Vec::with_capacity(chunk_size),
             vs: Vec::with_capacity(chunk_size),
-            col_buf: Vec::new(),
+            chunk_buf: Vec::new(),
+            header_bytes: header,
             count: 0,
             chunks: 0,
             bounds: BoundingBox::EMPTY,
@@ -205,22 +268,19 @@ impl ChunkedWriter {
         if self.xs.is_empty() {
             return Ok(());
         }
-        self.file.write_all(&(self.xs.len() as u32).to_le_bytes())?;
-        let Self {
-            file,
-            xs,
-            ys,
-            vs,
-            col_buf,
-            ..
-        } = self;
-        for column in [&*xs, &*ys, &*vs] {
-            col_buf.clear();
-            for v in column {
-                col_buf.extend_from_slice(&v.to_le_bytes());
+        let m_bytes = (self.xs.len() as u32).to_le_bytes();
+        self.chunk_buf.clear();
+        for column in [&self.xs, &self.ys, &self.vs] {
+            for v in column.iter() {
+                self.chunk_buf.extend_from_slice(&v.to_le_bytes());
             }
-            file.write_all(col_buf)?;
         }
+        let mut crc = Crc32::new();
+        crc.update(&m_bytes);
+        crc.update(&self.chunk_buf);
+        self.file.write_all(&m_bytes)?;
+        self.file.write_all(&crc.finish().to_le_bytes())?;
+        self.file.write_all(&self.chunk_buf)?;
         self.chunks += 1;
         self.xs.clear();
         self.ys.clear();
@@ -228,23 +288,37 @@ impl ChunkedWriter {
         Ok(())
     }
 
-    /// Flushes the final partial chunk and back-patches the header's count
-    /// and bounds fields.
+    /// Flushes the final partial chunk and back-patches the header's count,
+    /// bounds and checksum fields.
     pub fn finish(mut self) -> io::Result<ChunkedSummary> {
         self.flush_chunk()?;
         self.file.flush()?;
-        let file = self.file.get_mut();
-        let bytes = file.seek(SeekFrom::End(0))?;
-        file.seek(SeekFrom::Start(COUNT_OFFSET))?;
-        file.write_all(&self.count.to_le_bytes())?;
+        // Patch the in-memory header image, recompute its checksum, and
+        // rewrite the patched tail (count + bounds + trailing CRC).
+        let mut patch = Vec::with_capacity(40);
+        patch.extend_from_slice(&self.count.to_le_bytes());
         for v in [
             self.bounds.min_x,
             self.bounds.min_y,
             self.bounds.max_x,
             self.bounds.max_y,
         ] {
-            file.write_all(&v.to_le_bytes())?;
+            patch.extend_from_slice(&v.to_le_bytes());
         }
+        let count_off = COUNT_OFFSET as usize;
+        self.header_bytes[count_off..count_off + patch.len()].copy_from_slice(&patch);
+        let crc_off = self.header_bytes.len() - 4;
+        let mut crc = Crc32::new();
+        crc.update(&self.header_bytes[..crc_off]);
+        let crc = crc.finish();
+        self.header_bytes[crc_off..].copy_from_slice(&crc.to_le_bytes());
+
+        let file = self.file.get_mut();
+        let bytes = file.seek(SeekFrom::End(0))?;
+        file.seek(SeekFrom::Start(COUNT_OFFSET))?;
+        file.write_all(&patch)?;
+        file.seek(SeekFrom::Start(crc_off as u64))?;
+        file.write_all(&crc.to_le_bytes())?;
         file.sync_data()?;
         Ok(ChunkedSummary {
             count: self.count,
@@ -258,62 +332,122 @@ impl ChunkedWriter {
 /// Chunk-iterating reader for the chunked columnar format; also a
 /// [`PointSource`], which is how spilled datasets feed the sampler.
 ///
-/// Resident memory per chunk: the caller's point buffer plus one column of
-/// scratch bytes.
+/// Reads format v1 (no checksums) and v2 (header + per-chunk CRC-32,
+/// verified on every read). Resident memory per chunk: the caller's point
+/// buffer plus one column of scratch bytes.
 #[derive(Debug)]
 pub struct ChunkedReader {
     file: BufReader<File>,
+    path: PathBuf,
     header: ChunkedHeader,
     data_offset: u64,
     read: u64,
+    chunk_index: u64,
+    /// Byte position within the data section (for error reports; only
+    /// advanced through the sequential chunk reads).
+    data_pos: u64,
+    policy: CorruptionPolicy,
+    skipped_points: u64,
+    reports: Vec<CorruptChunkReport>,
     col_buf: Vec<u8>,
 }
 
 impl ChunkedReader {
-    /// Opens `path` and parses + validates the header.
+    /// Opens `path`, parses the header, and (v2) verifies its checksum.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
-        let path = path.as_ref();
-        let mut file = BufReader::new(File::open(path)?);
+        let path = path.as_ref().to_path_buf();
+        let display = path.display().to_string();
+        let mut file = BufReader::new(File::open(&path)?);
         let mut fixed = [0u8; HEADER_FIXED_LEN];
-        file.read_exact(&mut fixed)
-            .map_err(|_| invalid(format!("{}: file too short for a header", path.display())))?;
+        file.read_exact(&mut fixed).map_err(|_| {
+            io::Error::from(VasError::Corrupt {
+                path: display.clone(),
+                detail: "file too short for a header".into(),
+            })
+        })?;
         if fixed[0..8] != MAGIC {
-            return Err(invalid(format!(
-                "{}: not a chunked dataset file (bad magic)",
-                path.display()
-            )));
+            return Err(VasError::Corrupt {
+                path: display,
+                detail: "not a chunked dataset file (bad magic)".into(),
+            }
+            .into());
         }
-        let version = u32::from_le_bytes(fixed[8..12].try_into().unwrap());
-        if version != FORMAT_VERSION {
-            return Err(invalid(format!(
-                "{}: unsupported chunked format version {version}",
-                path.display()
-            )));
+        let version = u32::from_le_bytes(fixed[8..12].try_into().expect("fixed-size slice"));
+        if !SUPPORTED_VERSIONS.contains(&version) {
+            return Err(VasError::UnsupportedVersion {
+                path: display,
+                found: version,
+                supported: SUPPORTED_VERSIONS,
+            }
+            .into());
         }
         let kind = tag_kind(fixed[12]).ok_or_else(|| {
-            invalid(format!(
-                "{}: unknown dataset kind tag {}",
-                path.display(),
-                fixed[12]
-            ))
+            io::Error::from(VasError::Corrupt {
+                path: display.clone(),
+                detail: format!("unknown dataset kind tag {}", fixed[12]),
+            })
         })?;
-        let chunk_size = u32::from_le_bytes(fixed[16..20].try_into().unwrap()) as usize;
+        let chunk_size =
+            u32::from_le_bytes(fixed[16..20].try_into().expect("fixed-size slice")) as usize;
         if chunk_size == 0 {
-            return Err(invalid(format!("{}: zero chunk size", path.display())));
+            return Err(VasError::Corrupt {
+                path: display,
+                detail: "zero chunk size".into(),
+            }
+            .into());
         }
-        let count = u64::from_le_bytes(fixed[20..28].try_into().unwrap());
+        let count = u64::from_le_bytes(fixed[20..28].try_into().expect("fixed-size slice"));
         let mut bb = [0.0f64; 4];
         for (i, v) in bb.iter_mut().enumerate() {
-            *v = f64::from_le_bytes(fixed[28 + 8 * i..36 + 8 * i].try_into().unwrap());
+            *v = f64::from_le_bytes(
+                fixed[28 + 8 * i..36 + 8 * i]
+                    .try_into()
+                    .expect("fixed-size slice"),
+            );
         }
-        let name_len = u16::from_le_bytes(fixed[60..62].try_into().unwrap()) as usize;
+        let name_len =
+            u16::from_le_bytes(fixed[60..62].try_into().expect("fixed-size slice")) as usize;
         let mut name_bytes = vec![0u8; name_len];
-        file.read_exact(&mut name_bytes)
-            .map_err(|_| invalid(format!("{}: truncated header name", path.display())))?;
-        let name = String::from_utf8(name_bytes)
-            .map_err(|_| invalid(format!("{}: header name is not UTF-8", path.display())))?;
+        file.read_exact(&mut name_bytes).map_err(|_| {
+            io::Error::from(VasError::Corrupt {
+                path: display.clone(),
+                detail: "truncated header name".into(),
+            })
+        })?;
+        let name = String::from_utf8(name_bytes.clone()).map_err(|_| {
+            io::Error::from(VasError::Corrupt {
+                path: display.clone(),
+                detail: "header name is not UTF-8".into(),
+            })
+        })?;
+        let mut data_offset = (HEADER_FIXED_LEN + name_len) as u64;
+        if version >= 2 {
+            let mut crc_bytes = [0u8; 4];
+            file.read_exact(&mut crc_bytes).map_err(|_| {
+                io::Error::from(VasError::Corrupt {
+                    path: display.clone(),
+                    detail: "truncated header checksum".into(),
+                })
+            })?;
+            let stored = u32::from_le_bytes(crc_bytes);
+            let mut crc = Crc32::new();
+            crc.update(&fixed);
+            crc.update(&name_bytes);
+            let computed = crc.finish();
+            if stored != computed {
+                return Err(VasError::ChecksumMismatch {
+                    path: display,
+                    region: "header (unfinished spill or corrupt header)".into(),
+                    stored,
+                    computed,
+                }
+                .into());
+            }
+            data_offset += 4;
+        }
         Ok(Self {
             file,
+            path,
             header: ChunkedHeader {
                 version,
                 kind,
@@ -322,8 +456,13 @@ impl ChunkedReader {
                 bounds: BoundingBox::new(bb[0], bb[1], bb[2], bb[3]),
                 name,
             },
-            data_offset: (HEADER_FIXED_LEN + name_len) as u64,
+            data_offset,
             read: 0,
+            chunk_index: 0,
+            data_pos: 0,
+            policy: CorruptionPolicy::default(),
+            skipped_points: 0,
+            reports: Vec::new(),
             col_buf: Vec::new(),
         })
     }
@@ -338,76 +477,173 @@ impl ChunkedReader {
         self.read
     }
 
+    /// Sets the corruption policy (see [`CorruptionPolicy`]).
+    pub fn set_corruption_policy(&mut self, policy: CorruptionPolicy) {
+        self.policy = policy;
+    }
+
+    /// Builder-style [`Self::set_corruption_policy`].
+    pub fn with_corruption_policy(mut self, policy: CorruptionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Corrupt chunks skipped in the current scan (empty under
+    /// [`CorruptionPolicy::Strict`]).
+    pub fn corruption_reports(&self) -> &[CorruptChunkReport] {
+        &self.reports
+    }
+
+    /// Points lost to skipped chunks in the current scan.
+    pub fn points_skipped(&self) -> u64 {
+        self.skipped_points
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> io::Error {
+        VasError::Corrupt {
+            path: self.path.display().to_string(),
+            detail: detail.into(),
+        }
+        .into()
+    }
+
     fn read_column(&mut self, m: usize) -> io::Result<()> {
         self.col_buf.resize(m * 8, 0);
+        let (chunk_index, promised, read) = (self.chunk_index, self.header.count, self.read);
         self.file.read_exact(&mut self.col_buf).map_err(|_| {
-            invalid(format!(
-                "truncated chunk in {:?}: expected {} column bytes",
-                self.header.name,
+            self.corrupt(format!(
+                "chunk {chunk_index} torn mid-column: expected {} column bytes \
+                 ({read} of {promised} promised points decoded so far)",
                 m * 8
             ))
-        })
+        })?;
+        self.data_pos += (m * 8) as u64;
+        Ok(())
     }
 
     /// Reads the next chunk into `buf` (cleared first). `Ok(0)` at end of
-    /// data — at which point the file must hold exactly `count` points and
-    /// no trailing bytes.
+    /// data — at which point every promised point must be accounted for
+    /// (decoded, or skipped under [`CorruptionPolicy::SkipChunks`]) and no
+    /// trailing bytes may remain.
     pub fn next_chunk(&mut self, buf: &mut Vec<Point>) -> io::Result<usize> {
-        buf.clear();
-        let mut len_bytes = [0u8; 4];
-        match self.file.read(&mut len_bytes)? {
-            0 => {
-                // Clean end of file: every promised point must have arrived.
-                if self.read != self.header.count {
-                    return Err(invalid(format!(
-                        "truncated chunked file {:?}: header promises {} points, found {}",
-                        self.header.name, self.header.count, self.read
-                    )));
+        loop {
+            buf.clear();
+            let chunk_offset = self.data_offset + self.data_pos;
+            let mut len_bytes = [0u8; 4];
+            match self.file.read(&mut len_bytes)? {
+                0 => {
+                    // Clean end of file: every promised point must have
+                    // arrived (or been explicitly skipped).
+                    if self.read + self.skipped_points != self.header.count {
+                        return Err(VasError::Truncated {
+                            path: self.path.display().to_string(),
+                            promised: self.header.count,
+                            found: self.read + self.skipped_points,
+                        }
+                        .into());
+                    }
+                    return Ok(0);
                 }
-                return Ok(0);
+                4 => {}
+                n => {
+                    let (chunk_index, read, promised) =
+                        (self.chunk_index, self.read, self.header.count);
+                    self.file.read_exact(&mut len_bytes[n..]).map_err(|_| {
+                        self.corrupt(format!(
+                            "chunk {chunk_index} torn in its length prefix \
+                             ({read} of {promised} promised points decoded so far)"
+                        ))
+                    })?;
+                }
             }
-            4 => {}
-            n => {
-                self.file
-                    .read_exact(&mut len_bytes[n..])
-                    .map_err(|_| invalid("truncated chunk length"))?;
+            self.data_pos += 4;
+            let m = u32::from_le_bytes(len_bytes) as usize;
+            if m == 0 || m > self.header.chunk_size {
+                return Err(self.corrupt(format!(
+                    "chunk {} has corrupt length {m} (chunk size {}); cannot resync",
+                    self.chunk_index, self.header.chunk_size
+                )));
             }
+            let mut stored_crc = 0u32;
+            if self.header.version >= 2 {
+                let mut crc_bytes = [0u8; 4];
+                let chunk_index = self.chunk_index;
+                self.file.read_exact(&mut crc_bytes).map_err(|_| {
+                    self.corrupt(format!("chunk {chunk_index} torn in its checksum field"))
+                })?;
+                self.data_pos += 4;
+                stored_crc = u32::from_le_bytes(crc_bytes);
+            }
+            if self.read + self.skipped_points + m as u64 > self.header.count {
+                return Err(self.corrupt(format!(
+                    "chunk {} overruns the promised total: {} decoded + {} skipped + {m} \
+                     in this chunk > {} promised",
+                    self.chunk_index, self.read, self.skipped_points, self.header.count
+                )));
+            }
+            let mut crc = Crc32::new();
+            crc.update(&len_bytes);
+            self.read_column(m)?;
+            crc.update(&self.col_buf);
+            buf.extend(self.col_buf.chunks_exact(8).map(|b| {
+                Point::new(
+                    f64::from_le_bytes(b.try_into().expect("fixed-size slice")),
+                    0.0,
+                )
+            }));
+            self.read_column(m)?;
+            crc.update(&self.col_buf);
+            for (p, b) in buf.iter_mut().zip(self.col_buf.chunks_exact(8)) {
+                p.y = f64::from_le_bytes(b.try_into().expect("fixed-size slice"));
+            }
+            self.read_column(m)?;
+            crc.update(&self.col_buf);
+            for (p, b) in buf.iter_mut().zip(self.col_buf.chunks_exact(8)) {
+                p.value = f64::from_le_bytes(b.try_into().expect("fixed-size slice"));
+            }
+            if self.header.version >= 2 {
+                let computed = crc.finish();
+                if computed != stored_crc {
+                    match self.policy {
+                        CorruptionPolicy::Strict => {
+                            return Err(VasError::ChecksumMismatch {
+                                path: self.path.display().to_string(),
+                                region: format!("chunk {}", self.chunk_index),
+                                stored: stored_crc,
+                                computed,
+                            }
+                            .into());
+                        }
+                        CorruptionPolicy::SkipChunks => {
+                            self.reports.push(CorruptChunkReport {
+                                chunk_index: self.chunk_index,
+                                byte_offset: chunk_offset,
+                                points_lost: m as u64,
+                                stored_crc,
+                                computed_crc: computed,
+                            });
+                            self.skipped_points += m as u64;
+                            self.chunk_index += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            self.read += m as u64;
+            self.chunk_index += 1;
+            return Ok(m);
         }
-        let m = u32::from_le_bytes(len_bytes) as usize;
-        if m == 0 || m > self.header.chunk_size {
-            return Err(invalid(format!(
-                "corrupt chunk length {m} (chunk size {})",
-                self.header.chunk_size
-            )));
-        }
-        if self.read + m as u64 > self.header.count {
-            return Err(invalid(format!(
-                "chunked file {:?} holds more points than its header promises ({})",
-                self.header.name, self.header.count
-            )));
-        }
-        self.read_column(m)?;
-        buf.extend(
-            self.col_buf
-                .chunks_exact(8)
-                .map(|b| Point::new(f64::from_le_bytes(b.try_into().unwrap()), 0.0)),
-        );
-        self.read_column(m)?;
-        for (p, b) in buf.iter_mut().zip(self.col_buf.chunks_exact(8)) {
-            p.y = f64::from_le_bytes(b.try_into().unwrap());
-        }
-        self.read_column(m)?;
-        for (p, b) in buf.iter_mut().zip(self.col_buf.chunks_exact(8)) {
-            p.value = f64::from_le_bytes(b.try_into().unwrap());
-        }
-        self.read += m as u64;
-        Ok(m)
     }
 
-    /// Rewinds to the first chunk.
+    /// Rewinds to the first chunk (clearing the current scan's corruption
+    /// reports).
     pub fn reset(&mut self) -> io::Result<()> {
         self.file.seek(SeekFrom::Start(self.data_offset))?;
         self.read = 0;
+        self.chunk_index = 0;
+        self.data_pos = 0;
+        self.skipped_points = 0;
+        self.reports.clear();
         Ok(())
     }
 
@@ -503,6 +739,32 @@ mod tests {
         }
     }
 
+    /// Writes `dataset` in the legacy v1 layout (no checksums) so the
+    /// retained v1 read path stays covered.
+    fn write_v1(dataset: &Dataset, path: &Path, chunk_size: usize) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&[kind_tag(dataset.kind), 0, 0, 0]);
+        bytes.extend_from_slice(&(chunk_size as u32).to_le_bytes());
+        bytes.extend_from_slice(&(dataset.points.len() as u64).to_le_bytes());
+        let bb = dataset.bounds();
+        for v in [bb.min_x, bb.min_y, bb.max_x, bb.max_y] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        bytes.extend_from_slice(&(dataset.name.len() as u16).to_le_bytes());
+        bytes.extend_from_slice(dataset.name.as_bytes());
+        for chunk in dataset.points.chunks(chunk_size) {
+            bytes.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+            for get in [(|p: &Point| p.x) as fn(&Point) -> f64, |p| p.y, |p| p.value] {
+                for p in chunk {
+                    bytes.extend_from_slice(&get(p).to_le_bytes());
+                }
+            }
+        }
+        std::fs::write(path, bytes).unwrap();
+    }
+
     #[test]
     fn round_trip_preserves_points_and_provenance() {
         let d = vas_data::GeolifeGenerator::with_size(5_000, 7).generate();
@@ -513,11 +775,25 @@ mod tests {
         assert_eq!(summary.bounds, d.bounds());
 
         let mut reader = ChunkedReader::open(&path).unwrap();
+        assert_eq!(reader.header().version, 2);
         assert_eq!(reader.header().name, d.name);
         assert_eq!(reader.header().kind, DatasetKind::GeolifeSim);
         assert_eq!(reader.header().count, 5_000);
         assert_eq!(reader.header().chunk_size, 777);
         assert_eq!(reader.header().bounds, d.bounds());
+        let back = reader.read_dataset().unwrap();
+        assert_bitwise_equal(&back.points, &d.points);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v1_files_still_read() {
+        let d = vas_data::GeolifeGenerator::with_size(1_234, 3).generate();
+        let path = temp_path("legacy-v1.vaschunk");
+        write_v1(&d, &path, 200);
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        assert_eq!(reader.header().version, 1);
+        assert_eq!(reader.header().count, 1_234);
         let back = reader.read_dataset().unwrap();
         assert_bitwise_equal(&back.points, &d.points);
         std::fs::remove_file(path).ok();
@@ -569,7 +845,7 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_is_an_error() {
+    fn truncated_file_is_an_error_with_counts_in_the_message() {
         let d = vas_data::GeolifeGenerator::with_size(500, 5).generate();
         let path = temp_path("truncated.vaschunk");
         spill_dataset(&d, &path, 100).unwrap();
@@ -579,6 +855,33 @@ mod tests {
         let mut reader = ChunkedReader::open(&path).unwrap();
         let err = reader.read_dataset().unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("chunk 4") && msg.contains("500"), "{msg}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_whole_tail_chunk_reports_promised_vs_found() {
+        let d = vas_data::GeolifeGenerator::with_size(400, 5).generate();
+        let path = temp_path("losttail.vaschunk");
+        spill_dataset(&d, &path, 100).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Drop the final chunk entirely: 4 (m) + 4 (crc) + 100 × 24 bytes.
+        std::fs::write(&path, &bytes[..bytes.len() - (8 + 2_400)]).unwrap();
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        let err = reader.read_dataset().unwrap_err();
+        let typed = VasError::from_io_chain(&err).expect("typed");
+        assert!(
+            matches!(
+                typed,
+                VasError::Truncated {
+                    promised: 400,
+                    found: 300,
+                    ..
+                }
+            ),
+            "{typed}"
+        );
         std::fs::remove_file(path).ok();
     }
 
@@ -596,9 +899,9 @@ mod tests {
     }
 
     #[test]
-    fn unfinished_spill_is_rejected() {
-        // A writer dropped without `finish` leaves count = 0 in the header
-        // but chunk bytes in the file: the reader must refuse it.
+    fn unfinished_spill_is_rejected_at_open() {
+        // A writer dropped without `finish` leaves a zero header checksum
+        // (and count = 0): the reader must refuse the file outright.
         let path = temp_path("unfinished.vaschunk");
         {
             let mut w = ChunkedWriter::create(&path, "crashy", DatasetKind::External, 4).unwrap();
@@ -607,9 +910,12 @@ mod tests {
             }
             // w dropped here without finish(); two full chunks are on disk.
         }
-        let mut reader = ChunkedReader::open(&path).unwrap();
-        assert_eq!(reader.header().count, 0);
-        assert!(reader.read_dataset().is_err());
+        let err = ChunkedReader::open(&path).unwrap_err();
+        let typed = VasError::from_io_chain(&err).expect("typed");
+        assert!(
+            matches!(typed, VasError::ChecksumMismatch { .. }),
+            "{typed}"
+        );
         std::fs::remove_file(path).ok();
     }
 
@@ -634,6 +940,54 @@ mod tests {
     }
 
     #[test]
+    fn chunk_bit_flip_is_a_hard_error_by_default() {
+        let d = vas_data::GeolifeGenerator::with_size(300, 5).generate();
+        let path = temp_path("bitflip.vaschunk");
+        spill_dataset(&d, &path, 100).unwrap();
+        let header_len = (HEADER_FIXED_LEN + d.name.len() + 4) as u64;
+        // Flip one bit in the middle of the second chunk's payload.
+        let second_chunk = header_len + 8 + 2_400;
+        crate::fault::flip_bit_in_file(&path, (second_chunk + 8 + 1_000) * 8 + 3).unwrap();
+        let mut reader = ChunkedReader::open(&path).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(reader.next_chunk(&mut buf).unwrap(), 100, "chunk 0 intact");
+        let err = reader.next_chunk(&mut buf).unwrap_err();
+        let typed = VasError::from_io_chain(&err).expect("typed");
+        assert!(
+            matches!(typed, VasError::ChecksumMismatch { .. }),
+            "{typed}"
+        );
+        assert!(err.to_string().contains("chunk 1"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn skip_policy_skips_and_reports_without_silent_loss() {
+        let d = vas_data::GeolifeGenerator::with_size(300, 5).generate();
+        let path = temp_path("skip.vaschunk");
+        spill_dataset(&d, &path, 100).unwrap();
+        let header_len = (HEADER_FIXED_LEN + d.name.len() + 4) as u64;
+        let second_chunk = header_len + 8 + 2_400;
+        crate::fault::flip_bit_in_file(&path, (second_chunk + 8 + 1_000) * 8 + 3).unwrap();
+
+        let mut reader = ChunkedReader::open(&path)
+            .unwrap()
+            .with_corruption_policy(CorruptionPolicy::SkipChunks);
+        let back = reader.read_dataset().unwrap();
+        assert_eq!(back.points.len(), 200, "one 100-point chunk dropped");
+        assert_bitwise_equal(&back.points[..100], &d.points[..100]);
+        assert_bitwise_equal(&back.points[100..], &d.points[200..]);
+        assert_eq!(reader.points_skipped(), 100);
+        let reports = reader.corruption_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].chunk_index, 1);
+        assert_eq!(reports[0].points_lost, 100);
+        assert_eq!(reports[0].byte_offset, second_chunk);
+        assert_ne!(reports[0].stored_crc, reports[0].computed_crc);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn special_f64_values_round_trip_bit_exactly() {
         let weird = vec![
             Point::with_value(-0.0, 0.0, f64::MIN_POSITIVE),
@@ -646,6 +1000,24 @@ mod tests {
         spill_dataset(&d, &path, 3).unwrap();
         let back = ChunkedReader::open(&path).unwrap().read_dataset().unwrap();
         assert_bitwise_equal(&back.points, &weird);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_a_v2_file_is_detected() {
+        // Exhaustive over a small file: flipping ANY single bit must make
+        // open or read fail (magic, version, header CRC, chunk CRC — some
+        // detector fires for every position).
+        let d = vas_data::GeolifeGenerator::with_size(24, 13).generate();
+        let path = temp_path("everybit.vaschunk");
+        spill_dataset(&d, &path, 10).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        for bit in 0..(pristine.len() as u64 * 8) {
+            std::fs::write(&path, &pristine).unwrap();
+            crate::fault::flip_bit_in_file(&path, bit).unwrap();
+            let outcome = ChunkedReader::open(&path).and_then(|mut r| r.read_dataset());
+            assert!(outcome.is_err(), "bit flip at {bit} went undetected");
+        }
         std::fs::remove_file(path).ok();
     }
 }

@@ -35,6 +35,25 @@
 //! streamed-point counts, used by the `geolife_scale` harness to *prove* the
 //! resident-memory bound rather than assert it).
 //!
+//! ## Failure model
+//!
+//! This crate is also where the workspace's fault tolerance is grounded:
+//!
+//! * [`VasError`] — the typed, source-chained failure taxonomy every layer
+//!   reports through (I/O vs corruption vs truncation vs retry exhaustion),
+//!   with a shared transient-vs-fatal classification;
+//! * the `.vaschunk` v2 format carries CRC-32 checksums over the header and
+//!   every chunk ([`crc32`]), so torn writes and bit rot are detected, with
+//!   an opt-in skip-and-report degraded mode ([`CorruptionPolicy`]);
+//! * [`RetryingSource`] absorbs transient I/O errors with a bounded,
+//!   deterministic retry budget ([`RetryPolicy`]); fatal errors pass through
+//!   untouched;
+//! * [`FaultInjectorSource`], [`FaultyRead`] and the file-corruption helpers
+//!   ([`fault`]) inject *deterministic, seeded* faults so every recovery
+//!   claim is proven by the `fault_matrix` harness rather than asserted;
+//! * [`write_atomic`] replaces durable files via temp + fsync + rename so a
+//!   crash never leaves a torn artifact.
+//!
 //! `VasSampler::build_from_source` in `vas-core` drives the Interchange loop
 //! from any `PointSource` and is pinned bit-identical to `build()` over the
 //! equivalent in-memory dataset.
@@ -79,18 +98,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod chunked;
+pub mod crc32;
 pub mod csv;
+pub mod error;
+pub mod fault;
 pub mod generate;
 pub mod prefetch;
+pub mod retry;
 pub mod source;
 pub mod stats;
 
+pub use atomic::{commit_staged, staging_sibling, write_atomic};
 pub use chunked::{
     spill_dataset, spill_source, ChunkedHeader, ChunkedReader, ChunkedSummary, ChunkedWriter,
+    CorruptChunkReport, CorruptionPolicy,
 };
 pub use csv::CsvSource;
+pub use error::{io_error_is_transient, VasError};
+pub use fault::{
+    flip_bit_in_file, truncate_file, FaultInjectorSource, FaultPlan, FaultyRead, ReadFaults,
+};
 pub use generate::{GaussianMixtureSource, GeolifeSource, SplomSource};
 pub use prefetch::{PrefetchSource, DEFAULT_PREFETCH_DEPTH};
+pub use retry::{RetryPolicy, RetryingSource};
 pub use source::{DatasetSource, PointSource, TrackingSource, DEFAULT_CHUNK_SIZE};
 pub use stats::{scan_stats, StreamStats};

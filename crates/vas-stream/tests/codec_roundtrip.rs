@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use vas_data::{Dataset, DatasetKind, Point};
-use vas_stream::{spill_dataset, ChunkedReader};
+use vas_stream::{spill_dataset, ChunkedReader, VasError};
 
 /// Special values the round trip must preserve exactly. (`PartialEq` would
 /// accept `-0.0 == 0.0`, so all comparisons below are on raw bits.)
@@ -116,9 +116,9 @@ proptest! {
         let path = unique_path("tr", case);
         spill_dataset(&dataset, &path, chunk_size).unwrap();
         let bytes = std::fs::read(&path).unwrap();
-        // Find where the data section starts (fixed header + name) and cut
-        // the file strictly inside the data bytes.
-        let data_start = 62 + "trunc".len();
+        // Find where the data section starts (fixed header + name + header
+        // CRC) and cut the file strictly inside the data bytes.
+        let data_start = 62 + "trunc".len() + 4;
         let data_len = bytes.len() - data_start;
         prop_assert!(data_len > 0);
         let keep = data_start + ((data_len - 1) as f64 * cut_frac) as usize;
@@ -126,7 +126,15 @@ proptest! {
 
         let mut reader = ChunkedReader::open(&path).unwrap();
         let err = reader.read_dataset().unwrap_err();
-        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let typed = VasError::from_io_chain(&err).expect("typed error in chain");
+        prop_assert!(
+            matches!(
+                typed,
+                VasError::Truncated { .. } | VasError::Corrupt { .. }
+            ),
+            "unexpected error class: {}",
+            typed
+        );
         std::fs::remove_file(path).ok();
     }
 }
@@ -159,13 +167,14 @@ fn corrupting_a_chunk_length_is_detected() {
     let path = unique_path("corrupt", 0);
     spill_dataset(&dataset, &path, 8).unwrap();
     let mut bytes = std::fs::read(&path).unwrap();
-    // First chunk length prefix sits right after the header + name.
-    let len_offset = 62 + "corrupt".len();
+    // First chunk length prefix sits right after the header + name + header
+    // CRC.
+    let len_offset = 62 + "corrupt".len() + 4;
     bytes[len_offset..len_offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
     std::fs::write(&path, &bytes).unwrap();
     let mut reader = ChunkedReader::open(&path).unwrap();
     let err = reader.read_dataset().unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
-    assert!(err.to_string().contains("chunk length"), "{err}");
+    assert!(err.to_string().contains("corrupt length"), "{err}");
     std::fs::remove_file(path).ok();
 }

@@ -66,8 +66,8 @@ pub use vas_viz as viz;
 pub mod prelude {
     pub use vas_binned::{TilePyramid, TilePyramidConfig};
     pub use vas_core::{
-        density::with_embedded_density, embed_density, GaussianKernel, InterchangeStrategy, Kernel,
-        VasConfig, VasSampler,
+        density::with_embedded_density, embed_density, BuildOutcome, CheckpointPolicy,
+        GaussianKernel, InterchangeStrategy, Kernel, VasConfig, VasSampler,
     };
     pub use vas_data::{
         BoundingBox, Dataset, GaussianMixtureGenerator, GeolifeGenerator, Point, SplomGenerator,
@@ -84,7 +84,8 @@ pub mod prelude {
     pub use vas_storage::{SampleCatalog, Table, VizEngine, VizQuery};
     pub use vas_stream::{
         spill_dataset, spill_source, ChunkedReader, ChunkedWriter, CsvSource, DatasetSource,
-        GeolifeSource, PointSource, PrefetchSource, StreamStats, TrackingSource,
+        FaultInjectorSource, FaultPlan, GeolifeSource, PointSource, PrefetchSource, RetryPolicy,
+        RetryingSource, StreamStats, TrackingSource, VasError,
     };
     pub use vas_user_sim::{ClusteringTask, DensityTask, RegressionTask, WorkerPopulation};
     pub use vas_viz::{

@@ -394,3 +394,94 @@ fn density_embedding_is_deterministic() {
         );
     }
 }
+
+#[test]
+fn kill_and_resume_is_bit_identical_per_backend_and_thread_count() {
+    // The PR 7 contract: a streaming build killed at *any* chunk boundary
+    // and resumed from its `.vascheckpt` must reproduce the uninterrupted
+    // sample bit for bit — on every locality backend, at 1, 2 and 4 worker
+    // threads (the resumed run re-enters the speculative pre-evaluation
+    // front mid-stream). The checkpoint carries a byte-exact snapshot of the
+    // locality index, so the restored index's future visitation order — and
+    // with it every accept/reject decision — is exactly the original's.
+    let data = GeolifeGenerator::with_size(10_000, 21).generate();
+    let path = std::env::temp_dir().join(format!(
+        "vas-determinism-ckpt-{}.vaschunk",
+        std::process::id()
+    ));
+    spill_dataset(&data, &path, 1_024).unwrap();
+
+    for backend in LocalityBackend::ALL {
+        let base = VasConfig::new(300).with_locality_backend(backend);
+        let reference = {
+            let mut reader = ChunkedReader::open(&path).unwrap();
+            VasSampler::new(base.clone())
+                .build_from_source(&mut reader)
+                .unwrap()
+        };
+        for threads in [1usize, 2, 4] {
+            let config = base.clone().with_threads(threads);
+            for kill_after in [1u64, 4, 8] {
+                let ckpt = std::env::temp_dir().join(format!(
+                    "vas-determinism-{}-{backend}-{threads}-{kill_after}.vascheckpt",
+                    std::process::id()
+                ));
+                let policy = CheckpointPolicy::every(&ckpt, 1).halting_after(kill_after);
+                let mut reader = ChunkedReader::open(&path).unwrap();
+                let outcome = VasSampler::new(config.clone())
+                    .build_from_source_checkpointed(&mut reader, &policy)
+                    .unwrap();
+                assert!(
+                    outcome.is_halted(),
+                    "kill switch did not fire ({backend}, {threads} threads, kill {kill_after})"
+                );
+
+                let mut reader = ChunkedReader::open(&path).unwrap();
+                let (_, outcome) = VasSampler::resume_build_from_source(
+                    config.clone(),
+                    &mut reader,
+                    &CheckpointPolicy::every(&ckpt, 1),
+                )
+                .unwrap();
+                let resumed = outcome.into_sample().expect("resumed build completes");
+                assert_points_bitwise_equal(
+                    &resumed.points,
+                    &reference.points,
+                    &format!("kill-and-resume ({backend}, {threads} threads, kill {kill_after})"),
+                );
+                std::fs::remove_file(&ckpt).ok();
+            }
+        }
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn retried_transient_faults_leave_the_sample_bits_unchanged() {
+    // Fault tolerance must not cost determinism: a build whose source fails
+    // transiently (and is retried) must equal the fault-free build exactly.
+    let data = GeolifeGenerator::with_size(8_000, 55).generate();
+    let reference = {
+        let mut source = DatasetSource::with_chunk_size(&data, 512);
+        VasSampler::new(VasConfig::new(250))
+            .build_from_source(&mut source)
+            .unwrap()
+    };
+    let injector = FaultInjectorSource::new(
+        DatasetSource::with_chunk_size(&data, 512),
+        FaultPlan::transient(99, 4, 2),
+    );
+    let mut source = RetryingSource::new(injector, RetryPolicy::immediate(4));
+    let retried = VasSampler::new(VasConfig::new(250))
+        .build_from_source(&mut source)
+        .unwrap();
+    assert!(
+        source.retries() > 0,
+        "the fault plan never fired; the scenario is vacuous"
+    );
+    assert_points_bitwise_equal(
+        &retried.points,
+        &reference.points,
+        "retried vs fault-free build",
+    );
+}
