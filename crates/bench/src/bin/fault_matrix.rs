@@ -28,11 +28,11 @@
 //! fault_matrix [--smoke] [--n <points>] [--k <K>] [--chunk-size <points>]
 //! ```
 
-use bench::{emit, results_dir, ReportTable};
+use bench::{bitwise_eq, emit, results_dir, ReportTable};
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 use vas_core::{BuildOutcome, CheckpointPolicy, LocalityBackend, VasConfig, VasSampler};
-use vas_data::{GeolifeGenerator, Point};
+use vas_data::GeolifeGenerator;
 use vas_sampling::Sample;
 use vas_stream::{
     flip_bit_in_file, spill_dataset, write_atomic, ChunkedReader, CorruptionPolicy,
@@ -73,15 +73,6 @@ struct FaultReport {
     contained_worker_panics: u64,
     panic_contained: bool,
     all_passed: bool,
-}
-
-fn bitwise_eq(a: &[Point], b: &[Point]) -> bool {
-    a.len() == b.len()
-        && a.iter().zip(b).all(|(p, q)| {
-            p.x.to_bits() == q.x.to_bits()
-                && p.y.to_bits() == q.y.to_bits()
-                && p.value.to_bits() == q.value.to_bits()
-        })
 }
 
 fn build_clean(spill: &Path, config: &VasConfig) -> Sample {

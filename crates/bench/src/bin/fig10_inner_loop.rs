@@ -34,10 +34,21 @@
 //! `bit_identical` flag CI gates on — is written to
 //! `results/BENCH_kernel.json`.
 //!
+//! With `--obs` the binary instead runs only the **observability overhead
+//! gate**: the full instrumented stack (chunked reads through fault
+//! injection, retries, checkpoint halt/resume, and the sampler itself, all
+//! with timers and an event journal attached) against the detached-recorder
+//! no-op build on the same spilled stream. The gate asserts the two samples
+//! are bit-identical, the journal carries checkpoint/retry/phase-transition
+//! events, both exporters round-trip the registry snapshot, and the
+//! instrumentation overhead stays under a fixed ceiling — then writes
+//! `results/BENCH_obs.json` and exits non-zero on any violation.
+//!
 //! Usage:
 //! ```text
 //! fig10_inner_loop [--smoke] [--baseline] [--backend rtree|kdtree|hashgrid]
 //!                  [--require-hashgrid-at-least <ratio>] [--threads t1,t2,...]
+//!                  [--obs]
 //! ```
 //! * `--smoke`    — tiny dataset (20K points, K = 500) for CI.
 //! * `--baseline` — measure only the legacy loop (for A/B-ing across
@@ -48,14 +59,26 @@
 //!   given ratio; both backends must be part of the sweep.
 //! * `--threads`  — comma-separated thread counts for the speculative
 //!   pre-evaluation sweep.
+//! * `--obs`      — run only the observability overhead gate (see above).
 
-use bench::{emit, fmt3, merge_parallel_section, parse_threads_list, results_dir, ReportTable};
+use bench::{
+    bitwise_eq, emit, fmt3, merge_parallel_section, parse_threads_list, results_dir, ReportTable,
+    TimingStats,
+};
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
-use vas_core::{GaussianKernel, InterchangeStrategy, Kernel, VasConfig, VasSampler};
+use vas_core::{
+    BuildOutcome, CheckpointPolicy, GaussianKernel, InterchangeStrategy, Kernel, VasConfig,
+    VasSampler,
+};
 use vas_data::{Dataset, GaussianMixtureGenerator, Point};
+use vas_obs::{export, Counter, Journal, MetricsRegistry, Phase, Recorder};
 use vas_sampling::Sampler;
 use vas_spatial::{AnyLocalityIndex, LocalityBackend, LocalityIndex};
+use vas_stream::{
+    spill_dataset, ChunkedReader, FaultInjectorSource, FaultPlan, RetryPolicy, RetryingSource,
+};
 
 /// One measured (strategy × backend × inner-loop) cell.
 #[derive(Debug, Clone, Serialize)]
@@ -389,17 +412,6 @@ fn measure_kernel_phase(
     (variant, sampler.current_sample().to_vec())
 }
 
-/// Bitwise sample equality — the determinism gate both the pre-evaluation
-/// sweep and the kernel-phase comparison use.
-fn bitwise_eq(a: &[Point], b: &[Point]) -> bool {
-    a.len() == b.len()
-        && a.iter().zip(b).all(|(p, q)| {
-            p.x.to_bits() == q.x.to_bits()
-                && p.y.to_bits() == q.y.to_bits()
-                && p.value.to_bits() == q.value.to_bits()
-        })
-}
-
 /// Micro-measures the accepted-replacement cost split on one backend: builds
 /// the index over the converged sample at the cutoff radius, then times the
 /// two neighbourhood queries and the remove/insert churn an accept performs.
@@ -441,17 +453,344 @@ fn measure_accept_cost(backend: LocalityBackend, sample: &[Point], cutoff: f64) 
     }
 }
 
+/// Chunk size of the observability-gate spill — small enough that even the
+/// smoke dataset spans a few dozen chunks, so checkpoints, retries and the
+/// fill→candidate transition all fire.
+const OBS_CHUNK: usize = 1_024;
+/// Maximum tolerated throughput overhead of full instrumentation (timers +
+/// journal) over the detached-recorder no-op build.
+const OBS_OVERHEAD_CEILING: f64 = 0.03;
+/// Seed of the deterministic transient-fault schedule the gate injects so
+/// the retry path is exercised (and journaled) on every run.
+const OBS_FAULT_SEED: u64 = 20_160_519;
+
+/// Which of the required event kinds the journal actually carried.
+#[derive(Debug, Clone, Serialize)]
+struct ObsJournalEvents {
+    checkpoint_write: bool,
+    checkpoint_resume: bool,
+    retry: bool,
+    phase_transition: bool,
+}
+
+impl ObsJournalEvents {
+    fn all_present(&self) -> bool {
+        self.checkpoint_write && self.checkpoint_resume && self.retry && self.phase_transition
+    }
+}
+
+/// Key registry counters. The build-scoped ones (accepts, rejects, kernel
+/// lanes) are captured at the checkpoint halt — mid-build, before `finalize`
+/// resets them; the stream/checkpoint counters are lifetime totals across
+/// the halt, resume and full instrumented build.
+#[derive(Debug, Clone, Serialize)]
+struct ObsCounterSample {
+    core_accepts_at_halt: u64,
+    core_rejects_at_halt: u64,
+    core_kernel_lanes_at_halt: u64,
+    core_checkpoint_writes: u64,
+    core_checkpoint_resumes: u64,
+    stream_chunks_decoded: u64,
+    stream_retries_absorbed: u64,
+}
+
+/// One phase row of the report, read from the registry's latency histograms.
+#[derive(Debug, Clone, Serialize)]
+struct ObsPhaseStat {
+    phase: String,
+    calls: u64,
+    total_ms: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// The whole gate report, serialized to `results/BENCH_obs.json`. CI greps
+/// it for `"bit_identical": true` and `"overhead_ok": true`.
+#[derive(Debug, Clone, Serialize)]
+struct ObsReport {
+    bench: String,
+    mode: String,
+    n: usize,
+    k: usize,
+    chunk_size: usize,
+    reps: usize,
+    noop_secs: f64,
+    instrumented_secs: f64,
+    overhead_ratio: f64,
+    overhead_ceiling: f64,
+    overhead_ok: bool,
+    bit_identical: bool,
+    exporters_round_trip: bool,
+    journal_events: ObsJournalEvents,
+    journal_lines: usize,
+    counters: ObsCounterSample,
+    phases: Vec<ObsPhaseStat>,
+}
+
+/// The observability overhead gate (`--obs`): builds the same sample from
+/// the same fault-injected chunked stream with a fully instrumented recorder
+/// and with the detached no-op recorder, checks bit-identity, journal
+/// contents and exporter round-trips, measures the instrumentation overhead
+/// with interleaved min-of-N reps, and writes `results/BENCH_obs.json`.
+/// Exits non-zero on any violation.
+fn run_obs_phase(data: &Dataset, k: usize, epsilon: f64, mode: &str) {
+    let n = data.points.len();
+    let pid = std::process::id();
+    let spill = std::env::temp_dir().join(format!("vas-obs-gate-{pid}.chunks"));
+    let ckpt = std::env::temp_dir().join(format!("vas-obs-gate-{pid}.ckpt"));
+    spill_dataset(data, &spill, OBS_CHUNK).expect("spill obs dataset");
+
+    // A fixed epsilon keeps the kernel install off the stream (no extra
+    // stats scan), so every build consumes the source exactly once.
+    let config = || {
+        VasConfig::new(k)
+            .with_strategy(InterchangeStrategy::ExpandShrinkLocality)
+            .with_epsilon(epsilon)
+            .with_locality_backend(LocalityBackend::HashGrid)
+    };
+    // The full instrumented stack: chunked reads -> deterministic transient
+    // faults -> immediate retries, all reporting into the same recorder.
+    let make_source = |recorder: &Recorder| {
+        let reader = ChunkedReader::open(&spill)
+            .expect("open obs spill")
+            .with_recorder(recorder.clone());
+        let faulty = FaultInjectorSource::new(reader, FaultPlan::transient(OBS_FAULT_SEED, 3, 1));
+        RetryingSource::new(faulty, RetryPolicy::immediate(3)).with_recorder(recorder.clone())
+    };
+    let build = |recorder: &Recorder| -> Vec<Point> {
+        let mut source = make_source(recorder);
+        let mut sampler = VasSampler::new(config()).with_recorder(recorder.clone());
+        sampler
+            .build_from_source(&mut source)
+            .expect("obs build")
+            .points
+    };
+
+    // One journaled, fully instrumented registry shared by the halted build,
+    // the resume and a full build, so the journal carries every event kind
+    // the gate requires.
+    let registry = Arc::new(MetricsRegistry::new());
+    let journal = Arc::new(Journal::in_memory());
+    let recorder = Recorder::new(Arc::clone(&registry))
+        .with_journal(Arc::clone(&journal))
+        .with_timing(true);
+
+    eprintln!("[fig10_inner_loop] obs phase: journaled halt/resume build (chunk = {OBS_CHUNK})");
+    let halted = {
+        let mut source = make_source(&recorder);
+        let mut sampler = VasSampler::new(config()).with_recorder(recorder.clone());
+        sampler
+            .build_from_source_checkpointed(
+                &mut source,
+                &CheckpointPolicy::every(&ckpt, 3).halting_after(7),
+            )
+            .expect("halted obs build")
+    };
+    assert!(
+        matches!(halted, BuildOutcome::Halted { .. }),
+        "the kill switch must halt the first obs build"
+    );
+    // Build-scoped counters reset when `finalize` ends a build; the halted
+    // build has not finalized, so this snapshot sees them live.
+    let halt_snap = registry.snapshot();
+    let resumed = {
+        let mut source = make_source(&recorder);
+        let (_, outcome) = VasSampler::resume_build_from_source_recorded(
+            config(),
+            &mut source,
+            &CheckpointPolicy::every(&ckpt, 3),
+            recorder.clone(),
+        )
+        .expect("resume obs build");
+        match outcome {
+            BuildOutcome::Complete(sample) => sample.points,
+            BuildOutcome::Halted { .. } => unreachable!("the resume policy has no kill switch"),
+        }
+    };
+    eprintln!("[fig10_inner_loop] obs phase: instrumented vs no-op reference builds");
+    let instrumented = build(&recorder);
+    let noop = build(&Recorder::detached());
+    let bit_identical = bitwise_eq(&instrumented, &noop) && bitwise_eq(&instrumented, &resumed);
+
+    let journal_events = ObsJournalEvents {
+        checkpoint_write: journal.contains_event("checkpoint_write"),
+        checkpoint_resume: journal.contains_event("checkpoint_resume"),
+        retry: journal.contains_event("retry"),
+        phase_transition: journal.contains_event("phase_transition"),
+    };
+    let journal_lines = journal.lines().len();
+
+    // Both exporters must round-trip the live registry snapshot.
+    let snap = registry.snapshot();
+    let parsed = export::snapshot_from_json(&export::snapshot_to_json(&snap));
+    let prom = export::parse_prometheus(&export::snapshot_to_prometheus(&snap));
+    let exporters_round_trip =
+        parsed.as_ref() == Ok(&snap) && prom.map(|s| !s.is_empty()).unwrap_or(false);
+
+    // The smoke build is ~tens of milliseconds, so single-run jitter can
+    // dwarf the real instrumentation delta; min-of-N with the A/B order
+    // alternating per rep keeps scheduler noise and drift out of both
+    // minima.
+    let reps = if mode == "smoke" { 15 } else { 5 };
+    eprintln!(
+        "[fig10_inner_loop] obs phase: timing {reps} interleaved reps (no-op vs instrumented)"
+    );
+    let mut noop_stats = TimingStats::new();
+    let mut instr_stats = TimingStats::new();
+    for rep in 0..reps {
+        let time_noop = |stats: &mut TimingStats| {
+            let detached = Recorder::detached();
+            stats.time(|| std::hint::black_box(build(&detached)));
+        };
+        let time_instr = |stats: &mut TimingStats| {
+            let timed = Recorder::new(Arc::new(MetricsRegistry::new()))
+                .with_journal(Arc::new(Journal::in_memory()))
+                .with_timing(true);
+            stats.time(|| std::hint::black_box(build(&timed)));
+        };
+        if rep % 2 == 0 {
+            time_noop(&mut noop_stats);
+            time_instr(&mut instr_stats);
+        } else {
+            time_instr(&mut instr_stats);
+            time_noop(&mut noop_stats);
+        }
+    }
+    let noop_secs = noop_stats.min_secs();
+    let instrumented_secs = instr_stats.min_secs();
+    let overhead_ratio = (instrumented_secs / noop_secs.max(1e-12) - 1.0).max(0.0);
+    let overhead_ok = overhead_ratio <= OBS_OVERHEAD_CEILING;
+
+    std::fs::remove_file(&spill).ok();
+    std::fs::remove_file(&ckpt).ok();
+
+    let counters = ObsCounterSample {
+        core_accepts_at_halt: halt_snap.counter(Counter::CoreAccepts),
+        core_rejects_at_halt: halt_snap.counter(Counter::CoreRejects),
+        core_kernel_lanes_at_halt: halt_snap.counter(Counter::CoreKernelLanes),
+        core_checkpoint_writes: registry.get(Counter::CoreCheckpointWrites),
+        core_checkpoint_resumes: registry.get(Counter::CoreCheckpointResumes),
+        stream_chunks_decoded: registry.get(Counter::StreamChunksDecoded),
+        stream_retries_absorbed: registry.get(Counter::StreamRetriesAbsorbed),
+    };
+    let phases: Vec<ObsPhaseStat> = Phase::ALL
+        .iter()
+        .filter(|p| snap.phase_calls(**p) > 0)
+        .map(|&p| ObsPhaseStat {
+            phase: p.name().to_string(),
+            calls: snap.phase_calls(p),
+            total_ms: snap.phase_total_ns(p) as f64 / 1e6,
+            p50_us: snap.phase_percentile(p, 0.50) as f64 / 1e3,
+            p99_us: snap.phase_percentile(p, 0.99) as f64 / 1e3,
+        })
+        .collect();
+
+    let mut table = ReportTable::new(
+        format!("Observability overhead gate ({mode}: n = {n}, K = {k})"),
+        &["build", "min secs", "overhead", "bit-identical"],
+    );
+    table.push_row(vec![
+        "no-op (detached)".to_string(),
+        fmt3(noop_secs),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    table.push_row(vec![
+        "instrumented".to_string(),
+        fmt3(instrumented_secs),
+        format!("{:.2}%", overhead_ratio * 100.0),
+        bit_identical.to_string(),
+    ]);
+    let mut phase_table = ReportTable::new(
+        "Instrumented phases (journaled builds)",
+        &["phase", "calls", "total (ms)", "p50 (µs)", "p99 (µs)"],
+    );
+    for p in &phases {
+        phase_table.push_row(vec![
+            p.phase.clone(),
+            p.calls.to_string(),
+            fmt3(p.total_ms),
+            fmt3(p.p50_us),
+            fmt3(p.p99_us),
+        ]);
+    }
+    emit("fig10_obs_gate", &[table, phase_table]);
+
+    let report = ObsReport {
+        bench: "fig10_obs_gate".to_string(),
+        mode: mode.to_string(),
+        n,
+        k,
+        chunk_size: OBS_CHUNK,
+        reps,
+        noop_secs,
+        instrumented_secs,
+        overhead_ratio,
+        overhead_ceiling: OBS_OVERHEAD_CEILING,
+        overhead_ok,
+        bit_identical,
+        exporters_round_trip,
+        journal_events: journal_events.clone(),
+        journal_lines,
+        counters,
+        phases,
+    };
+    let path = results_dir().join("BENCH_obs.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize obs report");
+    std::fs::write(&path, json).expect("write BENCH_obs.json");
+    eprintln!("[obs-gate report written to {}]", path.display());
+
+    let mut failed = false;
+    if !bit_identical {
+        eprintln!("[fig10_inner_loop] FAIL: instrumentation changed the converged sample");
+        failed = true;
+    }
+    if !journal_events.all_present() {
+        eprintln!(
+            "[fig10_inner_loop] FAIL: journal is missing required events \
+             (checkpoint_write = {}, checkpoint_resume = {}, retry = {}, phase_transition = {})",
+            journal_events.checkpoint_write,
+            journal_events.checkpoint_resume,
+            journal_events.retry,
+            journal_events.phase_transition,
+        );
+        failed = true;
+    }
+    if !exporters_round_trip {
+        eprintln!("[fig10_inner_loop] FAIL: an exporter did not round-trip the snapshot");
+        failed = true;
+    }
+    if !overhead_ok {
+        eprintln!(
+            "[fig10_inner_loop] FAIL: instrumentation overhead {:.2}% exceeds the {:.0}% ceiling",
+            overhead_ratio * 100.0,
+            OBS_OVERHEAD_CEILING * 100.0
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[fig10_inner_loop] obs gate passed: overhead {:.2}% <= {:.0}%, bit-identical, \
+         {journal_lines} journal events",
+        overhead_ratio * 100.0,
+        OBS_OVERHEAD_CEILING * 100.0
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let baseline_only = args.iter().any(|a| a == "--baseline");
+    let obs_only = args.iter().any(|a| a == "--obs");
     let mut backends: Vec<LocalityBackend> = Vec::new();
     let mut required_hashgrid_ratio: Option<f64> = None;
     let mut threads_sweep: Vec<usize> = Vec::new();
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
-            "--smoke" | "--baseline" => {}
+            "--smoke" | "--baseline" | "--obs" => {}
             "--threads" => {
                 i += 1;
                 let value = args.get(i).map(String::as_str).unwrap_or("");
@@ -496,7 +835,7 @@ fn main() {
                 eprintln!(
                     "unknown argument {unknown}; usage: fig10_inner_loop [--smoke] [--baseline] \
                      [--backend rtree|kdtree|hashgrid] [--require-hashgrid-at-least <ratio>] \
-                     [--threads t1,t2,...]"
+                     [--threads t1,t2,...] [--obs]"
                 );
                 std::process::exit(2);
             }
@@ -528,6 +867,12 @@ fn main() {
     let epsilon = kernel.bandwidth();
     let locality_threshold = VasConfig::new(k).locality_threshold;
     let cutoff = kernel.effective_radius(locality_threshold);
+
+    // ---- Observability overhead gate (--obs runs only this phase). ----
+    if obs_only {
+        run_obs_phase(&data, k, epsilon, mode);
+        return;
+    }
 
     let mut variants = Vec::new();
     let mut speedups = Vec::new();

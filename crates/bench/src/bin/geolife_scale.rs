@@ -45,7 +45,9 @@
 //! * `--threads`    — comma-separated thread counts to sweep (e.g. `1,2,4`).
 //! * `--keep-spill` — leave the spill file on disk for inspection.
 
-use bench::{emit, fmt3, merge_parallel_section, parse_threads_list, results_dir, ReportTable};
+use bench::{
+    bitwise_eq, emit, fmt3, merge_parallel_section, parse_threads_list, results_dir, ReportTable,
+};
 use serde::Serialize;
 use std::path::Path;
 use std::time::Instant;
@@ -140,15 +142,6 @@ struct ParallelSection {
     loss_estimator: Vec<LossSweepEntry>,
     /// Every sweep run produced a bit-identical sample.
     bit_identical: bool,
-}
-
-fn bitwise_eq(a: &[Point], b: &[Point]) -> bool {
-    a.len() == b.len()
-        && a.iter().zip(b).all(|(p, q)| {
-            p.x.to_bits() == q.x.to_bits()
-                && p.y.to_bits() == q.y.to_bits()
-                && p.value.to_bits() == q.value.to_bits()
-        })
 }
 
 /// Streams the spill through the sampler once. `threads` drives the

@@ -8,6 +8,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod timing;
+
+pub use timing::{bitwise_eq, min_secs_of, TimingStats};
+
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::fs;

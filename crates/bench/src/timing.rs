@@ -1,0 +1,149 @@
+//! Shared timing helpers for the bench binaries.
+//!
+//! Every bench that reports latency percentiles goes through one
+//! representation — the fixed-bucket [`vas_obs::Histogram`] — so `p50`,
+//! `p95` and `p99` mean the same thing in every `BENCH_*.json`, and the
+//! per-binary copies of the bitwise sample gate live in one place.
+
+use std::time::Instant;
+use vas_data::Point;
+use vas_obs::Histogram;
+
+/// Latency distribution of repeated measurements, built on the observability
+/// crate's log-bucketed [`Histogram`] (≤ 25 % relative bucket error).
+#[derive(Debug, Clone, Default)]
+pub struct TimingStats {
+    hist: Histogram,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl TimingStats {
+    /// An empty distribution.
+    pub fn new() -> Self {
+        Self {
+            hist: Histogram::new(),
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one measurement.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.hist.record(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Times `f` once and records it. Returns `f`'s output.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record_ns(t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Number of recorded measurements.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Exact minimum in seconds (0.0 when empty) — the noise-robust figure
+    /// single-machine throughput gates should compare.
+    pub fn min_secs(&self) -> f64 {
+        if self.hist.is_empty() {
+            0.0
+        } else {
+            self.min_ns as f64 * 1e-9
+        }
+    }
+
+    /// Exact maximum in seconds (0.0 when empty).
+    pub fn max_secs(&self) -> f64 {
+        self.max_ns as f64 * 1e-9
+    }
+
+    /// Exact mean in seconds (0.0 when empty).
+    pub fn mean_secs(&self) -> f64 {
+        self.hist.mean() * 1e-9
+    }
+
+    /// Histogram percentile in seconds (bucket upper bound; `q` in `[0, 1]`).
+    pub fn percentile_secs(&self, q: f64) -> f64 {
+        self.hist.percentile(q) as f64 * 1e-9
+    }
+
+    /// `(p50, p95, p99)` in seconds, from the same histogram every exporter
+    /// quotes.
+    pub fn quantiles_secs(&self) -> (f64, f64, f64) {
+        (
+            self.percentile_secs(0.50),
+            self.percentile_secs(0.95),
+            self.percentile_secs(0.99),
+        )
+    }
+
+    /// The underlying histogram (for export or merging).
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+}
+
+/// Runs `f` `reps` times (at least once) and returns the minimum wall-clock
+/// seconds — the standard noise floor for same-machine A/B throughput
+/// comparisons.
+pub fn min_secs_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut stats = TimingStats::new();
+    for _ in 0..reps.max(1) {
+        stats.time(&mut f);
+    }
+    stats.min_secs()
+}
+
+/// Bitwise sample equality — the determinism gate shared by every bench that
+/// compares an optimized path against the reference run.
+pub fn bitwise_eq(a: &[Point], b: &[Point]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(p, q)| {
+            p.x.to_bits() == q.x.to_bits()
+                && p.y.to_bits() == q.y.to_bits()
+                && p.value.to_bits() == q.value.to_bits()
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_track_min_mean_and_quantiles() {
+        let mut stats = TimingStats::new();
+        for ns in [100u64, 200, 300, 400, 1_000_000] {
+            stats.record_ns(ns);
+        }
+        assert_eq!(stats.count(), 5);
+        assert!((stats.min_secs() - 100e-9).abs() < 1e-15);
+        assert!(stats.max_secs() >= stats.min_secs());
+        let (p50, p95, p99) = stats.quantiles_secs();
+        assert!(p50 <= p95 && p95 <= p99);
+        // The outlier dominates the upper quantiles but not the median.
+        assert!(p50 < 1e-3 && p99 >= 1e-3 * 0.75);
+    }
+
+    #[test]
+    fn min_secs_of_runs_at_least_once() {
+        let mut calls = 0usize;
+        let secs = min_secs_of(0, || calls += 1);
+        assert_eq!(calls, 1);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn bitwise_eq_distinguishes_negative_zero() {
+        let a = [Point::with_value(0.0, 1.0, 2.0)];
+        let b = [Point::with_value(-0.0, 1.0, 2.0)];
+        assert!(bitwise_eq(&a, &a));
+        assert!(!bitwise_eq(&a, &b));
+        assert!(!bitwise_eq(&a, &[]));
+    }
+}

@@ -47,6 +47,7 @@ use crate::objective::objective;
 use std::path::Path;
 use std::time::{Duration, Instant};
 use vas_data::{BoundingBox, Dataset, Point};
+use vas_obs::{Counter, Phase, Recorder};
 use vas_sampling::{Sample, Sampler};
 use vas_spatial::snapshot::{self as snap, SnapshotReader};
 use vas_spatial::{AnyLocalityIndex, LocalityBackend, LocalityIndex, NeighborBatch};
@@ -399,10 +400,6 @@ pub struct VasSampler<L: LocalityIndex = AnyLocalityIndex> {
     /// Reusable buffer of per-candidate kernel values, lane-parallel to
     /// `gather.ids` (the other half of the SoA delta representation).
     scratch_vals: Vec<f64>,
-    /// Kernel-value lanes evaluated through the batched
-    /// ([`Kernel::eval_dist2_batch`]) path so far (diagnostics; the
-    /// `fig10_inner_loop` kernel phase reports lanes per rejected tuple).
-    kernel_lanes: u64,
     /// Per-worker buffers of the speculative pre-evaluation front, reused
     /// across batches so the steady-state parallel path allocates nothing.
     pre_eval: PreEvalScratch,
@@ -419,10 +416,11 @@ pub struct VasSampler<L: LocalityIndex = AnyLocalityIndex> {
     /// Lifetime count of speculated batches (drives the deterministic
     /// panic-injection hook, [`VasConfig::inject_speculation_panic_at`]).
     speculated: u64,
-    /// Speculative batches whose worker panic was contained by degrading the
-    /// batch to the sequential path (see
-    /// [`contained_worker_panics`](Self::contained_worker_panics)).
-    contained_worker_panics: u64,
+    /// Metrics/journal sink ([`Recorder::detached`] by default): kernel
+    /// lanes, contained panics, accepts/rejects and checkpoint events live
+    /// in its registry rather than in dedicated fields. Strictly off the
+    /// data path — nothing it measures feeds back into sampled state.
+    recorder: Recorder,
     progress: Option<ProgressSink>,
     started: Instant,
 }
@@ -560,9 +558,17 @@ impl VasSampler {
         snap::put_u64(&mut out, self.seen);
         snap::put_u64(&mut out, self.replacements);
         snap::put_u64(&mut out, self.accept_spacing);
-        snap::put_u64(&mut out, self.kernel_lanes);
+        snap::put_u64(
+            &mut out,
+            self.recorder.registry().get(Counter::CoreKernelLanes),
+        );
         snap::put_u64(&mut out, self.speculated);
-        snap::put_u64(&mut out, self.contained_worker_panics);
+        snap::put_u64(
+            &mut out,
+            self.recorder
+                .registry()
+                .get(Counter::CoreContainedWorkerPanics),
+        );
         let index_bytes = self.index.snapshot();
         snap::put_usize(&mut out, index_bytes.len());
         out.extend_from_slice(&index_bytes);
@@ -598,6 +604,19 @@ impl VasSampler {
     pub fn resume_from_checkpoint(
         path: &Path,
         config: VasConfig,
+    ) -> Result<(Self, u64, u64, String, u64), VasError> {
+        Self::resume_from_checkpoint_recorded(path, config, Recorder::detached())
+    }
+
+    /// [`resume_from_checkpoint`](Self::resume_from_checkpoint) with a
+    /// [`Recorder`] attached to the restored sampler: the checkpointed
+    /// kernel-lane and contained-panic totals are restored into its
+    /// registry, `core_checkpoint_resumes` is counted and a
+    /// `checkpoint_resume` event is journaled.
+    pub fn resume_from_checkpoint_recorded(
+        path: &Path,
+        config: VasConfig,
+        recorder: Recorder,
     ) -> Result<(Self, u64, u64, String, u64), VasError> {
         let label = path.display().to_string();
         let bytes = std::fs::read(path)
@@ -690,6 +709,7 @@ impl VasSampler {
         require_match("index backend", index.backend(), backend)?;
 
         let mut sampler = VasSampler::new(config);
+        sampler.recorder = recorder;
         sampler.install_kernel(GaussianKernel::new(epsilon));
         sampler.points = points;
         sampler.rsp = rsp;
@@ -698,9 +718,22 @@ impl VasSampler {
         sampler.seen = seen;
         sampler.replacements = replacements;
         sampler.accept_spacing = accept_spacing;
-        sampler.kernel_lanes = kernel_lanes;
+        sampler
+            .recorder
+            .set_restored(Counter::CoreKernelLanes, kernel_lanes);
         sampler.speculated = speculated;
-        sampler.contained_worker_panics = contained;
+        sampler
+            .recorder
+            .set_restored(Counter::CoreContainedWorkerPanics, contained);
+        sampler.recorder.inc(Counter::CoreCheckpointResumes, 1);
+        sampler.recorder.event(
+            "checkpoint_resume",
+            &[
+                ("pass", pass.into()),
+                ("chunks_consumed", chunks_consumed.into()),
+                ("points", (sampler.points.len() as u64).into()),
+            ],
+        );
         // The tournament tree is a pure function of `rsp`; leaving it stale
         // triggers the same lazy deterministic rebuild every other
         // rsp-mutating path uses.
@@ -739,8 +772,20 @@ impl VasSampler {
         source: &mut S,
         policy: &CheckpointPolicy,
     ) -> Result<(Self, BuildOutcome), VasError> {
+        Self::resume_build_from_source_recorded(config, source, policy, Recorder::detached())
+    }
+
+    /// [`resume_build_from_source`](Self::resume_build_from_source) with a
+    /// [`Recorder`] attached before the restore, so the resumed run's
+    /// counters, phases and journal events land in the caller's registry.
+    pub fn resume_build_from_source_recorded<S: PointSource>(
+        config: VasConfig,
+        source: &mut S,
+        policy: &CheckpointPolicy,
+        recorder: Recorder,
+    ) -> Result<(Self, BuildOutcome), VasError> {
         let (mut sampler, pass, chunks, source_name, chunk_capacity) =
-            Self::resume_from_checkpoint(&policy.path, config)?;
+            Self::resume_from_checkpoint_recorded(&policy.path, config, recorder)?;
         require_match("source name", source_name.as_str(), source.name())?;
         require_match(
             "source chunk capacity",
@@ -797,6 +842,15 @@ impl VasSampler {
                         &source_name,
                         chunk_capacity,
                     )?;
+                    self.recorder.inc(Counter::CoreCheckpointWrites, 1);
+                    self.recorder.event(
+                        "checkpoint_write",
+                        &[
+                            ("pass", pass.into()),
+                            ("chunk_index", chunk_index.into()),
+                            ("points", (self.points.len() as u64).into()),
+                        ],
+                    );
                 }
                 if policy.halt_after_chunks == Some(halted_after) {
                     return Ok(BuildOutcome::Halted {
@@ -827,14 +881,13 @@ impl<L: LocalityIndex> VasSampler<L> {
             tracker_fresh: false,
             gather: NeighborBatch::new(),
             scratch_vals: Vec::new(),
-            kernel_lanes: 0,
             pre_eval: PreEvalScratch::default(),
             accept_spacing: 0,
             objective: 0.0,
             seen: 0,
             replacements: 0,
             speculated: 0,
-            contained_worker_panics: 0,
+            recorder: Recorder::detached(),
             progress: None,
             started: Instant::now(),
             config,
@@ -860,6 +913,29 @@ impl<L: LocalityIndex> VasSampler<L> {
         self.progress = Some(sink);
     }
 
+    /// Attaches a shared [`Recorder`]: kernel lanes, accepts/rejects,
+    /// contained panics and checkpoint events count into its registry;
+    /// phase timings and journal events flow to it when enabled. Note that
+    /// [`finalize`](Sampler::finalize) resets the registry's
+    /// build-scoped counters (accepts, rejects, kernel lanes), so a
+    /// registry shared across *concurrent* builds will see those views
+    /// interleave — lifetime counters are unaffected.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Builder-style [`Self::set_recorder`].
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached [`Recorder`] ([`Recorder::detached`] unless one was
+    /// installed).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// The resolved kernel, if the bandwidth has been determined yet.
     pub fn kernel(&self) -> Option<&GaussianKernel> {
         self.kernel.as_ref()
@@ -873,16 +949,26 @@ impl<L: LocalityIndex> VasSampler<L> {
     /// Number of kernel-value lanes evaluated through the batched
     /// [`Kernel::eval_dist2_batch`] path so far (zero when
     /// [`VasConfig::scalar_kernel_path`] is set).
+    ///
+    /// Thin view over the metrics registry (`Counter::CoreKernelLanes`);
+    /// kept for compatibility — new code should read the registry of the
+    /// attached recorder directly.
     pub fn kernel_lanes(&self) -> u64 {
-        self.kernel_lanes
+        self.recorder.registry().get(Counter::CoreKernelLanes)
     }
 
     /// Speculative batches whose worker panicked and were **contained**: the
     /// pre-evaluated buffers were discarded and the batch re-ran on the
     /// reference sequential path, changing no sample bit. Zero in a healthy
     /// run.
+    ///
+    /// Thin view over the metrics registry
+    /// (`Counter::CoreContainedWorkerPanics`); kept for compatibility — new
+    /// code should read the registry of the attached recorder directly.
     pub fn contained_worker_panics(&self) -> u64 {
-        self.contained_worker_panics
+        self.recorder
+            .registry()
+            .get(Counter::CoreContainedWorkerPanics)
     }
 
     /// Current value of the optimization objective.
@@ -1039,6 +1125,32 @@ impl<L: LocalityIndex> VasSampler<L> {
     /// thread while the output stays bit-identical at every thread count
     /// (pinned in `tests/determinism.rs`).
     pub fn observe_chunk(&mut self, chunk: &[Point]) {
+        let replacements_before = self.replacements;
+        let len_before = self.points.len();
+        let was_filling = self.config.k > 0 && len_before < self.config.k;
+        self.observe_chunk_inner(chunk);
+        // Chunk-granularity observability accounting: every point of the
+        // chunk was either a fill, an accepted replacement or a rejection.
+        let accepts = self.replacements - replacements_before;
+        let filled = (self.points.len() - len_before) as u64;
+        self.recorder.inc(Counter::CoreAccepts, accepts);
+        self.recorder.inc(
+            Counter::CoreRejects,
+            (chunk.len() as u64).saturating_sub(filled + accepts),
+        );
+        if was_filling && self.points.len() >= self.config.k {
+            self.recorder.event(
+                "phase_transition",
+                &[
+                    ("from", "fill".into()),
+                    ("to", "candidate".into()),
+                    ("seen", self.seen.into()),
+                ],
+            );
+        }
+    }
+
+    fn observe_chunk_inner(&mut self, chunk: &[Point]) {
         let threads = vas_par::effective_threads(self.config.threads);
         let speculative = threads > 1
             && self.config.strategy == InterchangeStrategy::ExpandShrinkLocality
@@ -1046,8 +1158,29 @@ impl<L: LocalityIndex> VasSampler<L> {
             && self.config.k > 0
             && self.kernel.is_some();
         if !speculative {
-            for p in chunk {
+            let mut rest = chunk;
+            if self.points.len() < self.config.k {
+                let fill = (self.config.k - self.points.len()).min(rest.len());
+                let started = self.recorder.timing_enabled().then(Instant::now);
+                for p in &rest[..fill] {
+                    self.observe(*p);
+                }
+                if let Some(t0) = started {
+                    self.recorder
+                        .record_phase_ns(Phase::Fill, t0.elapsed().as_nanos() as u64);
+                }
+                rest = &rest[fill..];
+            }
+            if rest.is_empty() {
+                return;
+            }
+            let started = self.recorder.timing_enabled().then(Instant::now);
+            for p in rest {
                 self.observe(*p);
+            }
+            if let Some(t0) = started {
+                self.recorder
+                    .record_phase_ns(Phase::CandidateEval, t0.elapsed().as_nanos() as u64);
             }
             return;
         }
@@ -1056,8 +1189,13 @@ impl<L: LocalityIndex> VasSampler<L> {
         // transition) stays sequential: it mutates the index per point.
         if self.points.len() < self.config.k {
             let fill = (self.config.k - self.points.len()).min(rest.len());
+            let started = self.recorder.timing_enabled().then(Instant::now);
             for p in &rest[..fill] {
                 self.observe(*p);
+            }
+            if let Some(t0) = started {
+                self.recorder
+                    .record_phase_ns(Phase::Fill, t0.elapsed().as_nanos() as u64);
             }
             rest = &rest[fill..];
         }
@@ -1082,8 +1220,13 @@ impl<L: LocalityIndex> VasSampler<L> {
             if spacing >= MIN_PRE_EVAL_BATCH as u64 && take >= MIN_PRE_EVAL_BATCH {
                 self.observe_candidates_speculative(batch, threads);
             } else {
+                let started = self.recorder.timing_enabled().then(Instant::now);
                 for p in batch {
                     self.observe(*p);
+                }
+                if let Some(t0) = started {
+                    self.recorder
+                        .record_phase_ns(Phase::CandidateEval, t0.elapsed().as_nanos() as u64);
                 }
             }
             let accepts = self.replacements - before;
@@ -1108,7 +1251,13 @@ impl<L: LocalityIndex> VasSampler<L> {
             // pre-evaluated deltas are exactly what a live Expand would
             // compute now".
             let snapshot = self.replacements;
-            if !self.pre_evaluate(rest, threads) {
+            let started = self.recorder.timing_enabled().then(Instant::now);
+            let pre_eval_ok = self.pre_evaluate(rest, threads);
+            if let Some(t0) = started {
+                self.recorder
+                    .record_phase_ns(Phase::CandidateEval, t0.elapsed().as_nanos() as u64);
+            }
+            if !pre_eval_ok {
                 // A worker panicked mid-fan-out: the pre-evaluated buffers
                 // are unusable (possibly half-written), but the sample, the
                 // index and the stream position are untouched — the fan-out
@@ -1116,15 +1265,25 @@ impl<L: LocalityIndex> VasSampler<L> {
                 // finishing the batch on the reference sequential path,
                 // which is bit-identical to a successful speculation by the
                 // determinism contract.
-                self.contained_worker_panics += 1;
+                self.recorder.inc(Counter::CoreContainedWorkerPanics, 1);
+                let started = self.recorder.timing_enabled().then(Instant::now);
                 for p in rest {
                     self.seen += 1;
                     self.observe_candidate(*p);
                     self.maybe_report_progress();
                 }
+                if let Some(t0) = started {
+                    self.recorder
+                        .record_phase_ns(Phase::AcceptChurn, t0.elapsed().as_nanos() as u64);
+                }
                 return;
             }
+            let started = self.recorder.timing_enabled().then(Instant::now);
             let applied = self.apply_pre_evaluated(rest, snapshot);
+            if let Some(t0) = started {
+                self.recorder
+                    .record_phase_ns(Phase::SpeculationReplay, t0.elapsed().as_nanos() as u64);
+            }
             rest = &rest[applied..];
             if rest.is_empty() {
                 return;
@@ -1136,10 +1295,15 @@ impl<L: LocalityIndex> VasSampler<L> {
             // on the live index directly.
             respeculations += 1;
             if rest.len() < RESPECULATE_MIN_REMAINDER || respeculations > MAX_RESPECULATIONS {
+                let started = self.recorder.timing_enabled().then(Instant::now);
                 for p in rest {
                     self.seen += 1;
                     self.observe_candidate(*p);
                     self.maybe_report_progress();
+                }
+                if let Some(t0) = started {
+                    self.recorder
+                        .record_phase_ns(Phase::AcceptChurn, t0.elapsed().as_nanos() as u64);
                 }
                 return;
             }
@@ -1225,10 +1389,11 @@ impl<L: LocalityIndex> VasSampler<L> {
             return false;
         }
         if !scalar {
-            self.kernel_lanes += self.pre_eval.vals[..workers]
+            let lanes = self.pre_eval.vals[..workers]
                 .iter()
                 .map(|v| v.len() as u64)
                 .sum::<u64>();
+            self.recorder.inc(Counter::CoreKernelLanes, lanes);
         }
         true
     }
@@ -1446,7 +1611,7 @@ impl<L: LocalityIndex> VasSampler<L> {
             }
             vals.resize(k, 0.0);
             kernel.eval_dist2_batch(&gather.dist2, &mut vals);
-            self.kernel_lanes += k as u64;
+            self.recorder.inc(Counter::CoreKernelLanes, k as u64);
             for &v in &vals {
                 cand_rsp += v;
             }
@@ -1535,7 +1700,8 @@ impl<L: LocalityIndex> VasSampler<L> {
             vals.clear();
             vals.resize(gather.len(), 0.0);
             kernel.eval_dist2_batch(&gather.dist2, &mut vals);
-            self.kernel_lanes += gather.len() as u64;
+            self.recorder
+                .inc(Counter::CoreKernelLanes, gather.len() as u64);
             for &v in &vals {
                 cand_rsp += v;
             }
@@ -1769,16 +1935,18 @@ impl<L: LocalityIndex> VasSampler<L> {
         self.tracker_fresh = false;
         self.gather = NeighborBatch::new();
         self.scratch_vals = Vec::new();
-        self.kernel_lanes = 0;
         self.pre_eval = PreEvalScratch::default();
         self.accept_spacing = 0;
         self.objective = 0.0;
         self.seen = 0;
         self.replacements = 0;
         self.speculated = 0;
-        // `contained_worker_panics` deliberately survives the reset: it is
-        // the sampler-lifetime health counter callers inspect *after* a
-        // build to learn whether any speculative batch was poisoned.
+        // Resets the registry's build-scoped counters (accepts, rejects,
+        // kernel lanes). `core_contained_worker_panics` deliberately
+        // survives: it is the sampler-lifetime health counter callers
+        // inspect *after* a build to learn whether any speculative batch
+        // was poisoned.
+        self.recorder.registry().reset_build_counters();
         self.started = Instant::now();
         // Keep the resolved kernel: it describes the data domain, which does
         // not change between passes or reuse on the same table.

@@ -1,0 +1,203 @@
+//! The append-only JSONL event journal.
+//!
+//! One line per event, each a flat JSON object with a monotonic `t_us`
+//! timestamp (microseconds since the journal was opened) and an `event`
+//! kind, e.g.:
+//!
+//! ```text
+//! {"t_us":1523,"event":"checkpoint_write","pass":0,"chunks":8}
+//! {"t_us":1897,"event":"retry","context":"read chunk","attempt":1}
+//! ```
+//!
+//! Appends are best-effort (a full disk must never fail a build) and
+//! mutex-serialized; the journal is attached to a [`crate::Recorder`]
+//! behind an `Arc` and shared by every instrumented layer.
+
+use serde::Value;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A typed journal field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventValue {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Float field.
+    F64(f64),
+    /// String field.
+    Str(String),
+    /// Boolean field.
+    Bool(bool),
+}
+
+impl From<u64> for EventValue {
+    fn from(v: u64) -> Self {
+        EventValue::U64(v)
+    }
+}
+
+impl From<usize> for EventValue {
+    fn from(v: usize) -> Self {
+        EventValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for EventValue {
+    fn from(v: f64) -> Self {
+        EventValue::F64(v)
+    }
+}
+
+impl From<&str> for EventValue {
+    fn from(v: &str) -> Self {
+        EventValue::Str(v.to_string())
+    }
+}
+
+impl From<bool> for EventValue {
+    fn from(v: bool) -> Self {
+        EventValue::Bool(v)
+    }
+}
+
+impl EventValue {
+    fn to_value(&self) -> Value {
+        match self {
+            EventValue::U64(v) => Value::Number(*v as f64),
+            EventValue::F64(v) => Value::Number(*v),
+            EventValue::Str(s) => Value::String(s.clone()),
+            EventValue::Bool(b) => Value::Bool(*b),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Sink {
+    Memory(Vec<String>),
+    File(BufWriter<File>),
+}
+
+/// An append-only JSONL event journal.
+#[derive(Debug)]
+pub struct Journal {
+    start: Instant,
+    sink: Mutex<Sink>,
+}
+
+impl Journal {
+    /// A journal that keeps its lines in memory (tests, the overhead
+    /// harness, and short diagnostic runs).
+    pub fn in_memory() -> Self {
+        Self {
+            start: Instant::now(),
+            sink: Mutex::new(Sink::Memory(Vec::new())),
+        }
+    }
+
+    /// A journal appending to a file at `path` (created/truncated).
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            start: Instant::now(),
+            sink: Mutex::new(Sink::File(BufWriter::new(file))),
+        })
+    }
+
+    /// Appends one event line. `kind` becomes the `event` field; `fields`
+    /// follow in the given order. Best-effort: I/O errors are swallowed.
+    pub fn append(&self, kind: &str, fields: &[(&str, EventValue)]) {
+        let t_us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let mut obj: Vec<(String, Value)> = Vec::with_capacity(fields.len() + 2);
+        obj.push(("t_us".to_string(), Value::Number(t_us as f64)));
+        obj.push(("event".to_string(), Value::String(kind.to_string())));
+        for (k, v) in fields {
+            obj.push((k.to_string(), v.to_value()));
+        }
+        let Ok(line) = serde_json::to_string(&Value::Object(obj)) else {
+            return; // non-finite float field; drop the line, never fail a build
+        };
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        match &mut *sink {
+            Sink::Memory(lines) => lines.push(line),
+            Sink::File(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+
+    /// The lines recorded so far (in-memory journals only; a file-backed
+    /// journal returns an empty vec — read the file instead).
+    pub fn lines(&self) -> Vec<String> {
+        let sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        match &*sink {
+            Sink::Memory(lines) => lines.clone(),
+            Sink::File(_) => Vec::new(),
+        }
+    }
+
+    /// True if any recorded line is an event of `kind`.
+    pub fn contains_event(&self, kind: &str) -> bool {
+        let needle = format!("\"event\":\"{kind}\"");
+        self.lines().iter().any(|l| l.contains(&needle))
+    }
+
+    /// Flushes a file-backed journal to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        match &mut *sink {
+            Sink::Memory(_) => Ok(()),
+            Sink::File(w) => w.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_flat_json_objects_in_order() {
+        let j = Journal::in_memory();
+        j.append(
+            "checkpoint_write",
+            &[("pass", 0u64.into()), ("chunks", 8u64.into())],
+        );
+        j.append(
+            "retry",
+            &[("context", "read chunk".into()), ("attempt", 1u64.into())],
+        );
+        let lines = j.lines();
+        assert_eq!(lines.len(), 2);
+        let first: Value = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(
+            first.get("event"),
+            Some(&Value::String("checkpoint_write".into()))
+        );
+        assert_eq!(first.get("chunks"), Some(&Value::Number(8.0)));
+        assert!(first.get("t_us").is_some());
+        assert!(j.contains_event("retry"));
+        assert!(!j.contains_event("persist_commit"));
+    }
+
+    #[test]
+    fn file_sink_appends_jsonl() {
+        let dir = std::env::temp_dir().join(format!("vas-obs-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let j = Journal::create(&path).unwrap();
+        j.append("persist_commit", &[("samples", 3u64.into())]);
+        j.append("retry", &[]);
+        j.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("event").is_some());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,195 @@
+//! The [`Recorder`] handle every instrumented component records through.
+
+use crate::journal::{EventValue, Journal};
+use crate::registry::{Counter, MetricsRegistry, Phase, ValueSeries};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cheap, cloneable handle bundling a metrics registry, an optional
+/// event journal, and a timing switch.
+///
+/// Components hold a `Recorder` by value. The default is
+/// [`Recorder::detached`]: a private registry, timing **off**, no journal —
+/// counter-backed getters keep working, while the hot path performs zero
+/// `Instant::now` calls and zero I/O (the off-the-data-path rule; see the
+/// crate docs). Attaching a shared registry/journal via
+/// [`Recorder::new`]/[`Recorder::with_journal`]/[`Recorder::with_timing`]
+/// turns on full observability without touching any algorithmic state.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    registry: Arc<MetricsRegistry>,
+    journal: Option<Arc<Journal>>,
+    timing: bool,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::detached()
+    }
+}
+
+impl Recorder {
+    /// The disabled/no-op mode: a fresh private registry, timing off, no
+    /// journal. Counters still accumulate (they back public getters such as
+    /// `VasSampler::kernel_lanes()`), but no wall clock is read and nothing
+    /// is written anywhere.
+    pub fn detached() -> Self {
+        Self {
+            registry: Arc::new(MetricsRegistry::new()),
+            journal: None,
+            timing: false,
+        }
+    }
+
+    /// A recorder over a shared registry (timing still off; enable it with
+    /// [`Recorder::with_timing`]).
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        Self {
+            registry,
+            journal: None,
+            timing: false,
+        }
+    }
+
+    /// Attaches an event journal.
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Enables or disables phase timing (wall-clock reads).
+    pub fn with_timing(mut self, on: bool) -> Self {
+        self.timing = on;
+        self
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// Whether phase timing is enabled.
+    pub fn timing_enabled(&self) -> bool {
+        self.timing
+    }
+
+    /// Adds `n` to `counter`.
+    #[inline]
+    pub fn inc(&self, counter: Counter, n: u64) {
+        self.registry.inc(counter, n);
+    }
+
+    /// Restore-only counter overwrite (checkpoint resume; see
+    /// [`MetricsRegistry::set`]).
+    pub fn set_restored(&self, counter: Counter, value: u64) {
+        self.registry.set(counter, value);
+    }
+
+    /// Records one observation into `series`.
+    #[inline]
+    pub fn record_value(&self, series: ValueSeries, value: u64) {
+        self.registry.record_value(series, value);
+    }
+
+    /// Starts a phase-scoped timer; the elapsed time is recorded when the
+    /// returned guard drops. When timing is disabled this is a true no-op:
+    /// no `Instant::now` call is made on either end.
+    #[inline]
+    pub fn phase(&self, phase: Phase) -> PhaseGuard<'_> {
+        PhaseGuard {
+            recorder: self,
+            phase,
+            start: if self.timing {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Records an explicitly measured phase duration (for call sites that
+    /// manage their own clock, e.g. worker stripes timed off-thread).
+    pub fn record_phase_ns(&self, phase: Phase, ns: u64) {
+        self.registry.record_phase(phase, ns);
+    }
+
+    /// Appends an event to the journal, if one is attached (otherwise a
+    /// no-op — not even the timestamp is read).
+    pub fn event(&self, kind: &str, fields: &[(&str, EventValue)]) {
+        if let Some(journal) = &self.journal {
+            journal.append(kind, fields);
+        }
+    }
+}
+
+/// RAII guard returned by [`Recorder::phase`]; records the elapsed
+/// wall-clock time into the phase's total and latency histogram on drop.
+#[derive(Debug)]
+pub struct PhaseGuard<'a> {
+    recorder: &'a Recorder,
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.recorder.registry.record_phase(self.phase, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_recorder_counts_but_never_times() {
+        let rec = Recorder::detached();
+        rec.inc(Counter::CoreAccepts, 1);
+        {
+            let _g = rec.phase(Phase::Fill);
+        }
+        rec.event("checkpoint_write", &[]);
+        let snap = rec.registry().snapshot();
+        assert_eq!(snap.counter(Counter::CoreAccepts), 1);
+        // Timing off: the phase guard recorded nothing.
+        assert_eq!(snap.phase_calls(Phase::Fill), 0);
+        assert!(rec.journal().is_none());
+    }
+
+    #[test]
+    fn enabled_recorder_times_and_journals() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let journal = Arc::new(Journal::in_memory());
+        let rec = Recorder::new(Arc::clone(&registry))
+            .with_journal(Arc::clone(&journal))
+            .with_timing(true);
+        {
+            let _g = rec.phase(Phase::ChunkDecode);
+            std::hint::black_box(0u64);
+        }
+        rec.event("retry", &[("attempt", 1u64.into())]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.phase_calls(Phase::ChunkDecode), 1);
+        assert!(journal.contains_event("retry"));
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let rec = Recorder::detached();
+        let clone = rec.clone();
+        clone.inc(Counter::StreamChunksDecoded, 2);
+        assert_eq!(
+            rec.registry().get(Counter::StreamChunksDecoded),
+            2,
+            "clone must record into the same registry"
+        );
+    }
+}

@@ -10,6 +10,7 @@
 //! left-to-right evaluation — the property the determinism suite pins.
 
 use std::ops::Range;
+use vas_obs::{Counter, Phase, Recorder};
 
 /// Resolves a requested worker count: `0` means "ask the OS"
 /// ([`std::thread::available_parallelism`]), anything else is taken
@@ -115,8 +116,43 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    par_map_vec_inner(threads, items, f, None)
+}
+
+/// [`par_map_vec_ordered`] with observability: bit-identical results, plus
+/// worker stripes counted into `par_tasks_executed` and timed into the
+/// `worker_task` phase when the recorder has timing enabled.
+pub fn par_map_vec_ordered_recorded<T, R, F>(
+    recorder: &Recorder,
+    threads: usize,
+    items: Vec<T>,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    par_map_vec_inner(threads, items, f, Some(recorder))
+}
+
+fn par_map_vec_inner<T, R, F>(
+    threads: usize,
+    items: Vec<T>,
+    f: F,
+    recorder: Option<&Recorder>,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let ranges = split_ranges(items.len(), effective_threads(threads));
+    if let Some(rec) = recorder {
+        rec.inc(Counter::ParTasksExecuted, ranges.len().max(1) as u64);
+    }
     if ranges.len() <= 1 {
+        let _guard = recorder.map(|rec| rec.phase(Phase::WorkerTask));
         return items
             .into_iter()
             .enumerate()
@@ -131,26 +167,22 @@ where
         stripes.push((range.clone(), tail));
     }
     stripes.reverse();
+    let run_stripe = |range: Range<usize>, stripe: Vec<T>| -> Vec<R> {
+        let _guard = recorder.map(|rec| rec.phase(Phase::WorkerTask));
+        stripe
+            .into_iter()
+            .zip(range)
+            .map(|(t, i)| f(i, t))
+            .collect()
+    };
     let mut per_range: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let f = &f;
+        let run_stripe = &run_stripe;
         let mut stripes = stripes.into_iter();
         let (first_range, first_items) = stripes.next().expect("at least one range");
         let handles: Vec<_> = stripes
-            .map(|(range, stripe)| {
-                scope.spawn(move || {
-                    stripe
-                        .into_iter()
-                        .zip(range)
-                        .map(|(t, i)| f(i, t))
-                        .collect::<Vec<R>>()
-                })
-            })
+            .map(|(range, stripe)| scope.spawn(move || run_stripe(range, stripe)))
             .collect();
-        let first: Vec<R> = first_items
-            .into_iter()
-            .zip(first_range)
-            .map(|(t, i)| f(i, t))
-            .collect();
+        let first: Vec<R> = run_stripe(first_range, first_items);
         let mut out = Vec::with_capacity(1 + handles.len());
         out.push(first);
         for h in handles {
@@ -208,39 +240,78 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    try_par_map_inner(threads, items, f, None)
+}
+
+/// [`try_par_map_ordered`] with observability: identical split, fan-out,
+/// fan-in and panic containment (the result is bit-identical), plus each
+/// worker stripe is counted into `par_tasks_executed`, timed into the
+/// `worker_task` phase (busy-time histogram — utilization is busy time over
+/// wall time) when the recorder has timing enabled, and any contained panic
+/// increments `par_contained_panics`. With a detached recorder the only
+/// extra work is two relaxed counter adds per call.
+pub fn try_par_map_ordered_recorded<T, R, F>(
+    recorder: &Recorder,
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let result = try_par_map_inner(threads, items, f, Some(recorder));
+    if let Err(e) = &result {
+        recorder.inc(Counter::ParContainedPanics, e.panicked_workers as u64);
+    }
+    result
+}
+
+fn try_par_map_inner<T, R, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+    recorder: Option<&Recorder>,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     use std::panic::{catch_unwind, AssertUnwindSafe};
     let ranges = split_ranges(items.len(), effective_threads(threads));
+    if let Some(rec) = recorder {
+        rec.inc(Counter::ParTasksExecuted, ranges.len().max(1) as u64);
+    }
+    // Times one stripe of work; a no-op guard when timing is off or no
+    // recorder is attached (the off-the-data-path rule: observing a stripe
+    // never changes what it computes).
+    let run_stripe = |range: Range<usize>| -> Vec<R> {
+        let _guard = recorder.map(|rec| rec.phase(Phase::WorkerTask));
+        items[range.clone()]
+            .iter()
+            .zip(range)
+            .map(|(t, i)| f(i, t))
+            .collect()
+    };
     if ranges.len() <= 1 {
-        return catch_unwind(AssertUnwindSafe(|| {
-            items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
-        }))
-        .map_err(|_| WorkerPanic {
+        let only = ranges.first().cloned().unwrap_or(0..0);
+        return catch_unwind(AssertUnwindSafe(|| run_stripe(only))).map_err(|_| WorkerPanic {
             panicked_workers: 1,
         });
     }
     let per_range: Vec<Result<Vec<R>, ()>> = std::thread::scope(|scope| {
-        let f = &f;
+        let run_stripe = &run_stripe;
         let handles: Vec<_> = ranges[1..]
             .iter()
             .map(|range| {
                 let range = range.clone();
-                scope.spawn(move || {
-                    items[range.clone()]
-                        .iter()
-                        .zip(range)
-                        .map(|(t, i)| f(i, t))
-                        .collect::<Vec<R>>()
-                })
+                scope.spawn(move || run_stripe(range))
             })
             .collect();
-        let first = catch_unwind(AssertUnwindSafe(|| {
-            items[ranges[0].clone()]
-                .iter()
-                .zip(ranges[0].clone())
-                .map(|(t, i)| f(i, t))
-                .collect::<Vec<R>>()
-        }))
-        .map_err(|_| ());
+        let first =
+            catch_unwind(AssertUnwindSafe(|| run_stripe(ranges[0].clone()))).map_err(|_| ());
         let mut out = Vec::with_capacity(ranges.len());
         out.push(first);
         // Join every handle unconditionally — a poisoned stripe must not
@@ -425,6 +496,45 @@ mod tests {
             let got = try_par_map_ordered(threads, &items, |i, v| v * 7 + i as u64).unwrap();
             assert_eq!(got, reference, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn recorded_variants_match_and_count() {
+        let rec = Recorder::detached().with_timing(true);
+        let items: Vec<u64> = (0..200).collect();
+        for threads in [1usize, 2, 4] {
+            let reference = par_map_ordered(threads, &items, |i, v| v + i as u64);
+            let got =
+                try_par_map_ordered_recorded(&rec, threads, &items, |i, v| v + i as u64).unwrap();
+            assert_eq!(got, reference, "threads {threads}");
+            let got_vec =
+                par_map_vec_ordered_recorded(&rec, threads, items.clone(), |i, v| v + i as u64);
+            assert_eq!(got_vec, reference, "threads {threads}");
+        }
+        let snap = rec.registry().snapshot();
+        assert!(snap.counter(Counter::ParTasksExecuted) >= 6);
+        assert_eq!(snap.counter(Counter::ParContainedPanics), 0);
+        assert!(snap.phase_calls(Phase::WorkerTask) >= 6);
+    }
+
+    #[test]
+    fn recorded_variant_counts_contained_panics() {
+        let rec = Recorder::detached();
+        let items: Vec<u32> = (0..100).collect();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = try_par_map_ordered_recorded(&rec, 4, &items, |_, v| {
+            assert!(*v != 57, "boom");
+            *v
+        })
+        .unwrap_err();
+        std::panic::set_hook(prev);
+        assert_eq!(
+            rec.registry().get(Counter::ParContainedPanics),
+            err.panicked_workers as u64
+        );
+        // Timing off on the detached recorder: no worker-task latencies.
+        assert_eq!(rec.registry().snapshot().phase_calls(Phase::WorkerTask), 0);
     }
 
     #[test]

@@ -40,7 +40,8 @@ pub mod exec;
 pub mod pipeline;
 
 pub use exec::{
-    effective_threads, par_chunk_fold_ordered, par_map_ordered, par_map_vec_ordered, split_ranges,
-    try_par_map_ordered, WorkerPanic,
+    effective_threads, par_chunk_fold_ordered, par_map_ordered, par_map_vec_ordered,
+    par_map_vec_ordered_recorded, split_ranges, try_par_map_ordered, try_par_map_ordered_recorded,
+    WorkerPanic,
 };
 pub use pipeline::{ReadAhead, Stage, Step};

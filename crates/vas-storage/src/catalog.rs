@@ -8,7 +8,9 @@
 //! method that produced it, plus the selection rule "largest sample not
 //! exceeding the budget".
 
+use std::time::Instant;
 use vas_data::Dataset;
+use vas_obs::{Counter, Phase, Recorder};
 use vas_sampling::{Sample, Sampler};
 
 /// A ladder of pre-built samples of increasing size for one dataset
@@ -28,7 +30,23 @@ impl SampleCatalog {
     /// Builds a catalog by running `sampler_factory(k)` for every size in
     /// `sizes` over the same dataset. The factory lets callers choose the
     /// method (uniform, stratified, VAS) and per-size configuration.
-    pub fn build<S, F>(dataset: &Dataset, sizes: &[usize], mut sampler_factory: F) -> Self
+    pub fn build<S, F>(dataset: &Dataset, sizes: &[usize], sampler_factory: F) -> Self
+    where
+        S: Sampler,
+        F: FnMut(usize) -> S,
+    {
+        Self::build_recorded(dataset, sizes, sampler_factory, &Recorder::detached())
+    }
+
+    /// [`build`](Self::build) with a [`Recorder`]: each per-size run counts
+    /// into `storage_catalog_samples_built` and, with timing enabled, feeds
+    /// its wall-clock into the `catalog_build` phase histogram.
+    pub fn build_recorded<S, F>(
+        dataset: &Dataset,
+        sizes: &[usize],
+        mut sampler_factory: F,
+        recorder: &Recorder,
+    ) -> Self
     where
         S: Sampler,
         F: FnMut(usize) -> S,
@@ -36,7 +54,13 @@ impl SampleCatalog {
         let mut catalog = Self::new();
         for &k in sizes {
             let mut sampler = sampler_factory(k);
-            catalog.insert(sampler.sample_dataset(dataset));
+            let started = recorder.timing_enabled().then(Instant::now);
+            let sample = sampler.sample_dataset(dataset);
+            if let Some(t0) = started {
+                recorder.record_phase_ns(Phase::CatalogBuild, t0.elapsed().as_nanos() as u64);
+            }
+            recorder.inc(Counter::StorageCatalogSamplesBuilt, 1);
+            catalog.insert(sample);
         }
         catalog
     }
@@ -55,17 +79,49 @@ impl SampleCatalog {
     pub fn build_parallel<S, F>(
         dataset: &Dataset,
         sizes: &[usize],
-        mut sampler_factory: F,
+        sampler_factory: F,
         threads: usize,
     ) -> Self
     where
         S: Sampler + Send,
         F: FnMut(usize) -> S,
     {
+        Self::build_parallel_recorded(
+            dataset,
+            sizes,
+            sampler_factory,
+            threads,
+            &Recorder::detached(),
+        )
+    }
+
+    /// [`build_parallel`](Self::build_parallel) with a [`Recorder`]: the
+    /// fan-out counts worker tasks into the registry
+    /// ([`vas_par::par_map_vec_ordered_recorded`]), each per-size run counts
+    /// into `storage_catalog_samples_built` and, with timing enabled, feeds
+    /// the `catalog_build` phase histogram.
+    pub fn build_parallel_recorded<S, F>(
+        dataset: &Dataset,
+        sizes: &[usize],
+        mut sampler_factory: F,
+        threads: usize,
+        recorder: &Recorder,
+    ) -> Self
+    where
+        S: Sampler + Send,
+        F: FnMut(usize) -> S,
+    {
         let samplers: Vec<S> = sizes.iter().map(|&k| sampler_factory(k)).collect();
-        let samples = vas_par::par_map_vec_ordered(threads, samplers, |_, mut sampler| {
-            sampler.sample_dataset(dataset)
-        });
+        let samples =
+            vas_par::par_map_vec_ordered_recorded(recorder, threads, samplers, |_, mut sampler| {
+                let started = recorder.timing_enabled().then(Instant::now);
+                let sample = sampler.sample_dataset(dataset);
+                if let Some(t0) = started {
+                    recorder.record_phase_ns(Phase::CatalogBuild, t0.elapsed().as_nanos() as u64);
+                }
+                recorder.inc(Counter::StorageCatalogSamplesBuilt, 1);
+                sample
+            });
         let mut catalog = Self::new();
         for sample in samples {
             catalog.insert(sample);
@@ -218,6 +274,38 @@ mod tests {
                     assert_eq!(p.value.to_bits(), q.value.to_bits(), "threads {threads}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn recorded_builds_count_samples_and_time_the_catalog_phase() {
+        use std::sync::Arc;
+        let d = dataset();
+        let sizes = [100usize, 400, 1_000];
+        let recorder = Recorder::new(Arc::new(vas_obs::MetricsRegistry::new())).with_timing(true);
+        let sequential =
+            SampleCatalog::build_recorded(&d, &sizes, |k| UniformSampler::new(k, 42), &recorder);
+        assert_eq!(
+            recorder.registry().get(Counter::StorageCatalogSamplesBuilt),
+            3
+        );
+        let snap = recorder.registry().snapshot();
+        assert_eq!(snap.phase_calls(Phase::CatalogBuild), 3);
+
+        let parallel = SampleCatalog::build_parallel_recorded(
+            &d,
+            &sizes,
+            |k| UniformSampler::new(k, 42),
+            4,
+            &recorder,
+        );
+        assert_eq!(
+            recorder.registry().get(Counter::StorageCatalogSamplesBuilt),
+            6
+        );
+        assert!(recorder.registry().get(Counter::ParTasksExecuted) > 0);
+        for (a, b) in parallel.samples().iter().zip(sequential.samples()) {
+            assert_eq!(a.points.len(), b.points.len());
         }
     }
 

@@ -24,7 +24,9 @@ use serde::{Deserialize, Serialize};
 use std::fs::{self, File};
 use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 use vas_data::{DatasetKind, Point};
+use vas_obs::{Counter, Phase, Recorder};
 use vas_sampling::Sample;
 use vas_stream::{
     commit_staged, staging_sibling, write_atomic, ChunkedReader, ChunkedWriter, VasError,
@@ -139,7 +141,37 @@ fn write_sample_chunk(target: &Path, sample: &Sample) -> Result<(), VasError> {
 /// the previous manifest referencing the previous (still intact) files,
 /// never a manifest pointing at torn data.
 pub fn save_catalog(catalog: &SampleCatalog, dir: impl AsRef<Path>) -> Result<(), VasError> {
-    let dir = dir.as_ref();
+    save_catalog_recorded(catalog, dir, &Recorder::detached())
+}
+
+/// [`save_catalog`] with a [`Recorder`]: the save's wall-clock feeds the
+/// `persist_save` phase when timing is enabled, and reaching the manifest
+/// commit point counts `storage_persist_commits` and appends a
+/// `persist_commit` journal event.
+pub fn save_catalog_recorded(
+    catalog: &SampleCatalog,
+    dir: impl AsRef<Path>,
+    recorder: &Recorder,
+) -> Result<(), VasError> {
+    let started = recorder.timing_enabled().then(Instant::now);
+    let result = save_catalog_inner(catalog, dir.as_ref());
+    if let Some(t0) = started {
+        recorder.record_phase_ns(Phase::PersistSave, t0.elapsed().as_nanos() as u64);
+    }
+    if result.is_ok() {
+        recorder.inc(Counter::StoragePersistCommits, 1);
+        recorder.event(
+            "persist_commit",
+            &[
+                ("dir", dir.as_ref().display().to_string().as_str().into()),
+                ("samples", (catalog.len() as u64).into()),
+            ],
+        );
+    }
+    result
+}
+
+fn save_catalog_inner(catalog: &SampleCatalog, dir: &Path) -> Result<(), VasError> {
     fs::create_dir_all(dir)
         .map_err(|e| VasError::io(format!("creating catalog dir {}", dir.display()), e))?;
     remove_previous_catalog_files(dir);
@@ -337,6 +369,34 @@ mod tests {
             assert_eq!(a.method, b.method);
             assert_eq!(a.target_size, b.target_size);
         }
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recorded_save_counts_and_journals_the_commit() {
+        use std::sync::Arc;
+        let dir = temp_dir("recorded");
+        let catalog = catalog_with_densities();
+        let journal = Arc::new(vas_obs::Journal::in_memory());
+        let recorder = Recorder::new(Arc::new(vas_obs::MetricsRegistry::new()))
+            .with_journal(Arc::clone(&journal))
+            .with_timing(true);
+        save_catalog_recorded(&catalog, &dir, &recorder).unwrap();
+        assert_eq!(recorder.registry().get(Counter::StoragePersistCommits), 1);
+        assert!(journal.contains_event("persist_commit"));
+        assert_eq!(
+            recorder
+                .registry()
+                .snapshot()
+                .phase_calls(Phase::PersistSave),
+            1
+        );
+
+        // A failed save (unwritable dir) reaches no commit point.
+        let file_as_dir = dir.join("not-a-dir");
+        fs::write(&file_as_dir, b"x").unwrap();
+        assert!(save_catalog_recorded(&catalog, &file_as_dir, &recorder).is_err());
+        assert_eq!(recorder.registry().get(Counter::StoragePersistCommits), 1);
         fs::remove_dir_all(dir).ok();
     }
 

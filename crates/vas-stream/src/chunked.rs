@@ -63,7 +63,9 @@ use crate::source::PointSource;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 use vas_data::{BoundingBox, Dataset, DatasetKind, Point};
+use vas_obs::{Counter, Phase, Recorder};
 
 const MAGIC: [u8; 8] = *b"VASCHNK\0";
 /// Version this build writes.
@@ -347,9 +349,13 @@ pub struct ChunkedReader {
     /// advanced through the sequential chunk reads).
     data_pos: u64,
     policy: CorruptionPolicy,
+    /// Per-scan skip tally — data-path state (the end-of-file accounting
+    /// needs `read + skipped == promised`), cleared by [`Self::reset`]. The
+    /// attached recorder's registry carries the monotonic lifetime totals.
     skipped_points: u64,
     reports: Vec<CorruptChunkReport>,
     col_buf: Vec<u8>,
+    recorder: Recorder,
 }
 
 impl ChunkedReader {
@@ -464,7 +470,17 @@ impl ChunkedReader {
             skipped_points: 0,
             reports: Vec::new(),
             col_buf: Vec::new(),
+            recorder: Recorder::detached(),
         })
+    }
+
+    /// Attaches a shared [`Recorder`]: decoded chunks, CRC failures and
+    /// corruption skips count into its registry, chunk decode latency feeds
+    /// the `chunk_decode` phase when timing is enabled, and skipped chunks
+    /// append `corrupt_chunk_skipped` journal events.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The parsed file header.
@@ -489,12 +505,16 @@ impl ChunkedReader {
     }
 
     /// Corrupt chunks skipped in the current scan (empty under
-    /// [`CorruptionPolicy::Strict`]).
+    /// [`CorruptionPolicy::Strict`]). The attached recorder's registry
+    /// additionally counts lifetime totals across scans
+    /// (`stream_corrupt_chunks_skipped`, `stream_crc_failures`).
     pub fn corruption_reports(&self) -> &[CorruptChunkReport] {
         &self.reports
     }
 
-    /// Points lost to skipped chunks in the current scan.
+    /// Points lost to skipped chunks in the current scan (cleared by
+    /// [`Self::reset`]); `stream_points_skipped` in the attached recorder's
+    /// registry carries the monotonic lifetime total.
     pub fn points_skipped(&self) -> u64 {
         self.skipped_points
     }
@@ -526,6 +546,23 @@ impl ChunkedReader {
     /// (decoded, or skipped under [`CorruptionPolicy::SkipChunks`]) and no
     /// trailing bytes may remain.
     pub fn next_chunk(&mut self, buf: &mut Vec<Point>) -> io::Result<usize> {
+        // Timed manually rather than via a `PhaseGuard`: the guard would
+        // borrow `self.recorder` across the `&mut self` inner call.
+        let started = self.recorder.timing_enabled().then(Instant::now);
+        let result = self.next_chunk_inner(buf);
+        if let Some(t0) = started {
+            self.recorder
+                .record_phase_ns(Phase::ChunkDecode, t0.elapsed().as_nanos() as u64);
+        }
+        if let Ok(m) = &result {
+            if *m > 0 {
+                self.recorder.inc(Counter::StreamChunksDecoded, 1);
+            }
+        }
+        result
+    }
+
+    fn next_chunk_inner(&mut self, buf: &mut Vec<Point>) -> io::Result<usize> {
         loop {
             buf.clear();
             let chunk_offset = self.data_offset + self.data_pos;
@@ -604,6 +641,7 @@ impl ChunkedReader {
             if self.header.version >= 2 {
                 let computed = crc.finish();
                 if computed != stored_crc {
+                    self.recorder.inc(Counter::StreamCrcFailures, 1);
                     match self.policy {
                         CorruptionPolicy::Strict => {
                             return Err(VasError::ChecksumMismatch {
@@ -623,6 +661,15 @@ impl ChunkedReader {
                                 computed_crc: computed,
                             });
                             self.skipped_points += m as u64;
+                            self.recorder.inc(Counter::StreamCorruptChunksSkipped, 1);
+                            self.recorder.inc(Counter::StreamPointsSkipped, m as u64);
+                            self.recorder.event(
+                                "corrupt_chunk_skipped",
+                                &[
+                                    ("chunk_index", self.chunk_index.into()),
+                                    ("points_lost", (m as u64).into()),
+                                ],
+                            );
                             self.chunk_index += 1;
                             continue;
                         }
@@ -984,6 +1031,44 @@ mod tests {
         assert_eq!(reports[0].points_lost, 100);
         assert_eq!(reports[0].byte_offset, second_chunk);
         assert_ne!(reports[0].stored_crc, reports[0].computed_crc);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn recorder_counts_decodes_and_journals_corruption_skips() {
+        use std::sync::Arc;
+        let d = vas_data::GeolifeGenerator::with_size(300, 5).generate();
+        let path = temp_path("recorder.vaschunk");
+        spill_dataset(&d, &path, 100).unwrap();
+        let header_len = (HEADER_FIXED_LEN + d.name.len() + 4) as u64;
+        let second_chunk = header_len + 8 + 2_400;
+        crate::fault::flip_bit_in_file(&path, (second_chunk + 8 + 1_000) * 8 + 3).unwrap();
+
+        let journal = Arc::new(vas_obs::Journal::in_memory());
+        let recorder = Recorder::new(Arc::new(vas_obs::MetricsRegistry::new()))
+            .with_journal(Arc::clone(&journal))
+            .with_timing(true);
+        let mut reader = ChunkedReader::open(&path)
+            .unwrap()
+            .with_corruption_policy(CorruptionPolicy::SkipChunks)
+            .with_recorder(recorder.clone());
+        reader.read_dataset().unwrap();
+
+        let reg = recorder.registry();
+        assert_eq!(reg.get(Counter::StreamChunksDecoded), 2);
+        assert_eq!(reg.get(Counter::StreamCrcFailures), 1);
+        assert_eq!(reg.get(Counter::StreamCorruptChunksSkipped), 1);
+        assert_eq!(reg.get(Counter::StreamPointsSkipped), 100);
+        assert!(journal.contains_event("corrupt_chunk_skipped"));
+        // Timing was enabled, so every next_chunk call fed the decode phase.
+        assert!(reg.snapshot().phase_calls(Phase::ChunkDecode) >= 3);
+
+        // A second scan keeps accumulating lifetime totals while the
+        // per-scan view resets.
+        reader.reset().unwrap();
+        reader.read_dataset().unwrap();
+        assert_eq!(reader.points_skipped(), 100, "per-scan view");
+        assert_eq!(reg.get(Counter::StreamPointsSkipped), 200, "lifetime");
         std::fs::remove_file(path).ok();
     }
 

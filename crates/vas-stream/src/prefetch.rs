@@ -23,7 +23,9 @@
 
 use crate::source::PointSource;
 use std::io;
+use std::time::Instant;
 use vas_data::{DatasetKind, Point};
+use vas_obs::{Phase, Recorder, ValueSeries};
 use vas_par::{ReadAhead, Stage, Step};
 
 /// Default read-ahead depth (produced chunks that may wait ahead of the
@@ -44,6 +46,7 @@ pub struct PrefetchSource {
     kind: DatasetKind,
     len_hint: Option<u64>,
     chunk_capacity: usize,
+    recorder: Recorder,
 }
 
 /// The worker-side stage, type-erased so `PrefetchSource` itself needs no
@@ -92,7 +95,17 @@ impl PrefetchSource {
             kind,
             len_hint,
             chunk_capacity,
+            recorder: Recorder::detached(),
         }
+    }
+
+    /// Attaches a shared [`Recorder`]: with timing enabled, each receive
+    /// records how long the consumer waited for the worker (`prefetch_wait`)
+    /// and samples the read-ahead channel occupancy into the
+    /// `read_ahead_occupancy` series.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 }
 
@@ -115,7 +128,15 @@ impl PointSource for PrefetchSource {
 
     fn next_chunk(&mut self, buf: &mut Vec<Point>) -> io::Result<usize> {
         buf.clear();
-        match self.ahead.recv()? {
+        self.recorder
+            .record_value(ValueSeries::ReadAheadOccupancy, self.ahead.occupancy());
+        let started = self.recorder.timing_enabled().then(Instant::now);
+        let received = self.ahead.recv();
+        if let Some(t0) = started {
+            self.recorder
+                .record_phase_ns(Phase::PrefetchWait, t0.elapsed().as_nanos() as u64);
+        }
+        match received? {
             Some(mut chunk) => {
                 // Swap the produced chunk in and hand the consumer's spent
                 // buffer back to the worker for reuse.

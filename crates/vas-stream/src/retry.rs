@@ -18,6 +18,7 @@ use crate::source::PointSource;
 use std::io;
 use std::time::Duration;
 use vas_data::{DatasetKind, Point};
+use vas_obs::{Counter, Recorder};
 
 /// Retry budget and backoff for [`RetryingSource`].
 #[derive(Debug, Clone)]
@@ -56,8 +57,7 @@ impl RetryPolicy {
 pub struct RetryingSource<S> {
     inner: S,
     policy: RetryPolicy,
-    retries: u64,
-    exhausted: u64,
+    recorder: Recorder,
 }
 
 impl<S: PointSource> RetryingSource<S> {
@@ -66,19 +66,37 @@ impl<S: PointSource> RetryingSource<S> {
         Self {
             inner,
             policy,
-            retries: 0,
-            exhausted: 0,
+            recorder: Recorder::detached(),
         }
     }
 
+    /// Attaches a shared [`Recorder`]: absorbed/exhausted retries count
+    /// into its registry (`stream_retries_absorbed` /
+    /// `stream_retries_exhausted`) and each absorbed transient appends a
+    /// `retry` event to its journal.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Total transient errors absorbed (across all calls).
+    ///
+    /// Thin view over the metrics registry
+    /// (`Counter::StreamRetriesAbsorbed`); kept for compatibility — new
+    /// code should read the registry of the attached recorder directly.
     pub fn retries(&self) -> u64 {
-        self.retries
+        self.recorder.registry().get(Counter::StreamRetriesAbsorbed)
     }
 
     /// Calls that failed even after the full retry budget.
+    ///
+    /// Thin view over the metrics registry
+    /// (`Counter::StreamRetriesExhausted`); kept for compatibility — new
+    /// code should read the registry of the attached recorder directly.
     pub fn exhausted(&self) -> u64 {
-        self.exhausted
+        self.recorder
+            .registry()
+            .get(Counter::StreamRetriesExhausted)
     }
 
     /// Unwraps the inner source.
@@ -97,7 +115,14 @@ impl<S: PointSource> RetryingSource<S> {
                 Ok(v) => return Ok(v),
                 Err(e) if io_error_is_transient(&e) => {
                     if attempt >= self.policy.max_retries {
-                        self.exhausted += 1;
+                        self.recorder.inc(Counter::StreamRetriesExhausted, 1);
+                        self.recorder.event(
+                            "retries_exhausted",
+                            &[
+                                ("context", context.into()),
+                                ("attempts", u64::from(attempt + 1).into()),
+                            ],
+                        );
                         return Err(VasError::RetriesExhausted {
                             context: format!("{context} on source {:?}", self.inner.name()),
                             attempts: attempt + 1,
@@ -106,7 +131,14 @@ impl<S: PointSource> RetryingSource<S> {
                         .into());
                     }
                     attempt += 1;
-                    self.retries += 1;
+                    self.recorder.inc(Counter::StreamRetriesAbsorbed, 1);
+                    self.recorder.event(
+                        "retry",
+                        &[
+                            ("context", context.into()),
+                            ("attempt", u64::from(attempt).into()),
+                        ],
+                    );
                     if !self.policy.backoff_step.is_zero() {
                         std::thread::sleep(self.policy.backoff_step * attempt);
                     }
@@ -176,6 +208,31 @@ mod tests {
         PointSource::reset(&mut src).unwrap();
         let again = src.read_all().unwrap();
         assert_eq!(again.len(), clean.len());
+    }
+
+    #[test]
+    fn attached_recorder_journals_each_absorbed_retry() {
+        use std::sync::Arc;
+        let d = vas_data::GeolifeGenerator::with_size(3_000, 5).generate();
+        let faulty = FaultInjectorSource::new(
+            DatasetSource::with_chunk_size(&d, 256),
+            FaultPlan::transient(7, 2, 2),
+        );
+        let journal = Arc::new(vas_obs::Journal::in_memory());
+        let recorder = Recorder::new(Arc::new(vas_obs::MetricsRegistry::new()))
+            .with_journal(Arc::clone(&journal));
+        let mut src =
+            RetryingSource::new(faulty, RetryPolicy::immediate(3)).with_recorder(recorder.clone());
+        src.read_all().unwrap();
+        let absorbed = recorder.registry().get(Counter::StreamRetriesAbsorbed);
+        assert!(absorbed > 0);
+        assert_eq!(src.retries(), absorbed, "getter is a thin registry view");
+        let retry_lines = journal
+            .lines()
+            .iter()
+            .filter(|l| l.contains("\"event\":\"retry\""))
+            .count();
+        assert_eq!(retry_lines as u64, absorbed);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`spatial`] | the `LocalityIndex` trait with R-tree, k-d tree and spatial-hash backends, plus grid substrates |
 //! | [`sampling`] | the [`Sampler`](sampling::Sampler) trait and the uniform / stratified baselines |
 //! | [`core`] | the VAS objective, the Interchange algorithm, density embedding |
+//! | [`obs`] | observability: typed counters, phase timers, latency histograms, event journal, JSON/Prometheus exporters |
 //! | [`par`] | deterministic parallel substrate: scoped ordered fan-out/fan-in, background pipeline stage |
 //! | [`exact`] | exact (branch-and-bound) solvers for small instances |
 //! | [`eval`] | Monte-Carlo loss, log-loss-ratio, Spearman correlation |
@@ -54,6 +55,7 @@ pub use vas_core as core;
 pub use vas_data as data;
 pub use vas_eval as eval;
 pub use vas_exact as exact;
+pub use vas_obs as obs;
 pub use vas_par as par;
 pub use vas_sampling as sampling;
 pub use vas_spatial as spatial;
@@ -75,6 +77,7 @@ pub mod prelude {
     };
     pub use vas_eval::{visual_similarity, LossConfig, LossEstimator, SimilarityConfig};
     pub use vas_exact::ExactSolver;
+    pub use vas_obs::{Counter, Journal, MetricsRegistry, MetricsSnapshot, Phase, Recorder};
     pub use vas_sampling::{
         PoissonDiskSampler, Sample, Sampler, StratifiedSampler, UniformSampler,
     };

@@ -457,6 +457,74 @@ fn kill_and_resume_is_bit_identical_per_backend_and_thread_count() {
 }
 
 #[test]
+fn instrumented_build_is_bit_identical_to_the_uninstrumented_build() {
+    // The PR 8 contract: observability is off the data path. A build with a
+    // fully attached recorder — live registry, event journal, phase timers,
+    // instrumented reader and prefetch pipeline — must reproduce the
+    // detached-recorder build bit-for-bit, on every locality backend at 1, 2
+    // and 4 worker threads. The kernel bandwidth is left unset so the
+    // ε-resolution pre-pass streams through the instrumented stack too.
+    let data = GeolifeGenerator::with_size(10_000, 21).generate();
+    let path = std::env::temp_dir().join(format!(
+        "vas-determinism-obs-{}.vaschunk",
+        std::process::id()
+    ));
+    spill_dataset(&data, &path, 1_024).unwrap();
+
+    for backend in LocalityBackend::ALL {
+        let base = VasConfig::new(300).with_locality_backend(backend);
+        for threads in [1usize, 2, 4] {
+            let config = base.clone().with_threads(threads);
+            let uninstrumented = {
+                let reader = ChunkedReader::open(&path).unwrap();
+                let mut source = vas::stream::PrefetchSource::new(reader);
+                VasSampler::new(config.clone())
+                    .build_from_source(&mut source)
+                    .unwrap()
+            };
+            let registry = std::sync::Arc::new(MetricsRegistry::new());
+            let journal = std::sync::Arc::new(Journal::in_memory());
+            let recorder = Recorder::new(std::sync::Arc::clone(&registry))
+                .with_journal(std::sync::Arc::clone(&journal))
+                .with_timing(true);
+            let instrumented = {
+                let reader = ChunkedReader::open(&path)
+                    .unwrap()
+                    .with_recorder(recorder.clone());
+                let mut source =
+                    vas::stream::PrefetchSource::new(reader).with_recorder(recorder.clone());
+                VasSampler::new(config)
+                    .with_recorder(recorder.clone())
+                    .build_from_source(&mut source)
+                    .unwrap()
+            };
+            assert_points_bitwise_equal(
+                &instrumented.points,
+                &uninstrumented.points,
+                &format!("instrumented vs uninstrumented build ({backend}, {threads} threads)"),
+            );
+            // The instrumentation must actually have been live. Build-scoped
+            // counters (accepts, rejects) reset when `finalize` ends the
+            // build, so the liveness probes are lifetime metrics: chunk
+            // decodes and the candidate-phase call histogram.
+            assert!(
+                registry.get(Counter::StreamChunksDecoded) > 0,
+                "no chunk decodes recorded ({backend}, {threads} threads)"
+            );
+            assert!(
+                registry.snapshot().phase_calls(Phase::CandidateEval) > 0,
+                "no candidate-phase timings recorded ({backend}, {threads} threads)"
+            );
+            assert!(
+                !journal.lines().is_empty(),
+                "journal is empty ({backend}, {threads} threads)"
+            );
+        }
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn retried_transient_faults_leave_the_sample_bits_unchanged() {
     // Fault tolerance must not cost determinism: a build whose source fails
     // transiently (and is retried) must equal the fault-free build exactly.
