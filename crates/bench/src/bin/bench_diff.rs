@@ -1,0 +1,122 @@
+//! `bench_diff` — the perf-regression sentinel over the BENCH artifacts.
+//!
+//! Compares two generations of `results/BENCH_*.json` artifacts — a
+//! committed baseline directory against a freshly produced one — using the
+//! tolerance bands in [`bench::diff`]: booleans gate strictly, ratio metrics
+//! (`*_ratio`, `*speedup*`, `*overhead*`) gate beyond a relative tolerance
+//! band plus an absolute slack floor, and machine-dependent absolutes stay
+//! informational unless `--gate-absolute`. Writes the verdict to
+//! `results/BENCH_regressions.json` (or `--out`) and exits non-zero when any
+//! gated metric regressed, so CI fails the job.
+//!
+//! ```text
+//! bench_diff --baseline <dir> --current <dir> [--tolerance 0.25]
+//!            [--gate-absolute] [--out results/BENCH_regressions.json]
+//! ```
+
+use bench::diff::{diff_dirs, report_to_value, DiffConfig, FileDiff};
+use bench::{display_path, results_dir};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff --baseline <dir> --current <dir> \
+         [--tolerance F] [--gate-absolute] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut cfg = DiffConfig::default();
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--current" => {
+                i += 1;
+                current = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--out" => {
+                i += 1;
+                out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--tolerance" => {
+                i += 1;
+                let raw = args.get(i).map(String::as_str).unwrap_or("");
+                match raw.parse::<f64>() {
+                    Ok(t) if t >= 0.0 && t.is_finite() => cfg.tolerance = t,
+                    _ => {
+                        eprintln!("--tolerance needs a non-negative number, got {raw:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--gate-absolute" => cfg.gate_absolute = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        usage();
+    };
+    if !baseline.is_dir() {
+        eprintln!("--baseline {} is not a directory", baseline.display());
+        std::process::exit(2);
+    }
+
+    let diffs: Vec<FileDiff> = match diff_dirs(&baseline, &current, &cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_diff: cannot scan {}: {e}", baseline.display());
+            std::process::exit(2);
+        }
+    };
+    if diffs.is_empty() {
+        eprintln!(
+            "bench_diff: no BENCH_*.json artifacts under {} — nothing to gate",
+            baseline.display()
+        );
+        std::process::exit(2);
+    }
+
+    let report = report_to_value(&diffs, &cfg);
+    let out_path = out.unwrap_or_else(|| results_dir().join("BENCH_regressions.json"));
+    if let Some(parent) = out_path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serialize regression report");
+    std::fs::write(&out_path, json).expect("write regression report");
+
+    let total: usize = diffs.iter().map(|d| d.regressions.len()).sum();
+    for d in &diffs {
+        if d.regressions.is_empty() {
+            eprintln!(
+                "[bench_diff] {}: ok ({} metrics compared)",
+                d.file, d.compared
+            );
+        } else {
+            for r in &d.regressions {
+                let path = if r.path.is_empty() { "<file>" } else { &r.path };
+                eprintln!("[bench_diff] {}: REGRESSION {path}: {}", d.file, r.detail);
+            }
+        }
+    }
+    eprintln!(
+        "[bench_diff] {} file(s) compared, {total} regression(s); report at {}",
+        diffs.len(),
+        display_path(&out_path)
+    );
+    if total > 0 {
+        std::process::exit(1);
+    }
+}

@@ -25,11 +25,18 @@
 //!
 //! Usage:
 //! ```text
-//! fault_matrix [--smoke] [--n <points>] [--k <K>] [--chunk-size <points>]
+//! fault_matrix [--smoke] [--n <points>] [--k <K>] [--chunk-size <points>] [--obs]
 //! ```
+//!
+//! With `--obs` a fifth scenario runs the fault path fully instrumented:
+//! a retried build with counters + timers + journal + spans + flight ring
+//! attached must stay bit-identical and yield a valid causal trace, and a
+//! fatal injected fault must fire the flight recorder's post-mortem dump.
+//! The summary lands in an `obs` section of `BENCH_faults.json`.
 
-use bench::{bitwise_eq, emit, results_dir, ReportTable};
-use serde::Serialize;
+use bench::obs::{validate_build_trace, ObsBundle};
+use bench::{bitwise_eq, display_path, emit, results_dir, ReportTable};
+use serde::{Serialize, Value};
 use std::path::{Path, PathBuf};
 use vas_core::{BuildOutcome, CheckpointPolicy, LocalityBackend, VasConfig, VasSampler};
 use vas_data::GeolifeGenerator;
@@ -297,9 +304,102 @@ fn run_panic_scenario(spill: &Path, config: &VasConfig, reference: &Sample) -> (
     }
 }
 
+/// Scenario 5 (`--obs`): the fully instrumented fault path. A retried build
+/// with the whole observability stack attached must stay bit-identical and
+/// yield a valid causal trace, and a fatal injected fault must make the
+/// flight recorder write its post-mortem dump. Returns the `obs` section for
+/// `BENCH_faults.json` and the pass flag.
+fn run_obs_scenario(spill: &Path, config: &VasConfig, reference: &Sample) -> (Value, bool) {
+    let bundle = ObsBundle::new();
+    let dump_path = results_dir().join("flight_fault_matrix.jsonl");
+    std::fs::remove_file(&dump_path).ok();
+    bundle.flight.set_dump_path(&dump_path);
+
+    // The instrumented retried build: every stage reports into the bundle.
+    let reader = ChunkedReader::open(spill)
+        .expect("open spill")
+        .with_recorder(bundle.recorder.clone());
+    let injector = FaultInjectorSource::new(reader, FaultPlan::transient(SEED, 3, 2));
+    let mut source = RetryingSource::new(injector, RetryPolicy::immediate(5))
+        .with_recorder(bundle.recorder.clone());
+    let result = VasSampler::new(config.clone())
+        .with_recorder(bundle.recorder.clone())
+        .build_from_source(&mut source);
+    let bit_identical = match result {
+        Ok(sample) => {
+            let identical = bitwise_eq(&sample.points, &reference.points);
+            if !identical {
+                eprintln!("[fault_matrix] FAIL: instrumented retried build diverged");
+            }
+            identical
+        }
+        Err(e) => {
+            eprintln!("[fault_matrix] FAIL: instrumented retried build errored: {e}");
+            false
+        }
+    };
+    let trace_path = results_dir().join("trace_fault_matrix.json");
+    let trace_json = bundle
+        .write_trace(&trace_path)
+        .expect("write trace artifact");
+    let trace_valid = match validate_build_trace(&trace_json) {
+        Ok(check) => {
+            eprintln!(
+                "[fault_matrix] obs: trace valid ({} spans, {} worker spans) at {}",
+                check.spans,
+                check.worker_spans,
+                trace_path.display()
+            );
+            true
+        }
+        Err(reason) => {
+            eprintln!("[fault_matrix] FAIL: invalid build trace: {reason}");
+            false
+        }
+    };
+
+    // A fatal injected fault must fail the build AND fire the flight
+    // recorder's post-mortem dump.
+    let reader = ChunkedReader::open(spill)
+        .expect("open spill")
+        .with_recorder(bundle.recorder.clone());
+    let injector = FaultInjectorSource::new(reader, FaultPlan::fatal_after(2));
+    let mut source = RetryingSource::new(injector, RetryPolicy::immediate(5))
+        .with_recorder(bundle.recorder.clone());
+    let fatal_result = VasSampler::new(config.clone())
+        .with_recorder(bundle.recorder.clone())
+        .build_from_source(&mut source);
+    let flight_dumped = fatal_result.is_err() && bundle.flight.dumps() > 0 && dump_path.is_file();
+    if !flight_dumped {
+        eprintln!(
+            "[fault_matrix] FAIL: the fatal fault did not produce a flight-recorder dump \
+             (errored = {}, dumps = {})",
+            fatal_result.is_err(),
+            bundle.flight.dumps()
+        );
+    }
+
+    let mut section = bundle.section_value();
+    if let Value::Object(fields) = &mut section {
+        fields.push(("bit_identical".to_string(), Value::Bool(bit_identical)));
+        fields.push(("trace_valid".to_string(), Value::Bool(trace_valid)));
+        fields.push(("flight_dumped".to_string(), Value::Bool(flight_dumped)));
+        fields.push((
+            "flight_dump".to_string(),
+            Value::String(display_path(&dump_path)),
+        ));
+        fields.push((
+            "trace".to_string(),
+            Value::String(display_path(&trace_path)),
+        ));
+    }
+    (section, bit_identical && trace_valid && flight_dumped)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let obs = args.iter().any(|a| a == "--obs");
     let (mut n, mut k, mut chunk_size) = if smoke {
         (20_000usize, 200usize, 1_024usize)
     } else {
@@ -308,7 +408,7 @@ fn main() {
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
-            "--smoke" => {}
+            "--smoke" | "--obs" => {}
             "--n" | "--k" | "--chunk-size" => {
                 let flag = args[i].clone();
                 i += 1;
@@ -328,7 +428,7 @@ fn main() {
             unknown => {
                 eprintln!(
                     "unknown argument {unknown}; usage: fault_matrix [--smoke] [--n <points>] \
-                     [--k <K>] [--chunk-size <points>]"
+                     [--k <K>] [--chunk-size <points>] [--obs]"
                 );
                 std::process::exit(2);
             }
@@ -368,6 +468,21 @@ fn main() {
     let (contained, panic_contained) =
         run_panic_scenario(&spill, &base.clone().with_threads(2), &parallel_reference);
 
+    // Scenario 5 (`--obs`): the instrumented fault path + flight recorder.
+    // Uses threads = 2 so the trace carries cross-thread worker spans, and
+    // the parallel reference for the bit-identity check.
+    let obs_result = if obs {
+        eprintln!("[fault_matrix] scenario 5: instrumented faults + flight recorder");
+        Some(run_obs_scenario(
+            &spill,
+            &base.clone().with_threads(2),
+            &parallel_reference,
+        ))
+    } else {
+        None
+    };
+    let obs_passed = obs_result.as_ref().map(|(_, ok)| *ok).unwrap_or(true);
+
     std::fs::remove_file(&spill).ok();
 
     let all_passed = transient_recovered
@@ -375,7 +490,8 @@ fn main() {
         && crc_detected
         && crc_skip_mode_reports
         && recovery_bit_identical
-        && panic_contained;
+        && panic_contained
+        && obs_passed;
 
     let mut table = ReportTable::new(
         format!("Fault matrix ({mode}: n = {n}, K = {k}, chunk = {chunk_size})"),
@@ -415,6 +531,13 @@ fn main() {
         format!("{contained} contained worker panic(s)"),
         yn(panic_contained),
     ]);
+    if obs_result.is_some() {
+        table.push_row(vec![
+            "obs + flight recorder".into(),
+            "instrumented faults traced, fatal dump written".into(),
+            yn(obs_passed),
+        ]);
+    }
     emit("fault_matrix", &[table]);
 
     let report = FaultReport {
@@ -438,6 +561,18 @@ fn main() {
     };
     let path = results_dir().join("BENCH_faults.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize fault report");
+    // Graft the optional `--obs` section onto the serialized report, so the
+    // artifact schema only grows when the instrumented scenario actually ran.
+    let json = match obs_result {
+        Some((section, _)) => {
+            let mut root: Value = serde_json::from_str(&json).expect("reparse fault report");
+            if let Value::Object(fields) = &mut root {
+                fields.push(("obs".to_string(), section));
+            }
+            serde_json::to_string_pretty(&root).expect("serialize fault report with obs")
+        }
+        None => json,
+    };
     write_atomic(&path, json.as_bytes()).expect("write BENCH_faults.json");
     eprintln!("[machine-readable report written to {}]", path.display());
 

@@ -61,6 +61,7 @@
 //!   pre-evaluation sweep.
 //! * `--obs`      — run only the observability overhead gate (see above).
 
+use bench::obs::{validate_build_trace, ObsBundle};
 use bench::{
     bitwise_eq, emit, fmt3, merge_parallel_section, parse_threads_list, results_dir, ReportTable,
     TimingStats,
@@ -73,7 +74,7 @@ use vas_core::{
     VasSampler,
 };
 use vas_data::{Dataset, GaussianMixtureGenerator, Point};
-use vas_obs::{export, Counter, Journal, MetricsRegistry, Phase, Recorder};
+use vas_obs::{export, Counter, Phase, Recorder};
 use vas_sampling::Sampler;
 use vas_spatial::{AnyLocalityIndex, LocalityBackend, LocalityIndex};
 use vas_stream::{
@@ -521,6 +522,9 @@ struct ObsReport {
     overhead_ok: bool,
     bit_identical: bool,
     exporters_round_trip: bool,
+    trace_valid: bool,
+    trace_spans: usize,
+    trace_worker_spans: usize,
     journal_events: ObsJournalEvents,
     journal_lines: usize,
     counters: ObsCounterSample,
@@ -566,14 +570,14 @@ fn run_obs_phase(data: &Dataset, k: usize, epsilon: f64, mode: &str) {
             .points
     };
 
-    // One journaled, fully instrumented registry shared by the halted build,
-    // the resume and a full build, so the journal carries every event kind
-    // the gate requires.
-    let registry = Arc::new(MetricsRegistry::new());
-    let journal = Arc::new(Journal::in_memory());
-    let recorder = Recorder::new(Arc::clone(&registry))
-        .with_journal(Arc::clone(&journal))
-        .with_timing(true);
+    // One journaled, fully instrumented bundle (counters + timers + journal
+    // + tracer + flight recorder) shared by the halted build, the resume and
+    // a full build, so the journal carries every event kind the gate
+    // requires and the tracer sees every causal tree.
+    let bundle = ObsBundle::new();
+    let registry = Arc::clone(&bundle.registry);
+    let journal = Arc::clone(&bundle.journal);
+    let recorder = bundle.recorder.clone();
 
     eprintln!("[fig10_inner_loop] obs phase: journaled halt/resume build (chunk = {OBS_CHUNK})");
     let halted = {
@@ -610,7 +614,46 @@ fn run_obs_phase(data: &Dataset, k: usize, epsilon: f64, mode: &str) {
     eprintln!("[fig10_inner_loop] obs phase: instrumented vs no-op reference builds");
     let instrumented = build(&recorder);
     let noop = build(&Recorder::detached());
-    let bit_identical = bitwise_eq(&instrumented, &noop) && bitwise_eq(&instrumented, &resumed);
+
+    // A dedicated traced build with the speculative pre-eval front on
+    // (threads = 2) so the exported causal tree contains cross-thread
+    // `worker_task` spans — the tracing acceptance shape CI validates.
+    eprintln!("[fig10_inner_loop] obs phase: traced build (threads = 2) for the trace artifact");
+    let trace_bundle = ObsBundle::new();
+    let traced = {
+        let mut source = make_source(&trace_bundle.recorder);
+        let mut sampler =
+            VasSampler::new(config().with_threads(2)).with_recorder(trace_bundle.recorder.clone());
+        sampler
+            .build_from_source(&mut source)
+            .expect("traced obs build")
+            .points
+    };
+    let trace_path = results_dir().join("trace_build.json");
+    let trace_json = trace_bundle
+        .write_trace(&trace_path)
+        .expect("write build trace");
+    let (trace_valid, trace_spans, trace_worker_spans) = match validate_build_trace(&trace_json) {
+        Ok(check) => {
+            eprintln!(
+                "[fig10_inner_loop] obs phase: trace valid ({} spans, {} worker spans, \
+                 {} threads) at {}",
+                check.spans,
+                check.worker_spans,
+                check.threads,
+                trace_path.display()
+            );
+            (true, check.spans, check.worker_spans)
+        }
+        Err(reason) => {
+            eprintln!("[fig10_inner_loop] obs phase: trace INVALID: {reason}");
+            (false, 0, 0)
+        }
+    };
+
+    let bit_identical = bitwise_eq(&instrumented, &noop)
+        && bitwise_eq(&instrumented, &resumed)
+        && bitwise_eq(&instrumented, &traced);
 
     let journal_events = ObsJournalEvents {
         checkpoint_write: journal.contains_event("checkpoint_write"),
@@ -643,9 +686,10 @@ fn run_obs_phase(data: &Dataset, k: usize, epsilon: f64, mode: &str) {
             stats.time(|| std::hint::black_box(build(&detached)));
         };
         let time_instr = |stats: &mut TimingStats| {
-            let timed = Recorder::new(Arc::new(MetricsRegistry::new()))
-                .with_journal(Arc::new(Journal::in_memory()))
-                .with_timing(true);
+            // The maximal configuration: counters + timers + journal AND
+            // span recording + flight ring, so the ceiling covers the whole
+            // causal layer too.
+            let timed = ObsBundle::new().recorder;
             stats.time(|| std::hint::black_box(build(&timed)));
         };
         if rep % 2 == 0 {
@@ -730,6 +774,9 @@ fn run_obs_phase(data: &Dataset, k: usize, epsilon: f64, mode: &str) {
         overhead_ok,
         bit_identical,
         exporters_round_trip,
+        trace_valid,
+        trace_spans,
+        trace_worker_spans,
         journal_events: journal_events.clone(),
         journal_lines,
         counters,
@@ -758,6 +805,13 @@ fn run_obs_phase(data: &Dataset, k: usize, epsilon: f64, mode: &str) {
     }
     if !exporters_round_trip {
         eprintln!("[fig10_inner_loop] FAIL: an exporter did not round-trip the snapshot");
+        failed = true;
+    }
+    if !trace_valid {
+        eprintln!(
+            "[fig10_inner_loop] FAIL: the traced build did not produce a valid causal tree \
+             (see the trace INVALID line above)"
+        );
         failed = true;
     }
     if !overhead_ok {

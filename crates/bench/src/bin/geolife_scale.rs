@@ -37,23 +37,30 @@
 //! Usage:
 //! ```text
 //! geolife_scale [--smoke] [--n <points>] [--k <K>] [--chunk-size <points>]
-//!               [--threads t1,t2,...] [--keep-spill]
+//!               [--threads t1,t2,...] [--keep-spill] [--obs]
 //! ```
 //! * `--smoke`      — CI-sized run (60K points, K = 500) + in-memory
 //!   verification.
 //! * `--n`, `--k`, `--chunk-size` — override the workload shape.
 //! * `--threads`    — comma-separated thread counts to sweep (e.g. `1,2,4`).
 //! * `--keep-spill` — leave the spill file on disk for inspection.
+//! * `--obs`        — add a fully instrumented pass (counters + timers +
+//!   journal + spans + flight ring) over the same spill, assert it
+//!   bit-identical to the baseline, export a validated Chrome-trace
+//!   artifact, and graft an `obs` section onto `BENCH_streaming.json`.
 
+use bench::obs::{validate_build_trace, ObsBundle};
 use bench::{
-    bitwise_eq, emit, fmt3, merge_parallel_section, parse_threads_list, results_dir, ReportTable,
+    bitwise_eq, display_path, emit, fmt3, merge_parallel_section, parse_threads_list, results_dir,
+    ReportTable,
 };
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::path::Path;
 use std::time::Instant;
 use vas_core::{GaussianKernel, Kernel, VasConfig, VasSampler};
 use vas_data::{GeolifeGenerator, Point};
 use vas_eval::{LossConfig, LossEstimator};
+use vas_obs::Recorder;
 use vas_stream::{
     ChunkedReader, ChunkedWriter, GeolifeSource, PointSource, PrefetchSource, TrackingSource,
     DEFAULT_PREFETCH_DEPTH,
@@ -146,7 +153,9 @@ struct ParallelSection {
 
 /// Streams the spill through the sampler once. `threads` drives the
 /// speculative pre-evaluation front; `prefetch` wraps the reader in the
-/// read-ahead stage. Returns the measured report and the sample points.
+/// read-ahead stage; `recorder` instruments every stage (pass
+/// [`Recorder::detached`] for the measured runs). Returns the measured
+/// report and the sample points.
 fn run_sampler(
     spill_path: &Path,
     n: u64,
@@ -154,10 +163,13 @@ fn run_sampler(
     epsilon: f64,
     threads: usize,
     prefetch: bool,
+    recorder: Recorder,
 ) -> (SamplerReport, Vec<Point>) {
-    let reader = ChunkedReader::open(spill_path).expect("open spill");
+    let reader = ChunkedReader::open(spill_path)
+        .expect("open spill")
+        .with_recorder(recorder.clone());
     let source: Box<dyn PointSource + Send> = if prefetch {
-        Box::new(PrefetchSource::new(reader))
+        Box::new(PrefetchSource::new(reader).with_recorder(recorder.clone()))
     } else {
         Box::new(reader)
     };
@@ -166,7 +178,8 @@ fn run_sampler(
         VasConfig::new(k)
             .with_epsilon(epsilon)
             .with_threads(threads),
-    );
+    )
+    .with_recorder(recorder);
     let start = Instant::now();
     let sample = sampler
         .build_from_source(&mut tracked)
@@ -197,6 +210,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let keep_spill = args.iter().any(|a| a == "--keep-spill");
+    let obs = args.iter().any(|a| a == "--obs");
     let (mut n, mut k, mut chunk_size) = if smoke {
         (60_000u64, 500usize, 4_096usize)
     } else {
@@ -206,7 +220,7 @@ fn main() {
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
-            "--smoke" | "--keep-spill" => {}
+            "--smoke" | "--keep-spill" | "--obs" => {}
             "--threads" => {
                 i += 1;
                 let value = args.get(i).map(String::as_str).unwrap_or("");
@@ -237,7 +251,8 @@ fn main() {
             unknown => {
                 eprintln!(
                     "unknown argument {unknown}; usage: geolife_scale [--smoke] [--n <points>] \
-                     [--k <K>] [--chunk-size <points>] [--threads t1,t2,...] [--keep-spill]"
+                     [--k <K>] [--chunk-size <points>] [--threads t1,t2,...] [--keep-spill] \
+                     [--obs]"
                 );
                 std::process::exit(2);
             }
@@ -292,7 +307,8 @@ fn main() {
         GaussianKernel::for_bounds(&reader.header().bounds).bandwidth()
     };
     eprintln!("[geolife_scale] sampling: K = {k}, epsilon = {epsilon:.6}");
-    let (sampler_report, sample_points) = run_sampler(&spill_path, n, k, epsilon, 1, false);
+    let (sampler_report, sample_points) =
+        run_sampler(&spill_path, n, k, epsilon, 1, false, Recorder::detached());
     eprintln!(
         "[geolife_scale] sampler: {} tuples/s over {} tuples",
         fmt3(sampler_report.tuples_per_sec),
@@ -324,12 +340,60 @@ fn main() {
                 peak_resident,
                 bound,
                 Some(false),
+                None,
             );
             eprintln!("[geolife_scale] FAIL: streaming sample differs from the in-memory build");
             std::process::exit(1);
         }
         eprintln!("[geolife_scale] smoke: streaming sample is bit-identical to build()");
         Some(true)
+    } else {
+        None
+    };
+
+    // ---- Observability pass (`--obs`): the fully instrumented pipeline
+    // (counters + timers + journal + tracer + flight ring) over the same
+    // spill with the speculative front and read-ahead on, asserted
+    // bit-identical to the baseline sample and exporting a validated
+    // Chrome-trace artifact. ----
+    let obs_section = if obs {
+        eprintln!("[geolife_scale] obs: fully instrumented pass (threads = 2, prefetch on)");
+        let bundle = ObsBundle::new();
+        let (obs_report, obs_points) =
+            run_sampler(&spill_path, n, k, epsilon, 2, true, bundle.recorder.clone());
+        if !bitwise_eq(&obs_points, &sample_points) {
+            eprintln!("[geolife_scale] FAIL: the instrumented pass diverged from the baseline");
+            std::process::exit(1);
+        }
+        let trace_path = results_dir().join("trace_geolife_scale.json");
+        let trace_json = bundle
+            .write_trace(&trace_path)
+            .expect("write trace artifact");
+        match validate_build_trace(&trace_json) {
+            Ok(check) => eprintln!(
+                "[geolife_scale] obs: trace valid ({} spans, {} worker spans) at {}",
+                check.spans,
+                check.worker_spans,
+                trace_path.display()
+            ),
+            Err(reason) => {
+                eprintln!("[geolife_scale] FAIL: invalid build trace: {reason}");
+                std::process::exit(1);
+            }
+        }
+        let mut section = bundle.section_value();
+        if let Value::Object(fields) = &mut section {
+            fields.push((
+                "instrumented_secs".to_string(),
+                Value::Number(obs_report.secs),
+            ));
+            fields.push(("bit_identical".to_string(), Value::Bool(true)));
+            fields.push((
+                "trace".to_string(),
+                Value::String(display_path(&trace_path)),
+            ));
+        }
+        Some(section)
     } else {
         None
     };
@@ -365,6 +429,7 @@ fn main() {
         peak_resident,
         bound,
         streaming_matches_in_memory,
+        obs_section,
     );
 }
 
@@ -398,7 +463,15 @@ fn run_parallel_sweep(
                 "pre-eval"
             };
             eprintln!("[geolife_scale] sweep: {label}, threads = {threads}");
-            let (report, points) = run_sampler(spill_path, n, k, epsilon, threads, prefetch);
+            let (report, points) = run_sampler(
+                spill_path,
+                n,
+                k,
+                epsilon,
+                threads,
+                prefetch,
+                Recorder::detached(),
+            );
             assert!(
                 report.peak_resident_points <= sweep_bound,
                 "sweep peak resident {} exceeded bound {sweep_bound}",
@@ -538,6 +611,7 @@ fn emit_report(
     peak_resident: u64,
     bound: u64,
     streaming_matches_in_memory: Option<bool>,
+    obs_section: Option<Value>,
 ) {
     let mut table = ReportTable::new(
         format!("Out-of-core Geolife pipeline ({mode}: n = {n}, K = {k}, chunk = {chunk_size})"),
@@ -587,6 +661,18 @@ fn emit_report(
     };
     let path = results_dir().join("BENCH_streaming.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize streaming report");
+    // Graft the optional `--obs` section onto the serialized report, so the
+    // artifact schema only grows when the instrumented pass actually ran.
+    let json = match obs_section {
+        Some(section) => {
+            let mut root: Value = serde_json::from_str(&json).expect("reparse streaming report");
+            if let Value::Object(fields) = &mut root {
+                fields.push(("obs".to_string(), section));
+            }
+            serde_json::to_string_pretty(&root).expect("serialize streaming report with obs")
+        }
+        None => json,
+    };
     std::fs::write(&path, json).expect("write BENCH_streaming.json");
     eprintln!("[machine-readable report written to {}]", path.display());
 }

@@ -8,6 +8,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diff;
+pub mod obs;
 pub mod timing;
 
 pub use timing::{bitwise_eq, min_secs_of, TimingStats};

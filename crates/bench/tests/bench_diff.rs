@@ -1,0 +1,148 @@
+//! End-to-end tests of the `bench_diff` regression sentinel binary: the
+//! acceptance criterion is that a synthetic regressed artifact makes the
+//! process exit non-zero and name the offending metric in
+//! `BENCH_regressions.json`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+struct TempDirs {
+    root: PathBuf,
+}
+
+impl TempDirs {
+    fn new(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("vas-bench-diff-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&root).ok();
+        fs::create_dir_all(root.join("baseline")).unwrap();
+        fs::create_dir_all(root.join("current")).unwrap();
+        Self { root }
+    }
+
+    fn baseline(&self) -> PathBuf {
+        self.root.join("baseline")
+    }
+
+    fn current(&self) -> PathBuf {
+        self.root.join("current")
+    }
+
+    fn out(&self) -> PathBuf {
+        self.root.join("BENCH_regressions.json")
+    }
+}
+
+impl Drop for TempDirs {
+    fn drop(&mut self) {
+        fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+fn write(dir: &Path, name: &str, json: &str) {
+    fs::write(dir.join(name), json).unwrap();
+}
+
+fn run(dirs: &TempDirs, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .arg("--baseline")
+        .arg(dirs.baseline())
+        .arg("--current")
+        .arg(dirs.current())
+        .arg("--out")
+        .arg(dirs.out())
+        .args(extra)
+        .output()
+        .expect("run bench_diff")
+}
+
+#[test]
+fn identical_generations_pass_with_zero_exit() {
+    let dirs = TempDirs::new("ok");
+    let artifact = r#"{"bench":"x","overhead_ratio":0.01,"overhead_ok":true,"secs":2.0}"#;
+    write(&dirs.baseline(), "BENCH_x.json", artifact);
+    write(&dirs.current(), "BENCH_x.json", artifact);
+    let out = run(&dirs, &[]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: serde::Value =
+        serde_json::from_str(&fs::read_to_string(dirs.out()).unwrap()).unwrap();
+    assert_eq!(report.get("ok"), Some(&serde::Value::Bool(true)));
+    assert_eq!(
+        report.get("total_regressions"),
+        Some(&serde::Value::Number(0.0))
+    );
+}
+
+#[test]
+fn synthetic_regression_exits_non_zero_and_names_the_metric() {
+    let dirs = TempDirs::new("regressed");
+    write(
+        &dirs.baseline(),
+        "BENCH_x.json",
+        r#"{"bit_identical":true,"overhead_ratio":0.01,"overhead_ok":true}"#,
+    );
+    // Two regressions: the boolean gate flips and the overhead ratio blows
+    // far past tolerance + slack.
+    write(
+        &dirs.current(),
+        "BENCH_x.json",
+        r#"{"bit_identical":false,"overhead_ratio":0.40,"overhead_ok":true}"#,
+    );
+    let out = run(&dirs, &[]);
+    assert_eq!(out.status.code(), Some(1), "expected the gate to fail");
+    let report: serde::Value =
+        serde_json::from_str(&fs::read_to_string(dirs.out()).unwrap()).unwrap();
+    assert_eq!(report.get("ok"), Some(&serde::Value::Bool(false)));
+    assert_eq!(
+        report.get("total_regressions"),
+        Some(&serde::Value::Number(2.0))
+    );
+    let text = fs::read_to_string(dirs.out()).unwrap();
+    assert!(text.contains("bit_identical"));
+    assert!(text.contains("overhead_ratio"));
+}
+
+#[test]
+fn missing_current_artifact_fails_the_gate() {
+    let dirs = TempDirs::new("missing");
+    write(&dirs.baseline(), "BENCH_gone.json", r#"{"ok":true}"#);
+    let out = run(&dirs, &[]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = fs::read_to_string(dirs.out()).unwrap();
+    assert!(text.contains("missing or unparseable"));
+}
+
+#[test]
+fn tolerance_flag_widens_the_band() {
+    let dirs = TempDirs::new("tolerance");
+    write(&dirs.baseline(), "BENCH_x.json", r#"{"speedup_vs_1":2.0}"#);
+    write(&dirs.current(), "BENCH_x.json", r#"{"speedup_vs_1":1.2}"#);
+    // A 40% drop regresses under the default 25% band...
+    let out = run(&dirs, &[]);
+    assert_eq!(out.status.code(), Some(1));
+    // ...but passes when the caller asks for a 50% band.
+    let out = run(&dirs, &["--tolerance", "0.5"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn bad_usage_exits_with_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .arg("--baseline")
+        .output()
+        .expect("run bench_diff");
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .output()
+        .expect("run bench_diff");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -756,8 +756,9 @@ impl VasSampler {
         policy: &CheckpointPolicy,
     ) -> Result<BuildOutcome, VasError> {
         if self.kernel.is_none() {
-            source.reset().map_err(VasError::from)?;
-            let stats = vas_stream::scan_stats(source).map_err(VasError::from)?;
+            source.reset().map_err(|e| self.fatal(VasError::from(e)))?;
+            let stats =
+                vas_stream::scan_stats(source).map_err(|e| self.fatal(VasError::from(e)))?;
             self.install_kernel(GaussianKernel::for_bounds(&stats.bounds));
         }
         self.run_checkpointed(source, policy, 0, 0)
@@ -807,27 +808,34 @@ impl VasSampler {
         start_pass: u64,
         start_chunks: u64,
     ) -> Result<BuildOutcome, VasError> {
+        let mut root = self.recorder.root_span("build_checkpointed");
+        root.attr("start_pass", start_pass);
+        root.attr("start_chunks", start_chunks);
         let passes = self.config.passes.max(1) as u64;
         let source_name = source.name().to_string();
         let chunk_capacity = source.chunk_capacity() as u64;
         let mut buf = Vec::new();
         let mut halted_after = 0u64;
         for pass in start_pass..passes {
-            source.reset().map_err(VasError::from)?;
+            source.reset().map_err(|e| self.fatal(VasError::from(e)))?;
             let skip = if pass == start_pass { start_chunks } else { 0 };
             let mut chunk_index = 0u64;
             while chunk_index < skip {
-                let n = source.next_chunk(&mut buf).map_err(VasError::from)?;
+                let n = source
+                    .next_chunk(&mut buf)
+                    .map_err(|e| self.fatal(VasError::from(e)))?;
                 if n == 0 {
-                    return Err(VasError::Mismatch {
+                    return Err(self.fatal(VasError::Mismatch {
                         expected: format!("at least {skip} chunks in source {source_name:?}"),
                         found: format!("{chunk_index} chunks"),
-                    });
+                    }));
                 }
                 chunk_index += 1;
             }
             loop {
-                let n = source.next_chunk(&mut buf).map_err(VasError::from)?;
+                let n = source
+                    .next_chunk(&mut buf)
+                    .map_err(|e| self.fatal(VasError::from(e)))?;
                 if n == 0 {
                     break;
                 }
@@ -985,6 +993,9 @@ impl<L: LocalityIndex> VasSampler<L> {
     /// final sample. Multi-pass runs continue improving the same sample, as
     /// the paper does when more processing time is available.
     pub fn build(&mut self, dataset: &Dataset) -> Sample {
+        let mut root = self.recorder.root_span("build");
+        root.attr("n", dataset.len());
+        root.attr("k", self.config.k);
         if self.kernel.is_none() {
             self.install_kernel(GaussianKernel::for_dataset(dataset));
         }
@@ -1015,19 +1026,41 @@ impl<L: LocalityIndex> VasSampler<L> {
         &mut self,
         source: &mut S,
     ) -> Result<Sample, VasError> {
+        // A *root* span: besides heading the causal tree, it becomes the
+        // tracer's ambient parent so decode spans recorded on the read-ahead
+        // pipeline thread (spawned before this call) still land under the
+        // build.
+        let mut root = self.recorder.root_span("build_from_source");
+        root.attr("k", self.config.k);
+        root.attr("passes", self.config.passes.max(1));
         if self.kernel.is_none() {
-            source.reset().map_err(VasError::from)?;
-            let stats = vas_stream::scan_stats(source).map_err(VasError::from)?;
+            source.reset().map_err(|e| self.fatal(VasError::from(e)))?;
+            let stats =
+                vas_stream::scan_stats(source).map_err(|e| self.fatal(VasError::from(e)))?;
             self.install_kernel(GaussianKernel::for_bounds(&stats.bounds));
         }
         let mut buf = Vec::new();
         for _ in 0..self.config.passes.max(1) {
-            source.reset().map_err(VasError::from)?;
-            while source.next_chunk(&mut buf).map_err(VasError::from)? > 0 {
+            source.reset().map_err(|e| self.fatal(VasError::from(e)))?;
+            while source
+                .next_chunk(&mut buf)
+                .map_err(|e| self.fatal(VasError::from(e)))?
+                > 0
+            {
                 self.observe_chunk(&buf);
             }
         }
         Ok(self.finalize())
+    }
+
+    /// Marks a build-fatal error on the observability side — journals a
+    /// `fatal` event and dumps the flight recorder's ring to its post-mortem
+    /// file, if one is attached — then hands the error back unchanged.
+    /// Purely observational: the error value and the sampler state are
+    /// untouched.
+    fn fatal(&self, err: VasError) -> VasError {
+        let _ = self.recorder.fatal(&err.to_string());
+        err
     }
 
     /// Streaming counterpart of
@@ -1039,18 +1072,26 @@ impl<L: LocalityIndex> VasSampler<L> {
         source: &mut S,
         max_passes: usize,
     ) -> Result<(Sample, usize), VasError> {
+        let mut root = self.recorder.root_span("build_from_source_until_converged");
+        root.attr("k", self.config.k);
+        root.attr("max_passes", max_passes);
         if self.kernel.is_none() {
-            source.reset().map_err(VasError::from)?;
-            let stats = vas_stream::scan_stats(source).map_err(VasError::from)?;
+            source.reset().map_err(|e| self.fatal(VasError::from(e)))?;
+            let stats =
+                vas_stream::scan_stats(source).map_err(|e| self.fatal(VasError::from(e)))?;
             self.install_kernel(GaussianKernel::for_bounds(&stats.bounds));
         }
         let mut buf = Vec::new();
         let mut passes = 0usize;
         loop {
             let before = self.replacements;
-            source.reset().map_err(VasError::from)?;
+            source.reset().map_err(|e| self.fatal(VasError::from(e)))?;
             let mut streamed = 0u64;
-            while source.next_chunk(&mut buf).map_err(VasError::from)? > 0 {
+            while source
+                .next_chunk(&mut buf)
+                .map_err(|e| self.fatal(VasError::from(e)))?
+                > 0
+            {
                 streamed += buf.len() as u64;
                 self.observe_chunk(&buf);
             }
@@ -1081,6 +1122,9 @@ impl<L: LocalityIndex> VasSampler<L> {
         dataset: &Dataset,
         max_passes: usize,
     ) -> (Sample, usize) {
+        let mut root = self.recorder.root_span("build_until_converged");
+        root.attr("n", dataset.len());
+        root.attr("max_passes", max_passes);
         if self.kernel.is_none() {
             self.install_kernel(GaussianKernel::for_dataset(dataset));
         }
@@ -1125,6 +1169,8 @@ impl<L: LocalityIndex> VasSampler<L> {
     /// thread while the output stays bit-identical at every thread count
     /// (pinned in `tests/determinism.rs`).
     pub fn observe_chunk(&mut self, chunk: &[Point]) {
+        let mut span = self.recorder.span("observe_chunk");
+        span.attr("chunk_len", chunk.len());
         let replacements_before = self.replacements;
         let len_before = self.points.len();
         let was_filling = self.config.k > 0 && len_before < self.config.k;
@@ -1162,8 +1208,11 @@ impl<L: LocalityIndex> VasSampler<L> {
             if self.points.len() < self.config.k {
                 let fill = (self.config.k - self.points.len()).min(rest.len());
                 let started = self.recorder.timing_enabled().then(Instant::now);
-                for p in &rest[..fill] {
-                    self.observe(*p);
+                {
+                    let _span = self.recorder.span("fill");
+                    for p in &rest[..fill] {
+                        self.observe(*p);
+                    }
                 }
                 if let Some(t0) = started {
                     self.recorder
@@ -1175,8 +1224,11 @@ impl<L: LocalityIndex> VasSampler<L> {
                 return;
             }
             let started = self.recorder.timing_enabled().then(Instant::now);
-            for p in rest {
-                self.observe(*p);
+            {
+                let _span = self.recorder.span("candidate_eval");
+                for p in rest {
+                    self.observe(*p);
+                }
             }
             if let Some(t0) = started {
                 self.recorder
@@ -1190,8 +1242,11 @@ impl<L: LocalityIndex> VasSampler<L> {
         if self.points.len() < self.config.k {
             let fill = (self.config.k - self.points.len()).min(rest.len());
             let started = self.recorder.timing_enabled().then(Instant::now);
-            for p in &rest[..fill] {
-                self.observe(*p);
+            {
+                let _span = self.recorder.span("fill");
+                for p in &rest[..fill] {
+                    self.observe(*p);
+                }
             }
             if let Some(t0) = started {
                 self.recorder
@@ -1221,8 +1276,11 @@ impl<L: LocalityIndex> VasSampler<L> {
                 self.observe_candidates_speculative(batch, threads);
             } else {
                 let started = self.recorder.timing_enabled().then(Instant::now);
-                for p in batch {
-                    self.observe(*p);
+                {
+                    let _span = self.recorder.span("candidate_eval");
+                    for p in batch {
+                        self.observe(*p);
+                    }
                 }
                 if let Some(t0) = started {
                     self.recorder
@@ -1252,7 +1310,11 @@ impl<L: LocalityIndex> VasSampler<L> {
             // compute now".
             let snapshot = self.replacements;
             let started = self.recorder.timing_enabled().then(Instant::now);
-            let pre_eval_ok = self.pre_evaluate(rest, threads);
+            let pre_eval_ok = {
+                let mut span = self.recorder.span("candidate_eval");
+                span.attr("batch_len", rest.len());
+                self.pre_evaluate(rest, threads)
+            };
             if let Some(t0) = started {
                 self.recorder
                     .record_phase_ns(Phase::CandidateEval, t0.elapsed().as_nanos() as u64);
@@ -1266,11 +1328,18 @@ impl<L: LocalityIndex> VasSampler<L> {
                 // which is bit-identical to a successful speculation by the
                 // determinism contract.
                 self.recorder.inc(Counter::CoreContainedWorkerPanics, 1);
+                // A contained panic is the flight recorder's moment: dump
+                // the recent span/event ring before degrading, so the
+                // post-mortem shows what led up to the poisoned fan-out.
+                let _ = self.recorder.fatal("contained_worker_panic");
                 let started = self.recorder.timing_enabled().then(Instant::now);
-                for p in rest {
-                    self.seen += 1;
-                    self.observe_candidate(*p);
-                    self.maybe_report_progress();
+                {
+                    let _span = self.recorder.span("accept_churn");
+                    for p in rest {
+                        self.seen += 1;
+                        self.observe_candidate(*p);
+                        self.maybe_report_progress();
+                    }
                 }
                 if let Some(t0) = started {
                     self.recorder
@@ -1279,7 +1348,10 @@ impl<L: LocalityIndex> VasSampler<L> {
                 return;
             }
             let started = self.recorder.timing_enabled().then(Instant::now);
-            let applied = self.apply_pre_evaluated(rest, snapshot);
+            let applied = {
+                let _span = self.recorder.span("speculation_replay");
+                self.apply_pre_evaluated(rest, snapshot)
+            };
             if let Some(t0) = started {
                 self.recorder
                     .record_phase_ns(Phase::SpeculationReplay, t0.elapsed().as_nanos() as u64);
@@ -1296,10 +1368,13 @@ impl<L: LocalityIndex> VasSampler<L> {
             respeculations += 1;
             if rest.len() < RESPECULATE_MIN_REMAINDER || respeculations > MAX_RESPECULATIONS {
                 let started = self.recorder.timing_enabled().then(Instant::now);
-                for p in rest {
-                    self.seen += 1;
-                    self.observe_candidate(*p);
-                    self.maybe_report_progress();
+                {
+                    let _span = self.recorder.span("accept_churn");
+                    for p in rest {
+                        self.seen += 1;
+                        self.observe_candidate(*p);
+                        self.maybe_report_progress();
+                    }
                 }
                 if let Some(t0) = started {
                     self.recorder
@@ -1331,6 +1406,12 @@ impl<L: LocalityIndex> VasSampler<L> {
         self.pre_eval.ensure_workers(workers);
         self.pre_eval.ranges.clear();
         self.pre_eval.ranges.extend(ranges.iter().cloned());
+        // Cross-thread span propagation: capture the consuming thread's
+        // open span (the batch's candidate_eval span) before the fan-out so
+        // every worker-task span parents under it. Both are `None`/inert
+        // without an attached tracer.
+        let span_parent = self.recorder.current_ctx();
+        let worker_recorder = self.recorder.clone();
         // Split the borrows: workers share the frozen index (`&L` is
         // `Sync`) and each owns one disjoint output buffer set.
         let Self {
@@ -1358,7 +1439,11 @@ impl<L: LocalityIndex> VasSampler<L> {
             for (range, ((ids, vals), (meta, gather))) in stripes {
                 let stripe = &candidates[range];
                 let worker_injects = std::mem::take(&mut inject_in_spawned);
+                let rec = worker_recorder.clone();
                 handles.push(scope.spawn(move || {
+                    let mut span = rec.span_under("worker_task", span_parent);
+                    span.attr("site", "pre_eval");
+                    span.attr("stripe_len", stripe.len());
                     if worker_injects {
                         panic!("injected speculation fault (batch {batch_index})");
                     }
@@ -1372,6 +1457,9 @@ impl<L: LocalityIndex> VasSampler<L> {
             // workers are still running.
             let (range, ((ids, vals), (meta, gather))) = first;
             let stripe = &candidates[range];
+            let mut span = worker_recorder.span_under("worker_task", span_parent);
+            span.attr("site", "pre_eval");
+            span.attr("stripe_len", stripe.len());
             let own = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if inject_panic && workers == 1 {
                     panic!("injected speculation fault (batch {batch_index})");
@@ -1380,6 +1468,7 @@ impl<L: LocalityIndex> VasSampler<L> {
                     index, kernel, cutoff, scalar, stripe, ids, vals, meta, gather,
                 );
             }));
+            drop(span);
             poisoned |= own.is_err();
             for h in handles {
                 poisoned |= h.join().is_err();

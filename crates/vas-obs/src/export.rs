@@ -234,6 +234,11 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
                         .strip_prefix('"')
                         .and_then(|v| v.strip_suffix('"'))
                         .ok_or_else(|| format!("unquoted label value {pair:?}"))?;
+                    if v.contains('"') {
+                        // Escaped/embedded quotes are outside the supported
+                        // subset; fail loudly instead of mis-splitting.
+                        return Err(format!("unsupported escape in label value {pair:?}"));
+                    }
                     labels.push((k.to_string(), v.to_string()));
                 }
                 (name.to_string(), labels)
@@ -329,6 +334,46 @@ mod tests {
         assert!(parse_prometheus("vas_x_total abc").is_err());
         assert!(parse_prometheus("vas_x{quantile=\"0.5\" 1").is_err());
         assert!(parse_prometheus("vas_x{quantile=0.5} 1").is_err());
+    }
+
+    #[test]
+    fn prometheus_parser_handles_nan_and_infinite_values() {
+        // Prometheus exposition uses `NaN`, `+Inf` and `-Inf` as sample
+        // values; the parser must carry them through as f64 specials
+        // instead of erroring on a foreign scrape.
+        let samples =
+            parse_prometheus("vas_a_total NaN\nvas_b_total +Inf\nvas_c_total -Inf\n").unwrap();
+        assert!(samples[0].value.is_nan());
+        assert_eq!(samples[1].value, f64::INFINITY);
+        assert_eq!(samples[2].value, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn prometheus_comment_lines_need_no_escaping() {
+        // HELP/TYPE comments are skipped wholesale, so arbitrary help text
+        // (quotes, braces, backslashes) cannot corrupt the sample stream.
+        let text = "# HELP vas_x weird \"quotes\" {braces} and \\ backslashes\n\
+                    # TYPE vas_x counter\n\
+                    vas_x 1\n";
+        let samples = parse_prometheus(text).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].name, "vas_x");
+        assert_eq!(samples[0].value, 1.0);
+    }
+
+    #[test]
+    fn prometheus_label_values_reject_unsupported_escapes() {
+        // The exporter only emits numeric quantile labels. The parser
+        // accepts any plainly quoted value (spaces, equals signs after the
+        // first)...
+        let ok = parse_prometheus("vas_x{quantile=\"0.5\",job=\"a b\"} 1").unwrap();
+        assert_eq!(ok[0].labels[1], ("job".to_string(), "a b".to_string()));
+        // ...and label values that would need escape handling (embedded
+        // comma, unterminated quote, embedded brace) fail the parse rather
+        // than silently mis-splitting.
+        assert!(parse_prometheus("vas_x{job=\"a,b\"} 1").is_err());
+        assert!(parse_prometheus("vas_x{job=\"a} 1").is_err());
+        assert!(parse_prometheus("vas_x{job=\"a\"b\"} 1").is_err());
     }
 
     #[test]

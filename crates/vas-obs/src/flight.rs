@@ -1,0 +1,292 @@
+//! Crash flight recorder: a bounded ring of the most recent spans and
+//! events, dumped to a post-mortem file when a fatal error path or a
+//! contained worker panic fires.
+//!
+//! The journal ([`crate::Journal`]) keeps *everything* in memory until
+//! flushed; the flight recorder keeps only the last `capacity` lines but
+//! survives to tell the story when a run dies — the observability analogue
+//! of PR 7's crash-safe sampling. Lines are pre-rendered JSONL at note
+//! time, so a dump is a plain sequential write with no serialization work
+//! on the fatal path.
+
+use serde::Value;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::journal::EventValue;
+use crate::trace::SpanRecord;
+
+/// Default bound on the number of lines the ring retains.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 512;
+
+/// Bounded ring buffer of recent observability lines with a post-mortem
+/// dump path. Shared behind an `Arc` by [`crate::Recorder::with_flight`].
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    epoch: Instant,
+    ring: Mutex<VecDeque<String>>,
+    dump_path: Mutex<Option<PathBuf>>,
+    dumps: AtomicU64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightRecorder {
+    /// A flight recorder with the default ring capacity and no dump path.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// A flight recorder retaining at most `capacity` lines.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+            ring: Mutex::new(VecDeque::new()),
+            dump_path: Mutex::new(None),
+            dumps: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the file the ring is written to on [`FlightRecorder::dump`].
+    pub fn set_dump_path(&self, path: impl Into<PathBuf>) {
+        *self.dump_path.lock().unwrap_or_else(|e| e.into_inner()) = Some(path.into());
+    }
+
+    /// Number of lines currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing has been noted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many post-mortem dumps have been written.
+    pub fn dumps(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the retained lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    fn push_line(&self, line: String) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(line);
+    }
+
+    /// Notes a finished span into the ring.
+    pub fn note_span(&self, span: &SpanRecord) {
+        let mut obj: Vec<(String, Value)> = vec![
+            ("kind".to_string(), Value::String("span".to_string())),
+            ("name".to_string(), Value::String(span.name.clone())),
+            ("span_id".to_string(), Value::Number(span.id as f64)),
+            ("thread".to_string(), Value::Number(span.thread as f64)),
+            ("start_us".to_string(), Value::Number(span.start_us as f64)),
+            ("dur_us".to_string(), Value::Number(span.dur_us as f64)),
+        ];
+        if let Some(parent) = span.parent {
+            obj.insert(3, ("parent_id".to_string(), Value::Number(parent as f64)));
+        }
+        for (k, v) in &span.attrs {
+            obj.push((k.clone(), Value::String(v.clone())));
+        }
+        if let Ok(line) = serde_json::to_string(&Value::Object(obj)) {
+            self.push_line(line);
+        }
+    }
+
+    /// Notes a journal-style event into the ring.
+    pub fn note_event(&self, event: &str, fields: &[(&str, EventValue)]) {
+        let t_us = self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let mut obj: Vec<(String, Value)> = vec![
+            ("kind".to_string(), Value::String("event".to_string())),
+            ("t_us".to_string(), Value::Number(t_us as f64)),
+            ("event".to_string(), Value::String(event.to_string())),
+        ];
+        for (k, v) in fields {
+            let value = match v {
+                EventValue::U64(n) => Value::Number(*n as f64),
+                EventValue::F64(f) => {
+                    if !f.is_finite() {
+                        continue;
+                    }
+                    Value::Number(*f)
+                }
+                EventValue::Str(s) => Value::String(s.clone()),
+                EventValue::Bool(b) => Value::Bool(*b),
+            };
+            obj.push(((*k).to_string(), value));
+        }
+        if let Ok(line) = serde_json::to_string(&Value::Object(obj)) {
+            self.push_line(line);
+        }
+    }
+
+    /// Writes the ring to the configured dump path as JSONL, preceded by a
+    /// header line carrying `reason` and a dump sequence number. Returns
+    /// the path written, or `None` when no dump path is configured.
+    /// Old contents are preserved on re-dump by suffixing `.N` from the
+    /// second dump onward.
+    pub fn dump(&self, reason: &str) -> Option<PathBuf> {
+        let base = self
+            .dump_path
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()?;
+        let seq = self.dumps.fetch_add(1, Ordering::Relaxed);
+        let path = if seq == 0 {
+            base
+        } else {
+            let mut name = base.as_os_str().to_os_string();
+            name.push(format!(".{seq}"));
+            PathBuf::from(name)
+        };
+        let header = Value::Object(vec![
+            ("kind".to_string(), Value::String("flight_dump".to_string())),
+            ("reason".to_string(), Value::String(reason.to_string())),
+            ("seq".to_string(), Value::Number(seq as f64)),
+            (
+                "t_us".to_string(),
+                Value::Number(self.epoch.elapsed().as_micros().min(u64::MAX as u128) as f64),
+            ),
+        ]);
+        let mut out = serde_json::to_string(&header).unwrap_or_default();
+        out.push('\n');
+        for line in self.lines() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, out) {
+            Ok(()) => Some(path),
+            Err(_) => None,
+        }
+    }
+
+    /// Like [`FlightRecorder::dump`] but to an explicit path, ignoring the
+    /// configured one.
+    pub fn dump_to(&self, path: &Path, reason: &str) -> std::io::Result<()> {
+        self.set_dump_path_if_unset(path);
+        let header = Value::Object(vec![
+            ("kind".to_string(), Value::String("flight_dump".to_string())),
+            ("reason".to_string(), Value::String(reason.to_string())),
+        ]);
+        let mut out = serde_json::to_string(&header).unwrap_or_default();
+        out.push('\n');
+        for line in self.lines() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, out)
+    }
+
+    fn set_dump_path_if_unset(&self, path: &Path) {
+        let mut dump_path = self.dump_path.lock().unwrap_or_else(|e| e.into_inner());
+        if dump_path.is_none() {
+            *dump_path = Some(path.to_path_buf());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, name: &str) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: if id > 1 { Some(1) } else { None },
+            name: name.to_string(),
+            thread: 1,
+            start_us: 10 * id,
+            dur_us: 5,
+            attrs: vec![],
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let flight = FlightRecorder::with_capacity(3);
+        for i in 1..=5 {
+            flight.note_span(&span(i, &format!("s{i}")));
+        }
+        let lines = flight.lines();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"s3\""));
+        assert!(lines[2].contains("\"s5\""));
+    }
+
+    #[test]
+    fn events_and_spans_interleave_as_jsonl() {
+        let flight = FlightRecorder::new();
+        flight.note_span(&span(1, "build"));
+        flight.note_event(
+            "retry",
+            &[
+                ("attempt", EventValue::U64(2)),
+                ("ok", EventValue::Bool(true)),
+            ],
+        );
+        flight.note_event("bad_float", &[("x", EventValue::F64(f64::NAN))]);
+        let lines = flight.lines();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            serde_json::from_str::<Value>(line).expect("every ring line is valid JSON");
+        }
+        assert!(lines[1].contains("\"attempt\":2"));
+        assert!(
+            !lines[2].contains("\"x\""),
+            "non-finite floats are dropped from the line, not serialized"
+        );
+    }
+
+    #[test]
+    fn dump_writes_header_plus_ring_and_sequences_re_dumps() {
+        let dir = std::env::temp_dir().join(format!(
+            "vas-flight-test-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let flight = FlightRecorder::new();
+        assert_eq!(flight.dump("early"), None, "no path configured yet");
+        flight.set_dump_path(dir.join("postmortem.jsonl"));
+        flight.note_span(&span(1, "build"));
+        let first = flight.dump("retries_exhausted").expect("dump path set");
+        let text = std::fs::read_to_string(&first).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"flight_dump\""));
+        assert!(header.contains("retries_exhausted"));
+        assert_eq!(lines.count(), 1);
+        let second = flight.dump("again").unwrap();
+        assert_ne!(first, second, "re-dump must not clobber the first file");
+        assert_eq!(flight.dumps(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -250,6 +250,35 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases_empty_single_and_saturated() {
+        // Empty: every quantile (including the extremes) reads 0.
+        let empty = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.percentile(q), 0);
+        }
+        assert_eq!(empty.mean(), 0.0);
+
+        // Single sample: every quantile lands in that one sample's bucket.
+        let mut single = Histogram::new();
+        single.record(7);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(bucket_index(single.percentile(q)), bucket_index(7));
+        }
+        assert_eq!(single.mean(), 7.0);
+
+        // Top-bucket saturation: u64::MAX observations land in the last
+        // bucket, quantiles report its (exact) upper bound, and the sum
+        // saturates instead of wrapping.
+        let mut top = Histogram::new();
+        top.record(u64::MAX);
+        top.record(u64::MAX);
+        assert_eq!(top.bucket_counts()[HISTOGRAM_BUCKETS - 1], 2);
+        assert_eq!(top.percentile(0.5), u64::MAX);
+        assert_eq!(top.percentile(1.0), u64::MAX);
+        assert_eq!(top.sum(), u64::MAX);
+    }
+
+    #[test]
     fn merge_adds_and_delta_subtracts() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

@@ -5,7 +5,11 @@
 //! timers feeding fixed-bucket latency [`Histogram`]s (p50/p95/p99), an
 //! append-only JSONL event [`Journal`], and two exporters over a
 //! [`MetricsSnapshot`] — structured JSON ([`export::snapshot_to_json`]) and
-//! Prometheus text exposition ([`export::snapshot_to_prometheus`]).
+//! Prometheus text exposition ([`export::snapshot_to_prometheus`]). On top
+//! of the flat metrics sits the causal layer: hierarchical spans
+//! ([`trace::Tracer`], exported as Chrome-trace/Perfetto JSON) and a crash
+//! [`FlightRecorder`] that dumps the last N spans/events to a post-mortem
+//! file when a fatal path fires.
 //!
 //! Every layer of the stack records through a cheap, cloneable [`Recorder`]
 //! handle: `vas-core`'s Interchange loop (fill vs candidate-eval vs
@@ -73,14 +77,18 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod histogram;
 pub mod journal;
 pub mod recorder;
 pub mod registry;
 pub mod snapshot;
+pub mod trace;
 
+pub use flight::FlightRecorder;
 pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
 pub use journal::{EventValue, Journal};
 pub use recorder::{PhaseGuard, Recorder};
 pub use registry::{Counter, MetricsRegistry, Phase, ValueSeries};
 pub use snapshot::MetricsSnapshot;
+pub use trace::{parse_chrome_trace, SpanContext, SpanGuard, SpanRecord, Tracer};

@@ -151,8 +151,12 @@ where
     if let Some(rec) = recorder {
         rec.inc(Counter::ParTasksExecuted, ranges.len().max(1) as u64);
     }
+    // Captured on the consuming thread so worker-task spans on spawned
+    // threads parent under the caller's open span, not float as roots.
+    let parent = recorder.and_then(|rec| rec.current_ctx());
     if ranges.len() <= 1 {
         let _guard = recorder.map(|rec| rec.phase(Phase::WorkerTask));
+        let _span = recorder.map(|rec| rec.span_under("worker_task", parent));
         return items
             .into_iter()
             .enumerate()
@@ -169,6 +173,11 @@ where
     stripes.reverse();
     let run_stripe = |range: Range<usize>, stripe: Vec<T>| -> Vec<R> {
         let _guard = recorder.map(|rec| rec.phase(Phase::WorkerTask));
+        let mut span = recorder
+            .map(|rec| rec.span_under("worker_task", parent))
+            .unwrap_or_else(vas_obs::SpanGuard::noop);
+        span.attr("stripe_start", range.start);
+        span.attr("stripe_len", range.len());
         stripe
             .into_iter()
             .zip(range)
@@ -284,11 +293,19 @@ where
     if let Some(rec) = recorder {
         rec.inc(Counter::ParTasksExecuted, ranges.len().max(1) as u64);
     }
+    // Captured on the consuming thread so worker-task spans on spawned
+    // threads parent under the caller's open span, not float as roots.
+    let parent = recorder.and_then(|rec| rec.current_ctx());
     // Times one stripe of work; a no-op guard when timing is off or no
     // recorder is attached (the off-the-data-path rule: observing a stripe
     // never changes what it computes).
     let run_stripe = |range: Range<usize>| -> Vec<R> {
         let _guard = recorder.map(|rec| rec.phase(Phase::WorkerTask));
+        let mut span = recorder
+            .map(|rec| rec.span_under("worker_task", parent))
+            .unwrap_or_else(vas_obs::SpanGuard::noop);
+        span.attr("stripe_start", range.start);
+        span.attr("stripe_len", range.len());
         items[range.clone()]
             .iter()
             .zip(range)
@@ -515,6 +532,36 @@ mod tests {
         assert!(snap.counter(Counter::ParTasksExecuted) >= 6);
         assert_eq!(snap.counter(Counter::ParContainedPanics), 0);
         assert!(snap.phase_calls(Phase::WorkerTask) >= 6);
+    }
+
+    #[test]
+    fn worker_spans_parent_under_the_consumer_span() {
+        use std::sync::Arc;
+        let tracer = Arc::new(vas_obs::Tracer::new());
+        let rec = Recorder::detached().with_tracer(Arc::clone(&tracer));
+        let items: Vec<u64> = (0..64).collect();
+        let consumer_id;
+        {
+            let consumer = rec.span("consumer_build");
+            consumer_id = consumer.context().unwrap().span_id();
+            let got = try_par_map_ordered_recorded(&rec, 4, &items, |i, v| v + i as u64).unwrap();
+            assert_eq!(got.len(), items.len());
+            let _ = par_map_vec_ordered_recorded(&rec, 4, items.clone(), |i, v| v + i as u64);
+        }
+        let spans = tracer.spans();
+        let workers: Vec<_> = spans.iter().filter(|s| s.name == "worker_task").collect();
+        assert!(workers.len() >= 8, "4 stripes per combinator expected");
+        for w in &workers {
+            assert_eq!(
+                w.parent,
+                Some(consumer_id),
+                "every worker span parents under the consumer span"
+            );
+            assert!(w.attrs.iter().any(|(k, _)| k == "stripe_len"));
+        }
+        // Stripes ran on more than one thread at 4 threads.
+        let threads: std::collections::HashSet<u64> = workers.iter().map(|w| w.thread).collect();
+        assert!(threads.len() > 1, "expected cross-thread worker spans");
     }
 
     #[test]

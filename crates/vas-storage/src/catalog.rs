@@ -55,7 +55,11 @@ impl SampleCatalog {
         for &k in sizes {
             let mut sampler = sampler_factory(k);
             let started = recorder.timing_enabled().then(Instant::now);
-            let sample = sampler.sample_dataset(dataset);
+            let sample = {
+                let mut span = recorder.span("catalog_build");
+                span.attr("k", k);
+                sampler.sample_dataset(dataset)
+            };
             if let Some(t0) = started {
                 recorder.record_phase_ns(Phase::CatalogBuild, t0.elapsed().as_nanos() as u64);
             }
@@ -113,9 +117,13 @@ impl SampleCatalog {
     {
         let samplers: Vec<S> = sizes.iter().map(|&k| sampler_factory(k)).collect();
         let samples =
-            vas_par::par_map_vec_ordered_recorded(recorder, threads, samplers, |_, mut sampler| {
+            vas_par::par_map_vec_ordered_recorded(recorder, threads, samplers, |i, mut sampler| {
                 let started = recorder.timing_enabled().then(Instant::now);
-                let sample = sampler.sample_dataset(dataset);
+                let sample = {
+                    let mut span = recorder.span("catalog_build");
+                    span.attr("size_index", i);
+                    sampler.sample_dataset(dataset)
+                };
                 if let Some(t0) = started {
                     recorder.record_phase_ns(Phase::CatalogBuild, t0.elapsed().as_nanos() as u64);
                 }

@@ -154,7 +154,11 @@ pub fn save_catalog_recorded(
     recorder: &Recorder,
 ) -> Result<(), VasError> {
     let started = recorder.timing_enabled().then(Instant::now);
-    let result = save_catalog_inner(catalog, dir.as_ref());
+    let result = {
+        let mut span = recorder.span("persist_commit");
+        span.attr("samples", catalog.len());
+        save_catalog_inner(catalog, dir.as_ref())
+    };
     if let Some(t0) = started {
         recorder.record_phase_ns(Phase::PersistSave, t0.elapsed().as_nanos() as u64);
     }

@@ -547,9 +547,18 @@ impl ChunkedReader {
     /// trailing bytes may remain.
     pub fn next_chunk(&mut self, buf: &mut Vec<Point>) -> io::Result<usize> {
         // Timed manually rather than via a `PhaseGuard`: the guard would
-        // borrow `self.recorder` across the `&mut self` inner call.
+        // borrow `self.recorder` across the `&mut self` inner call. The
+        // span guard owns its handles, so it can live across the call —
+        // when decoding happens on the read-ahead pipeline thread it
+        // parents under the build's root span via the tracer's ambient
+        // cell.
         let started = self.recorder.timing_enabled().then(Instant::now);
+        let mut span = self.recorder.span("chunk_decode");
         let result = self.next_chunk_inner(buf);
+        if let Ok(m) = &result {
+            span.attr("points", *m);
+        }
+        drop(span);
         if let Some(t0) = started {
             self.recorder
                 .record_phase_ns(Phase::ChunkDecode, t0.elapsed().as_nanos() as u64);

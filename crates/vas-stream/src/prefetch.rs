@@ -131,7 +131,10 @@ impl PointSource for PrefetchSource {
         self.recorder
             .record_value(ValueSeries::ReadAheadOccupancy, self.ahead.occupancy());
         let started = self.recorder.timing_enabled().then(Instant::now);
-        let received = self.ahead.recv();
+        let received = {
+            let _span = self.recorder.span("prefetch_wait");
+            self.ahead.recv()
+        };
         if let Some(t0) = started {
             self.recorder
                 .record_phase_ns(Phase::PrefetchWait, t0.elapsed().as_nanos() as u64);

@@ -123,6 +123,11 @@ impl<S: PointSource> RetryingSource<S> {
                                 ("attempts", u64::from(attempt + 1).into()),
                             ],
                         );
+                        // Retry exhaustion is build-fatal: dump the flight
+                        // recorder's recent-history ring (if attached) so
+                        // the post-mortem shows the absorbed retries that
+                        // led here.
+                        let _ = self.recorder.fatal("retries_exhausted");
                         return Err(VasError::RetriesExhausted {
                             context: format!("{context} on source {:?}", self.inner.name()),
                             attempts: attempt + 1,
@@ -139,6 +144,11 @@ impl<S: PointSource> RetryingSource<S> {
                             ("attempt", u64::from(attempt).into()),
                         ],
                     );
+                    // The span covers the backoff sleep, so a traced
+                    // timeline shows the retry penalty as an interval.
+                    let mut span = self.recorder.span("retry");
+                    span.attr("context", context);
+                    span.attr("attempt", attempt);
                     if !self.policy.backoff_step.is_zero() {
                         std::thread::sleep(self.policy.backoff_step * attempt);
                     }

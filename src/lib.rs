@@ -77,7 +77,10 @@ pub mod prelude {
     };
     pub use vas_eval::{visual_similarity, LossConfig, LossEstimator, SimilarityConfig};
     pub use vas_exact::ExactSolver;
-    pub use vas_obs::{Counter, Journal, MetricsRegistry, MetricsSnapshot, Phase, Recorder};
+    pub use vas_obs::{
+        parse_chrome_trace, Counter, FlightRecorder, Journal, MetricsRegistry, MetricsSnapshot,
+        Phase, Recorder, SpanContext, SpanRecord, Tracer,
+    };
     pub use vas_sampling::{
         PoissonDiskSampler, Sample, Sampler, StratifiedSampler, UniformSampler,
     };

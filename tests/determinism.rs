@@ -525,6 +525,78 @@ fn instrumented_build_is_bit_identical_to_the_uninstrumented_build() {
 }
 
 #[test]
+fn traced_build_is_bit_identical_to_the_detached_build() {
+    // The ISSUE 9 contract extends PR 8's: the causal layer — hierarchical
+    // span tracing plus the flight-recorder ring — is off the data path
+    // too. A build with the *entire* observability stack attached (registry,
+    // journal, timers, tracer, flight ring, instrumented reader and prefetch
+    // pipeline) must reproduce the detached-recorder build bit-for-bit, on
+    // every locality backend at 1, 2 and 4 worker threads.
+    let data = GeolifeGenerator::with_size(10_000, 23).generate();
+    let path = std::env::temp_dir().join(format!(
+        "vas-determinism-trace-{}.vaschunk",
+        std::process::id()
+    ));
+    spill_dataset(&data, &path, 1_024).unwrap();
+
+    for backend in LocalityBackend::ALL {
+        let base = VasConfig::new(300).with_locality_backend(backend);
+        for threads in [1usize, 2, 4] {
+            let config = base.clone().with_threads(threads);
+            let detached = {
+                let reader = ChunkedReader::open(&path).unwrap();
+                let mut source = vas::stream::PrefetchSource::new(reader);
+                VasSampler::new(config.clone())
+                    .build_from_source(&mut source)
+                    .unwrap()
+            };
+            let tracer = std::sync::Arc::new(Tracer::new());
+            let flight = std::sync::Arc::new(FlightRecorder::new());
+            let recorder = Recorder::new(std::sync::Arc::new(MetricsRegistry::new()))
+                .with_journal(std::sync::Arc::new(Journal::in_memory()))
+                .with_timing(true)
+                .with_tracer(std::sync::Arc::clone(&tracer))
+                .with_flight(std::sync::Arc::clone(&flight));
+            let traced = {
+                let reader = ChunkedReader::open(&path)
+                    .unwrap()
+                    .with_recorder(recorder.clone());
+                let mut source =
+                    vas::stream::PrefetchSource::new(reader).with_recorder(recorder.clone());
+                VasSampler::new(config)
+                    .with_recorder(recorder.clone())
+                    .build_from_source(&mut source)
+                    .unwrap()
+            };
+            assert_points_bitwise_equal(
+                &traced.points,
+                &detached.points,
+                &format!("traced vs detached build ({backend}, {threads} threads)"),
+            );
+            // The causal layer must actually have been live: spans recorded
+            // and mirrored into the flight ring, and the exported trace must
+            // survive its own parser.
+            assert!(
+                !tracer.is_empty(),
+                "no spans recorded ({backend}, {threads} threads)"
+            );
+            assert!(
+                !flight.is_empty(),
+                "flight ring is empty ({backend}, {threads} threads)"
+            );
+            let parsed =
+                parse_chrome_trace(&tracer.to_chrome_trace()).expect("exported trace must parse");
+            assert_eq!(
+                parsed.len(),
+                tracer.spans().len(),
+                "trace round trip lost spans ({backend}, {threads} threads)"
+            );
+        }
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn retried_transient_faults_leave_the_sample_bits_unchanged() {
     // Fault tolerance must not cost determinism: a build whose source fails
     // transiently (and is retried) must equal the fault-free build exactly.
