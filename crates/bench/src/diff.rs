@@ -121,6 +121,7 @@ const ID_FIELDS: &[&str] = &[
     "label",
     "mode",
     "threads",
+    "shards",
     "prefetch",
     "killed_after_chunks",
     "k",

@@ -167,18 +167,21 @@ pub fn merge_section_at(path: &Path, section: &str, section_value: serde::Value)
     fs::write(path, json).expect("write BENCH_parallel.json");
 }
 
-/// Parses a `--threads` sweep argument: a comma-separated list of positive
-/// thread counts (e.g. `1,2,4`). Deduplicates while keeping order.
-pub fn parse_threads_list(value: &str) -> Result<Vec<usize>, String> {
+/// Parses a comma-separated sweep list of positive counts (e.g. `1,2,4`)
+/// for the flag named `flag` (used verbatim in error messages).
+/// Deduplicates while keeping order. The one list-parsing implementation
+/// behind every sweep flag (`--threads`, `--shards`) — new sweep flags
+/// should wrap this instead of growing another copy.
+pub fn parse_count_list(flag: &str, value: &str) -> Result<Vec<usize>, String> {
     let mut out = Vec::new();
     for part in value.split(',') {
         let t: usize = part
             .trim()
             .parse()
-            .map_err(|_| format!("invalid thread count {part:?} in --threads {value:?}"))?;
+            .map_err(|_| format!("invalid count {part:?} in {flag} {value:?}"))?;
         if t == 0 {
             return Err(format!(
-                "thread counts must be positive, got 0 in {value:?}"
+                "{flag} counts must be positive, got 0 in {value:?}"
             ));
         }
         if !out.contains(&t) {
@@ -186,9 +189,19 @@ pub fn parse_threads_list(value: &str) -> Result<Vec<usize>, String> {
         }
     }
     if out.is_empty() {
-        return Err("--threads needs at least one thread count".to_string());
+        return Err(format!("{flag} needs at least one count"));
     }
     Ok(out)
+}
+
+/// Parses a `--threads` sweep argument ([`parse_count_list`]).
+pub fn parse_threads_list(value: &str) -> Result<Vec<usize>, String> {
+    parse_count_list("--threads", value)
+}
+
+/// Parses a `--shards` sweep argument ([`parse_count_list`]).
+pub fn parse_shards_list(value: &str) -> Result<Vec<usize>, String> {
+    parse_count_list("--shards", value)
 }
 
 /// Formats a duration in seconds with millisecond resolution.
@@ -280,6 +293,15 @@ mod tests {
         assert!(parse_threads_list("0").is_err());
         assert!(parse_threads_list("two").is_err());
         assert!(parse_threads_list("").is_err());
+    }
+
+    #[test]
+    fn count_list_names_the_flag_in_errors() {
+        assert_eq!(parse_shards_list("1, 4,2").unwrap(), vec![1, 4, 2]);
+        let err = parse_shards_list("0").unwrap_err();
+        assert!(err.contains("--shards"), "unexpected error: {err}");
+        let err = parse_threads_list("x").unwrap_err();
+        assert!(err.contains("--threads"), "unexpected error: {err}");
     }
 
     #[test]

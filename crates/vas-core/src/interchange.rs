@@ -47,7 +47,7 @@ use crate::objective::objective;
 use std::path::Path;
 use std::time::{Duration, Instant};
 use vas_data::{BoundingBox, Dataset, Point};
-use vas_obs::{Counter, Phase, Recorder};
+use vas_obs::{Counter, Phase, Recorder, ValueSeries};
 use vas_sampling::{Sample, Sampler};
 use vas_spatial::snapshot::{self as snap, SnapshotReader};
 use vas_spatial::{AnyLocalityIndex, LocalityBackend, LocalityIndex, NeighborBatch};
@@ -989,6 +989,15 @@ impl<L: LocalityIndex> VasSampler<L> {
         &self.points
     }
 
+    /// Occupancy statistics of the locality index's cell decomposition, when
+    /// the configured backend has one (the `HashGrid` does; tree backends
+    /// return `None`). An on-demand probe of the same signal the sampler
+    /// records through `vas-obs` when the fill phase completes — the
+    /// measurement the density-adaptive cell-sizing decision was missing.
+    pub fn grid_occupancy(&self) -> Option<vas_spatial::GridOccupancy> {
+        self.index.occupancy_stats()
+    }
+
     /// Runs the configured number of passes over `dataset` and returns the
     /// final sample. Multi-pass runs continue improving the same sample, as
     /// the paper does when more processing time is available.
@@ -1193,6 +1202,36 @@ impl<L: LocalityIndex> VasSampler<L> {
                     ("seen", self.seen.into()),
                 ],
             );
+            // The fill just completed, so the locality index holds a full
+            // K-sample: the representative moment to probe grid occupancy
+            // (the density-adaptive cell-sizing signal). The probe scans the
+            // whole cell table, so it only runs when observability is
+            // attached — a detached build never pays for it.
+            if self.recorder.timing_enabled() || self.recorder.journal().is_some() {
+                if let Some(occ) = self.index.occupancy_stats() {
+                    self.recorder
+                        .record_value(ValueSeries::GridOccupiedCells, occ.cells_occupied as u64);
+                    self.recorder.record_value(
+                        ValueSeries::GridMaxCellPoints,
+                        occ.max_points_per_cell as u64,
+                    );
+                    self.recorder.event(
+                        "grid_occupancy",
+                        &[
+                            ("cells_occupied", (occ.cells_occupied as u64).into()),
+                            ("points", (occ.points as u64).into()),
+                            (
+                                "mean_points_per_cell",
+                                vas_obs::EventValue::F64(occ.mean_points_per_cell),
+                            ),
+                            (
+                                "max_points_per_cell",
+                                (occ.max_points_per_cell as u64).into(),
+                            ),
+                        ],
+                    );
+                }
+            }
         }
     }
 

@@ -61,6 +61,7 @@ pub mod kernel;
 pub mod max_tracker;
 pub mod objective;
 pub mod outlier;
+pub mod shard;
 
 pub use checkpoint::{BuildOutcome, CheckpointPolicy};
 pub use density::{density_counts_threaded, embed_density};
@@ -69,4 +70,5 @@ pub use kernel::{GaussianKernel, Kernel, KernelKind};
 pub use max_tracker::MaxTracker;
 pub use objective::{objective, responsibilities, responsibility_of};
 pub use outlier::{find_outliers, with_outliers, Outlier};
+pub use shard::{shard_budgets, ShardedSampler};
 pub use vas_spatial::{AnyLocalityIndex, LocalityBackend, LocalityIndex};

@@ -48,11 +48,18 @@ pub enum Counter {
     StorageCatalogSamplesBuilt,
     /// Catalogs durably committed (manifest written last).
     StoragePersistCommits,
+    /// Candidate tuples accepted across all shard workers of sharded
+    /// builds. Lifetime tally (shard workers reset per-build counters when
+    /// they finalize, so the per-build `Core` pair cannot carry this).
+    CoreShardAccepts,
+    /// Candidate tuples rejected across all shard workers of sharded
+    /// builds. Lifetime tally, like [`Counter::CoreShardAccepts`].
+    CoreShardRejects,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 18] = [
         Counter::CoreAccepts,
         Counter::CoreRejects,
         Counter::CoreKernelLanes,
@@ -69,6 +76,8 @@ impl Counter {
         Counter::ParContainedPanics,
         Counter::StorageCatalogSamplesBuilt,
         Counter::StoragePersistCommits,
+        Counter::CoreShardAccepts,
+        Counter::CoreShardRejects,
     ];
 
     /// Number of counters.
@@ -93,6 +102,8 @@ impl Counter {
             Counter::ParContainedPanics => "par_contained_panics",
             Counter::StorageCatalogSamplesBuilt => "storage_catalog_samples_built",
             Counter::StoragePersistCommits => "storage_persist_commits",
+            Counter::CoreShardAccepts => "core_shard_accepts",
+            Counter::CoreShardRejects => "core_shard_rejects",
         }
     }
 
@@ -103,7 +114,10 @@ impl Counter {
     /// kernel lanes) start over with each build, while sampler-lifetime
     /// health counters — `CoreContainedWorkerPanics` foremost, matching the
     /// long-standing carve-out — and every non-core layer's counters
-    /// survive.
+    /// survive. The shard aggregates (`CoreShardAccepts`/`CoreShardRejects`)
+    /// also survive: shard workers share one registry and each worker's
+    /// finalize resets the per-build pair, so the sharded path accumulates
+    /// into these lifetime counters *after* each worker finishes.
     pub fn resets_with_build(self) -> bool {
         matches!(
             self,
@@ -141,11 +155,17 @@ pub enum Phase {
     CatalogBuild,
     /// Durably persisting a catalog (chunks + sidecars + manifest).
     PersistSave,
+    /// One shard worker consuming its sub-stream during a sharded build
+    /// (observe + fill, up to the shard sample's finalize).
+    ShardFill,
+    /// The ordered merge pass reducing the shard-sample union to the final
+    /// K-sample.
+    ShardMerge,
 }
 
 impl Phase {
     /// Every phase, in export order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 11] = [
         Phase::Fill,
         Phase::CandidateEval,
         Phase::AcceptChurn,
@@ -155,6 +175,8 @@ impl Phase {
         Phase::WorkerTask,
         Phase::CatalogBuild,
         Phase::PersistSave,
+        Phase::ShardFill,
+        Phase::ShardMerge,
     ];
 
     /// Number of phases.
@@ -172,6 +194,8 @@ impl Phase {
             Phase::WorkerTask => "worker_task",
             Phase::CatalogBuild => "catalog_build",
             Phase::PersistSave => "persist_save",
+            Phase::ShardFill => "shard_fill",
+            Phase::ShardMerge => "shard_merge",
         }
     }
 
@@ -187,11 +211,22 @@ pub enum ValueSeries {
     /// Read-ahead channel occupancy observed at each consumer `recv`
     /// (0 = the consumer outran the producer, depth = fully buffered).
     ReadAheadOccupancy,
+    /// Occupied-cell count of a sampler's `HashGrid` locality index,
+    /// observed when its fill phase completes (the density-adaptive
+    /// cell-sizing signal).
+    GridOccupiedCells,
+    /// Maximum points in any single occupied `HashGrid` cell, observed with
+    /// [`ValueSeries::GridOccupiedCells`].
+    GridMaxCellPoints,
 }
 
 impl ValueSeries {
     /// Every value series, in export order.
-    pub const ALL: [ValueSeries; 1] = [ValueSeries::ReadAheadOccupancy];
+    pub const ALL: [ValueSeries; 3] = [
+        ValueSeries::ReadAheadOccupancy,
+        ValueSeries::GridOccupiedCells,
+        ValueSeries::GridMaxCellPoints,
+    ];
 
     /// Number of value series.
     pub const COUNT: usize = Self::ALL.len();
@@ -200,6 +235,8 @@ impl ValueSeries {
     pub fn name(self) -> &'static str {
         match self {
             ValueSeries::ReadAheadOccupancy => "read_ahead_occupancy",
+            ValueSeries::GridOccupiedCells => "grid_occupied_cells",
+            ValueSeries::GridMaxCellPoints => "grid_max_cell_points",
         }
     }
 

@@ -24,6 +24,13 @@
 //!   with an epoch/rewind protocol so consumers can `reset` mid-stream
 //!   without tearing down the worker. `vas-stream`'s `PrefetchSource` is
 //!   this stage wrapped around a `PointSource`.
+//! * **A free-running scatter pipeline** ([`scatter`]) — one producer
+//!   routing items to `S` persistent workers over bounded queues, fan-in in
+//!   consumer order. The sharded sampling path fans out one Interchange
+//!   sampler per shard through it; because the stages are decoupled by the
+//!   queues, shard workers evaluate batch `b` while the producer is already
+//!   decoding and routing batch `b + 1` — the free-running batch pipelining
+//!   the lock-step read-ahead path could not express.
 //!
 //! Workers are **scoped**: they are spawned inside each combinator call via
 //! [`std::thread::scope`] and joined before it returns, so closures may borrow
@@ -38,6 +45,7 @@
 
 pub mod exec;
 pub mod pipeline;
+pub mod scatter;
 
 pub use exec::{
     effective_threads, par_chunk_fold_ordered, par_map_ordered, par_map_vec_ordered,
@@ -45,3 +53,4 @@ pub use exec::{
     WorkerPanic,
 };
 pub use pipeline::{ReadAhead, Stage, Step};
+pub use scatter::scatter_ordered;

@@ -34,12 +34,14 @@ pub mod grid;
 pub mod hashgrid;
 pub mod kdtree;
 pub mod locality;
+pub mod partition;
 pub mod rtree;
 pub mod snapshot;
 
 pub use grid::UniformGrid;
-pub use hashgrid::HashGrid;
+pub use hashgrid::{GridOccupancy, HashGrid};
 pub use kdtree::KdTree;
 pub use locality::{AnyLocalityIndex, LocalityBackend, LocalityIndex, NeighborBatch};
+pub use partition::ShardPartitioner;
 pub use rtree::RTree;
 pub use snapshot::{SnapshotError, SnapshotReader};

@@ -28,7 +28,7 @@
 //! instead of trait objects (the dispatch cost is one `match` per query call,
 //! not per visited entry).
 
-use crate::{snapshot, HashGrid, KdTree, RTree};
+use crate::{snapshot, GridOccupancy, HashGrid, KdTree, RTree};
 use vas_data::Point;
 
 /// Reusable struct-of-arrays scratch for batch-gather neighbourhood queries
@@ -178,6 +178,18 @@ pub trait LocalityIndex: Send + Sync {
         let mut out = Vec::new();
         self.query_radius_into(center, radius, &mut out);
         out
+    }
+
+    /// Occupancy statistics of the backend's cell decomposition, when it has
+    /// one (the [`HashGrid`] does; the tree backends return `None`).
+    ///
+    /// This is the measurement signal behind the density-adaptive
+    /// cell-sizing decision: it reports how full the decomposition actually
+    /// is without changing sizing behaviour. The scan is `O(table)`, so
+    /// instrumented callers should only take it at phase boundaries, never
+    /// inside the query loop.
+    fn occupancy_stats(&self) -> Option<GridOccupancy> {
+        None
     }
 }
 
@@ -376,6 +388,14 @@ impl LocalityIndex for AnyLocalityIndex {
             AnyLocalityIndex::RTree(t) => t.gather_in_radius_into(center, radius, out),
             AnyLocalityIndex::KdTree(t) => t.gather_in_radius_into(center, radius, out),
             AnyLocalityIndex::HashGrid(g) => g.gather_in_radius_into(center, radius, out),
+        }
+    }
+
+    fn occupancy_stats(&self) -> Option<GridOccupancy> {
+        match self {
+            AnyLocalityIndex::RTree(t) => LocalityIndex::occupancy_stats(t),
+            AnyLocalityIndex::KdTree(t) => LocalityIndex::occupancy_stats(t),
+            AnyLocalityIndex::HashGrid(g) => LocalityIndex::occupancy_stats(g),
         }
     }
 }

@@ -107,6 +107,7 @@ pub mod fault;
 pub mod generate;
 pub mod prefetch;
 pub mod retry;
+pub mod shard;
 pub mod source;
 pub mod stats;
 
@@ -123,5 +124,6 @@ pub use fault::{
 pub use generate::{GaussianMixtureSource, GeolifeSource, SplomSource};
 pub use prefetch::{PrefetchSource, DEFAULT_PREFETCH_DEPTH};
 pub use retry::{RetryPolicy, RetryingSource};
+pub use shard::ShardSource;
 pub use source::{DatasetSource, PointSource, TrackingSource, DEFAULT_CHUNK_SIZE};
 pub use stats::{scan_stats, StreamStats};

@@ -1,0 +1,201 @@
+//! [`ShardSource`]: a bounded-memory shard-filtering view over any
+//! [`PointSource`].
+//!
+//! The sharded build path (`vas-core::shard`) normally scatters chunks to
+//! shard workers through in-process queues, but some consumers want a plain
+//! `PointSource` that yields *one shard's* sub-stream — replaying a single
+//! shard after a quality regression, feeding a shard to an out-of-process
+//! worker, or unit-testing a shard in isolation. `ShardSource` is that
+//! view: it pulls chunks from the inner source and keeps only the points
+//! the [`ShardPartitioner`] assigns to its shard, holding at most one inner
+//! chunk in memory.
+//!
+//! Because the partitioner is a pure per-point function and the inner
+//! source guarantees a stable point order across `reset`s, a shard
+//! sub-stream is itself a well-behaved `PointSource`: same points, same
+//! order, every scan — so the determinism contract composes.
+
+use crate::source::PointSource;
+use std::io;
+use vas_data::Point;
+use vas_spatial::ShardPartitioner;
+
+/// A `PointSource` adapter yielding exactly the points of one shard, in
+/// inner-source order, in bounded memory (one inner chunk at a time).
+#[derive(Debug)]
+pub struct ShardSource<S> {
+    inner: S,
+    partitioner: ShardPartitioner,
+    shard: usize,
+    name: String,
+    raw: Vec<Point>,
+}
+
+impl<S: PointSource> ShardSource<S> {
+    /// Wraps `inner`, keeping only points `partitioner` assigns to `shard`.
+    ///
+    /// # Panics
+    /// Panics when `shard` is out of range for the partitioner.
+    pub fn new(inner: S, partitioner: ShardPartitioner, shard: usize) -> Self {
+        assert!(
+            shard < partitioner.shards(),
+            "shard {shard} out of range for {} shards",
+            partitioner.shards()
+        );
+        let name = format!("{}[shard {}/{}]", inner.name(), shard, partitioner.shards());
+        Self {
+            inner,
+            partitioner,
+            shard,
+            name,
+            raw: Vec::new(),
+        }
+    }
+
+    /// The wrapped source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Which shard this view yields.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+impl<S: PointSource> PointSource for ShardSource<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> vas_data::DatasetKind {
+        self.inner.kind()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        // The shard's share is data-dependent; only an upper bound is known,
+        // which the contract does not allow as a hint.
+        None
+    }
+
+    fn chunk_capacity(&self) -> usize {
+        self.inner.chunk_capacity()
+    }
+
+    fn next_chunk(&mut self, buf: &mut Vec<Point>) -> io::Result<usize> {
+        buf.clear();
+        // Inner chunks whose points all belong to other shards must not be
+        // reported as end-of-stream: keep pulling until this shard receives
+        // a point or the inner source is truly exhausted.
+        loop {
+            if self.inner.next_chunk(&mut self.raw)? == 0 {
+                return Ok(0);
+            }
+            for p in &self.raw {
+                if self.partitioner.shard_of(p) == self.shard {
+                    buf.push(*p);
+                }
+            }
+            if !buf.is_empty() {
+                return Ok(buf.len());
+            }
+        }
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        self.inner.reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::DatasetSource;
+    use vas_data::{Dataset, DatasetKind};
+
+    fn dataset() -> Dataset {
+        let points = (0..500)
+            .map(|i| Point::with_value((i % 37) as f64 * 0.9, (i % 23) as f64 * 1.1, i as f64))
+            .collect();
+        Dataset::new("grid", DatasetKind::External, points)
+    }
+
+    #[test]
+    fn shards_partition_the_stream_exactly() {
+        let data = dataset();
+        let partitioner = ShardPartitioner::new(3, 1.0);
+        let mut union: Vec<Vec<Point>> = vec![Vec::new(); 3];
+        let mut total = 0usize;
+        for (shard, points) in union.iter_mut().enumerate() {
+            let inner = DatasetSource::with_chunk_size(&data, 64);
+            let mut src = ShardSource::new(inner, partitioner, shard);
+            src.for_each_point(|p| points.push(p)).unwrap();
+            total += points.len();
+        }
+        assert_eq!(total, data.len(), "shards must partition, not sample");
+        // Every yielded point really belongs to its shard.
+        for (shard, points) in union.iter().enumerate() {
+            for p in points {
+                assert_eq!(partitioner.shard_of(p), shard);
+            }
+        }
+    }
+
+    #[test]
+    fn chunking_does_not_change_a_shard_sub_stream() {
+        let data = dataset();
+        let partitioner = ShardPartitioner::new(4, 0.7);
+        let collect = |chunk: usize| -> Vec<Point> {
+            let inner = DatasetSource::with_chunk_size(&data, chunk);
+            let mut src = ShardSource::new(inner, partitioner, 1);
+            let mut out = Vec::new();
+            src.for_each_point(|p| out.push(p)).unwrap();
+            out
+        };
+        let reference = collect(500);
+        for chunk in [1usize, 7, 64] {
+            assert_eq!(collect(chunk), reference, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn reset_replays_the_same_sub_stream() {
+        let data = dataset();
+        let partitioner = ShardPartitioner::new(2, 1.3);
+        let inner = DatasetSource::with_chunk_size(&data, 50);
+        let mut src = ShardSource::new(inner, partitioner, 0);
+        let mut first = Vec::new();
+        src.for_each_point(|p| first.push(p)).unwrap();
+        src.reset().unwrap();
+        let mut second = Vec::new();
+        src.for_each_point(|p| second.push(p)).unwrap();
+        assert_eq!(first, second);
+        assert!(!first.is_empty());
+    }
+
+    #[test]
+    fn empty_shard_is_end_of_stream_not_an_error() {
+        // One cell → one shard owns everything; some other shard of many is
+        // empty and must yield a clean end-of-stream.
+        let points = vec![Point::new(0.1, 0.1), Point::new(0.2, 0.2)];
+        let data = Dataset::new("one-cell", DatasetKind::External, points);
+        let partitioner = ShardPartitioner::new(8, 100.0);
+        let owner = partitioner.shard_of(&data.points[0]);
+        let empty_shard = (0..8).find(|s| *s != owner).unwrap();
+        let inner = DatasetSource::with_chunk_size(&data, 1);
+        let mut src = ShardSource::new(inner, partitioner, empty_shard);
+        let mut buf = Vec::new();
+        assert_eq!(src.next_chunk(&mut buf).unwrap(), 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_shard_is_rejected() {
+        let data = dataset();
+        let partitioner = ShardPartitioner::new(2, 1.0);
+        let result = std::panic::catch_unwind(|| {
+            ShardSource::new(DatasetSource::new(&data), partitioner, 2)
+        });
+        assert!(result.is_err());
+    }
+}

@@ -68,8 +68,9 @@ pub use vas_viz as viz;
 pub mod prelude {
     pub use vas_binned::{TilePyramid, TilePyramidConfig};
     pub use vas_core::{
-        density::with_embedded_density, embed_density, BuildOutcome, CheckpointPolicy,
-        GaussianKernel, InterchangeStrategy, Kernel, VasConfig, VasSampler,
+        density::with_embedded_density, embed_density, shard_budgets, BuildOutcome,
+        CheckpointPolicy, GaussianKernel, InterchangeStrategy, Kernel, ShardedSampler, VasConfig,
+        VasSampler,
     };
     pub use vas_data::{
         BoundingBox, Dataset, GaussianMixtureGenerator, GeolifeGenerator, Point, SplomGenerator,
@@ -85,13 +86,14 @@ pub mod prelude {
         PoissonDiskSampler, Sample, Sampler, StratifiedSampler, UniformSampler,
     };
     pub use vas_spatial::{
-        AnyLocalityIndex, HashGrid, KdTree, LocalityBackend, LocalityIndex, RTree, UniformGrid,
+        AnyLocalityIndex, GridOccupancy, HashGrid, KdTree, LocalityBackend, LocalityIndex, RTree,
+        ShardPartitioner, UniformGrid,
     };
     pub use vas_storage::{SampleCatalog, Table, VizEngine, VizQuery};
     pub use vas_stream::{
         spill_dataset, spill_source, ChunkedReader, ChunkedWriter, CsvSource, DatasetSource,
         FaultInjectorSource, FaultPlan, GeolifeSource, PointSource, PrefetchSource, RetryPolicy,
-        RetryingSource, StreamStats, TrackingSource, VasError,
+        RetryingSource, ShardSource, StreamStats, TrackingSource, VasError,
     };
     pub use vas_user_sim::{ClusteringTask, DensityTask, RegressionTask, WorkerPopulation};
     pub use vas_viz::{

@@ -597,6 +597,50 @@ fn traced_build_is_bit_identical_to_the_detached_build() {
 }
 
 #[test]
+fn sharded_build_is_bit_identical_across_threads_chunkings_and_s1_matches_unsharded() {
+    // The ISSUE 10 contract: sharded sampling is a *deterministic* scale-out.
+    // For every locality backend and S ∈ {1, 2, 4}, `build_sharded` over the
+    // in-memory dataset is the reference; the streamed
+    // `build_sharded_from_source` must reproduce it bit-for-bit at 1, 2 and
+    // 4 per-shard worker threads and across awkward chunk sizes (the shard
+    // assignment is a pure per-point function, so how the stream is chunked
+    // must not matter). At S = 1 the single shard carries the full budget
+    // with no oversampling, so the whole pipeline must collapse to the plain
+    // unsharded `build()`, bit for bit.
+    let data = GeolifeGenerator::with_size(6_000, 21).generate();
+    for backend in LocalityBackend::ALL {
+        let base = VasConfig::new(200).with_locality_backend(backend);
+        let unsharded = VasSampler::from_dataset(&data, base.clone()).build(&data);
+        for shards in [1usize, 2, 4] {
+            let reference = ShardedSampler::new(base.clone(), shards).build_sharded(&data);
+            if shards == 1 {
+                assert_points_bitwise_equal(
+                    &reference.points,
+                    &unsharded.points,
+                    &format!("S = 1 sharded vs unsharded build ({backend})"),
+                );
+            }
+            for threads in [1usize, 2, 4] {
+                for chunk in [613usize, 2_048] {
+                    let mut source = DatasetSource::with_chunk_size(&data, chunk);
+                    let streamed = ShardedSampler::new(base.clone().with_threads(threads), shards)
+                        .build_sharded_from_source(&mut source)
+                        .unwrap();
+                    assert_points_bitwise_equal(
+                        &streamed.points,
+                        &reference.points,
+                        &format!(
+                            "sharded stream vs in-memory \
+                             ({backend}, S = {shards}, {threads} threads, chunk {chunk})"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn retried_transient_faults_leave_the_sample_bits_unchanged() {
     // Fault tolerance must not cost determinism: a build whose source fails
     // transiently (and is retried) must equal the fault-free build exactly.
